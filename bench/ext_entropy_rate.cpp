@@ -1,0 +1,70 @@
+// Extension — entropy vs sampling rate for the elementary TRNG.
+//
+// Sweeps the reference-clock period and compares the empirical block entropy
+// of the sampled bits against the Baudet-style lower bound computed from the
+// measured jitter (trng/entropy_model.hpp). The empirical curve must sit
+// above the bound and both must rise toward 1 as the sampling slows — the
+// quantitative design rule behind "sample slow enough".
+#include <cstdio>
+#include <vector>
+
+#include "analysis/entropy.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+#include "trng/elementary.hpp"
+#include "trng/entropy_model.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  const RingSpec spec = RingSpec::str(8);  // short ring keeps the sweep fast
+  const std::size_t bits_wanted = 8192;
+
+  std::printf("# Extension: entropy of elementary-TRNG bits vs sampling "
+              "rate (%s)\n\n",
+              spec.name().c_str());
+
+  Table table({"f_s (MHz)", "cycles/sample", "H1", "H8 (empirical)",
+               "H bound (model)"});
+  for (double rate_mhz : {16.0, 8.0, 4.0, 2.0, 1.0, 0.5}) {
+    const Time fs = Time::from_ns(1e3 / rate_mhz);
+
+    BuildOptions build;
+    build.warmup_periods = 128;
+    Oscillator osc = Oscillator::build(spec, cal, build);
+    const double per_bit = fs.ps() / osc.nominal_period().ps();
+    osc.run_periods(static_cast<std::size_t>(
+        per_bit * static_cast<double>(bits_wanted + 2) + 256));
+
+    const auto periods = analysis::periods_ps(osc.output());
+    const auto jitter = analysis::summarize_jitter(periods);
+
+    trng::ElementaryTrngConfig config;
+    config.sampling_period = fs;
+    config.start = osc.output().transitions().front().at;
+    const auto bits =
+        trng::elementary_trng_bits(osc.output(), config, bits_wanted);
+
+    const double bound = trng::entropy_lower_bound(
+        jitter.period_jitter_ps, jitter.mean_period_ps, fs);
+    table.add_row({fmt_double(rate_mhz, 1), fmt_double(per_bit, 0),
+                   fmt_double(analysis::shannon_entropy_per_bit(bits), 4),
+                   fmt_double(analysis::block_entropy_per_bit(bits, 8), 4),
+                   fmt_double(bound, 4)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("checks: H8 trends upward as sampling slows (local wiggles\n"
+              "come from the rational relationship between the ring and\n"
+              "sampling frequencies changing per row); the model\n"
+              "bound is conservative (it ignores the deterministic phase\n"
+              "walk-through that adds apparent entropy at fast sampling) and\n"
+              "both approach 1 at low rates. Note the bound is what a\n"
+              "certification argument may rely on; H8 alone cannot separate\n"
+              "diffusion from the deterministic sweep.\n");
+  return 0;
+}

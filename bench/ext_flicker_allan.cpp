@@ -1,0 +1,81 @@
+// Extension — flicker noise and where the paper's sqrt law ends.
+//
+// The paper's jitter model (and our calibration) is white-only: accumulated
+// jitter grows as sqrt(m) and the Allan deviation falls as tau^-1/2. Real
+// oscillators carry 1/f noise that flattens the Allan curve at long
+// horizons. Enabling the FlickerNoise stage source shows both signatures,
+// and shows that the *length-independence* of STR period jitter (Fig. 12's
+// shape) survives flicker — it is a topological property, not a
+// white-noise artifact.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/allan.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "common/stats.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+std::vector<double> run_periods(const RingSpec& spec, double flicker_ps,
+                                std::size_t periods) {
+  BuildOptions build;
+  build.flicker_amplitude_ps = flicker_ps;
+  Oscillator osc = Oscillator::build(spec, cyclone_iii(), build);
+  osc.run_periods(periods);
+  auto out = analysis::periods_ps(osc.output());
+  if (out.size() > periods) out.resize(periods);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 60000;
+
+  std::printf("# Extension: 1/f (flicker) stage noise vs the white-noise "
+              "model\n\n");
+  std::printf("Allan deviation of IRO 5C fractional frequency (white sigma_g "
+              "= 2 ps):\n");
+  Table allan({"m (periods)", "white only: adev", "white + 1.5 ps flicker"});
+  const auto white = run_periods(RingSpec::iro(5), 0.0, n);
+  const auto pink = run_periods(RingSpec::iro(5), 1.5, n);
+  const auto curve_w = analysis::allan_curve(white);
+  const auto curve_p = analysis::allan_curve(pink);
+  for (std::size_t i = 0; i < std::min(curve_w.size(), curve_p.size()); ++i) {
+    char w[32], p[32];
+    std::snprintf(w, sizeof(w), "%.3e", curve_w[i].adev);
+    std::snprintf(p, sizeof(p), "%.3e", curve_p[i].adev);
+    allan.add_row({std::to_string(curve_w[i].m), w, p});
+  }
+  std::printf("%s\n", allan.str().c_str());
+  std::printf("log-log slope: white %.3f (theory -0.5), with flicker %.3f "
+              "(flattens toward 0)\n\n",
+              analysis::allan_slope(curve_w), analysis::allan_slope(curve_p));
+
+  std::printf("accumulated jitter sigma_acc(m), same rings:\n");
+  Table acc({"m", "white only (ps)", "with flicker (ps)"});
+  for (std::size_t m : {1u, 4u, 16u, 64u, 256u}) {
+    acc.add_row({std::to_string(m),
+                 fmt_double(analysis::accumulated_jitter_ps(white, m), 2),
+                 fmt_double(analysis::accumulated_jitter_ps(pink, m), 2)});
+  }
+  std::printf("%s\n", acc.str().c_str());
+
+  std::printf("STR length-independence under flicker (sigma_p, truth):\n");
+  for (std::size_t stages : {8u, 32u, 96u}) {
+    const auto periods = run_periods(RingSpec::str(stages), 1.5, 20000);
+    std::printf("  STR %2zuC: sigma_p = %s\n", stages,
+                fmt_ps(describe(periods).stddev()).c_str());
+  }
+  std::printf("\ntakeaway: flicker bends the accumulation above ~m=16 and\n"
+              "flattens the Allan curve, but the STR's flat sigma_p(L) —\n"
+              "the paper's Fig. 12 shape — is preserved.\n");
+  return 0;
+}

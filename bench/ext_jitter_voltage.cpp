@@ -1,0 +1,70 @@
+// Extension — jitter-voltage coupling and the slope of an undervolting
+// attack.
+//
+// The paper extracts sigma_g at the nominal operating point; it does not say
+// how the noise itself moves with supply voltage. Two limiting models:
+//
+//   gamma = 0: sigma_g constant (the paper's implicit assumption);
+//   gamma = 1: sigma_g proportional to the stage delay (slower ramps
+//              integrate more thermal noise; sigma/D constant).
+//
+// At a fixed sampling interval the quality factor scales as
+// Q ~ (V - Vt)^(2 gamma - 3): undervolting reduces the entropy bound in
+// BOTH models, but ~3x more steeply under constant sigma_g than under
+// delay-tracking noise. The coupling exponent therefore sets how much
+// margin a fixed sampling rate must carry against an undervolting attack —
+// a characterization input the paper's single-point sigma_g = 2 ps
+// extraction does not provide.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "common/stats.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+#include "trng/entropy_model.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  const Time fs = Time::from_us(1.0);  // entropy bound at 1 MHz sampling
+
+  std::printf("# Extension: jitter-voltage coupling (sigma_g ~ delay^gamma)\n");
+  std::printf("# quality = accumulated timing variance per sampling interval, "
+              "relative to T^2\n\n");
+
+  for (const RingSpec& spec : {RingSpec::iro(5), RingSpec::str(96)}) {
+    std::printf("%s:\n", spec.name().c_str());
+    Table table({"gamma", "V", "T (ps)", "sigma_p (ps)", "H bound @ 1 MHz"});
+    for (double gamma : {0.0, 1.0}) {
+      for (double volts : {1.0, 1.2, 1.4}) {
+        fpga::Supply supply(cal.nominal_voltage);
+        supply.set_level(volts);
+        BuildOptions build;
+        build.supply = &supply;
+        build.jitter_delay_exponent = gamma;
+        Oscillator osc = Oscillator::build(spec, cal, build);
+        osc.run_periods(20000);
+        const auto jitter =
+            analysis::summarize_jitter(analysis::periods_ps(osc.output()));
+        const double h = trng::entropy_lower_bound(
+            jitter.period_jitter_ps, jitter.mean_period_ps, fs);
+        table.add_row({fmt_double(gamma, 1), fmt_double(volts, 1),
+                       fmt_double(jitter.mean_period_ps, 1),
+                       fmt_double(jitter.period_jitter_ps, 2),
+                       fmt_double(h, 4)});
+      }
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "reading: the bound falls with the rail in both models, but the\n"
+      "gamma = 0 column collapses ~3x more steeply (Q ~ (V-Vt)^(2g-3)).\n"
+      "A TRNG security argument that fixes the sampling rate must measure\n"
+      "sigma_g across the permitted operating range, not only at nominal.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension — multi-ring XOR TRNG (Sunar-style) built on each ring family.
+//
+// N independent rings are latched by a 4 MHz reference and XOR-ed. More
+// rings -> more combined phase diffusion per sample -> cleaner bits. The
+// bench sweeps N and reports the NIST-lite battery pass count: the classic
+// result that a single fast ring is far from sufficient, and a handful
+// XOR-ed together pass. STR banks reach a clean battery with similar N while
+// each member keeps the robustness properties of Tables I/II — the reason
+// the paper proposes STRs for exactly these constructions.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/entropy.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+#include "trng/multiring.hpp"
+#include "trng/nist.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+constexpr std::size_t bit_count = 16384;
+const Time sampling = Time::from_ns(250.0);
+
+void bank(const char* label, RingKind kind, std::size_t stages,
+          std::size_t max_rings) {
+  const auto& cal = cyclone_iii();
+
+  // Build and run all rings up front; each gets distinct silicon via
+  // lut_base and a distinct noise stream.
+  std::vector<Oscillator> rings;
+  const fpga::Board board(20120312, 0, cal.process);
+  for (std::size_t r = 0; r < max_rings; ++r) {
+    const RingSpec spec =
+        kind == RingKind::iro ? RingSpec::iro(stages) : RingSpec::str(stages);
+    BuildOptions build;
+    build.board = &board;
+    build.lut_base = r * 256;
+    build.warmup_periods = 128;
+    rings.push_back(Oscillator::build(spec, cal, build));
+    const double per_bit = sampling.ps() / rings.back().nominal_period().ps();
+    rings.back().run_periods(
+        static_cast<std::size_t>(per_bit * (bit_count + 2.0) + 256));
+  }
+
+  std::printf("%s bank (%zu-stage rings, %zu bits @ 4 MHz):\n", label, stages,
+              bit_count);
+  Table table({"N rings", "bias", "H8", "NIST passes (of 8)", "verdict"});
+  for (std::size_t n = 1; n <= max_rings; n *= 2) {
+    std::vector<const sim::SignalTrace*> traces;
+    for (std::size_t r = 0; r < n; ++r) traces.push_back(&rings[r].output());
+    trng::MultiRingConfig config;
+    config.sampling_period = sampling;
+    config.start = Time::from_us(1.0);
+    const auto bits = trng::multi_ring_bits(traces, config, bit_count);
+    const auto battery = trng::nist_battery(bits);
+    std::size_t passes = 0;
+    for (const auto& r : battery.results) passes += r.pass ? 1 : 0;
+    table.add_row({std::to_string(n),
+                   fmt_double(analysis::bit_bias(bits), 4),
+                   fmt_double(analysis::block_entropy_per_bit(bits, 8), 4),
+                   std::to_string(passes),
+                   battery.all_pass ? "clean" : "needs more rings"});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Extension: multi-ring XOR TRNG, NIST-lite acceptance vs "
+              "bank size\n\n");
+  bank("IRO 5C", RingKind::iro, 5, 8);
+  bank("STR 8C", RingKind::str, 8, 8);
+  std::printf("note: at this deliberately fast sampling a single ring is\n"
+              "strongly correlated sample-to-sample; XOR-ing independent\n"
+              "rings multiplies the diffusion and the battery converges.\n");
+  return 0;
+}

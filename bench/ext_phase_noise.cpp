@@ -1,0 +1,78 @@
+// Extension — frequency-noise spectra of the two ring families.
+//
+// The time-domain comparison (Figs. 11/12) has a spectral counterpart: the
+// PSD of fractional frequency S_y(f). I.i.d. IRO periods give a flat
+// (white-FM) floor whose level grows with the ring length; the STR's
+// Charlie regulation anticorrelates successive periods, shaping S_y(f) as a
+// high-pass — the noise power sits at high offset frequencies, where any
+// averaging consumer (a divider, a PLL, a slow sampler) attenuates it. With
+// 1/f stage noise enabled the low-frequency end tilts up for both.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/periods.hpp"
+#include "analysis/spectrum.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+std::vector<double> periods_for(const RingSpec& spec, double flicker_ps) {
+  BuildOptions build;
+  build.flicker_amplitude_ps = flicker_ps;
+  Oscillator osc = Oscillator::build(spec, cyclone_iii(), build);
+  osc.run_periods(60000);
+  auto out = analysis::periods_ps(osc.output());
+  out.resize(60000);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Extension: fractional-frequency PSD S_y(f), Welch "
+              "(1024-sample segments)\n\n");
+
+  Table table({"f (cycles/period)", "IRO 5C", "IRO 25C", "STR 96C",
+               "STR 96C + flicker"});
+  const auto iro5 = analysis::fractional_frequency_psd(
+      periods_for(RingSpec::iro(5), 0.0));
+  const auto iro25 = analysis::fractional_frequency_psd(
+      periods_for(RingSpec::iro(25), 0.0));
+  const auto str96 = analysis::fractional_frequency_psd(
+      periods_for(RingSpec::str(96), 0.0));
+  const auto pink = analysis::fractional_frequency_psd(
+      periods_for(RingSpec::str(96), 1.5));
+
+  // Octave-spaced rows.
+  for (std::size_t k = 1; k < iro5.size(); k *= 2) {
+    char f[32], a[32], b[32], c[32], d[32];
+    std::snprintf(f, sizeof(f), "%.4f", iro5[k].frequency);
+    std::snprintf(a, sizeof(a), "%.3e", iro5[k].psd);
+    std::snprintf(b, sizeof(b), "%.3e", iro25[k].psd);
+    std::snprintf(c, sizeof(c), "%.3e", str96[k].psd);
+    std::snprintf(d, sizeof(d), "%.3e", pink[k].psd);
+    table.add_row({f, a, b, c, d});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("log-log slopes over [0.002, 0.4] cycles/period:\n");
+  std::printf("  IRO 5C            : %+.2f (white FM ~ 0)\n",
+              analysis::psd_slope(iro5));
+  std::printf("  IRO 25C           : %+.2f (white FM ~ 0)\n",
+              analysis::psd_slope(iro25));
+  std::printf("  STR 96C           : %+.2f (high-pass: Charlie "
+              "anticorrelation)\n",
+              analysis::psd_slope(str96));
+  std::printf("  STR 96C + flicker : %+.2f (1/f floor lifts the low end)\n",
+              analysis::psd_slope(pink));
+  std::printf("\nreading: equal-variance noise is NOT equal noise — the\n"
+              "STR pushes its (already smaller) fluctuation power to high\n"
+              "offsets where consumers average it away; the IRO's floor is\n"
+              "flat and rises with length.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 8 — normalized frequencies for core supply voltage 1.0 V .. 1.4 V.
+//
+// Reproduces the four series of the paper's figure (IRO 5C, IRO 80C,
+// STR 4C, STR 96C): all linear in V, with the 96-stage STR visibly less
+// voltage sensitive than every other configuration.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/regression.hpp"
+#include "core/experiments.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  std::vector<double> volts;
+  for (double v = 1.0; v <= 1.4 + 1e-9; v += 0.05) volts.push_back(v);
+
+  const std::vector<RingSpec> specs = {RingSpec::iro(5), RingSpec::iro(80),
+                                       RingSpec::str(4), RingSpec::str(96)};
+
+  std::printf("# Fig. 8 reproduction: normalized frequency vs core voltage\n");
+  std::printf("# Fn = F / F(1.2 V); paper shape: all series linear, STR 96C "
+              "flattest\n\n");
+
+  std::vector<std::string> header = {"V (V)"};
+  std::vector<VoltageSweepResult> sweeps;
+  for (const auto& spec : specs) {
+    sweeps.push_back(run_voltage_sweep(spec, cal, volts));
+    header.push_back(spec.name() + "  Fn");
+  }
+
+  Table table(header);
+  for (std::size_t i = 0; i < volts.size(); ++i) {
+    std::vector<std::string> row = {fmt_double(volts[i], 2)};
+    for (const auto& sweep : sweeps) {
+      row.push_back(fmt_double(sweep.points[i].normalized, 4));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+  write_artifact("fig08_voltage_sweep", table,
+                 "normalized F(V), 1.0-1.4 V");
+
+  std::printf("linearity (R^2 of Fn vs V) and sensitivity (slope, 1/V):\n");
+  for (const auto& sweep : sweeps) {
+    std::vector<double> vs, fn;
+    for (const auto& p : sweep.points) {
+      vs.push_back(p.voltage_v);
+      fn.push_back(p.normalized);
+    }
+    const auto fit = analysis::linear_fit(vs, fn);
+    std::printf("  %-8s  slope = %.3f /V   R^2 = %.6f   F_nom = %s\n",
+                sweep.spec.name().c_str(), fit.slope, fit.r2,
+                fmt_mhz(sweep.f_nominal_mhz).c_str());
+  }
+  std::printf("\npaper check: slope(STR 96C) < slope(STR 4C) and "
+              "slope(IRO 5C) ~ slope(IRO 80C)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 9 — period jitter histograms of a 96-stage STR and a 5-stage IRO
+// (similar frequencies, ~300-380 MHz), with Gaussianity checks.
+#include <cstdio>
+
+#include "analysis/histogram.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/normality.hpp"
+#include "core/experiments.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+void histogram_for(const RingSpec& spec) {
+  ExperimentOptions options;
+  options.board_index = 0;  // one physical board, like the paper's bench
+  const auto periods =
+      collect_periods_ps(spec, cyclone_iii(), 30000, options);
+
+  const auto jitter = analysis::summarize_jitter(periods);
+  const auto chi2 = analysis::chi_square_normality(periods);
+  const auto jb = analysis::jarque_bera(periods);
+  const auto hist = analysis::Histogram::auto_binned(periods);
+
+  std::printf("%s: mean T = %.1f ps (%.1f MHz), sigma_p = %.2f ps, "
+              "%zu periods\n",
+              spec.name().c_str(), jitter.mean_period_ps,
+              1e6 / jitter.mean_period_ps, jitter.period_jitter_ps,
+              jitter.samples);
+  std::printf("  gaussianity: chi-square p = %.3f (%s), Jarque-Bera p = %.3f "
+              "(%s)\n\n",
+              chi2.p_value, chi2.gaussian ? "accept" : "REJECT", jb.p_value,
+              jb.gaussian ? "accept" : "REJECT");
+  std::printf("%s\n", hist.ascii(56, "ps").c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Fig. 9 reproduction: period jitter histograms\n");
+  std::printf("# paper shape: both rings Gaussian — relevant because it\n"
+              "# qualifies the STR as a TRNG entropy source\n\n");
+  histogram_for(RingSpec::str(96));
+  histogram_for(RingSpec::iro(5));
+  return 0;
+}

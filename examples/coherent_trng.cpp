@@ -1,0 +1,51 @@
+// Coherent-sampling TRNG (paper ref [7]) on two rings — and why the paper's
+// conclusion singles it out as the design that benefits most from the STR's
+// process robustness (Table II).
+//
+// The experiment driver (core::run_coherent_across_boards) builds the
+// two-ring generator — the sampling ring detuned 1% by design — on ten
+// simulated boards and reads back the beat window each device actually
+// delivers. STR 96C pairs stay near the design point; IRO 5C pairs, whose
+// per-board mismatch (~1% between two 5-LUT placements) rivals the detune
+// itself, swing by design-breaking amounts.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  const double detune = 0.01;
+  const unsigned boards = 10;
+
+  std::printf("Coherent-sampling TRNG across %u boards\n", boards);
+  std::printf("========================================\n\n");
+  std::printf("design: sampling ring detuned %.0f%% -> target half-beat = "
+              "%.0f samples\n\n",
+              detune * 100.0, 1.0 / (2.0 * detune));
+  for (const RingSpec& spec : {RingSpec::str(96), RingSpec::iro(5)}) {
+    const auto result =
+        run_coherent_across_boards(spec, cal, detune, boards);
+    std::printf("%s pair:\n", spec.name().c_str());
+    for (const auto& b : result.boards) {
+      std::printf("  board %u: half-beat = %6.0f samples  (implied detune "
+                  "%.2f%%)   bits = %5zu   LSB bias = %.3f\n",
+                  b.board, b.half_beat_samples, 100.0 * b.implied_detune,
+                  b.bits, b.lsb_bias);
+    }
+    std::printf("  => implied detune: mean %.2f%%, spread %.2f%%, worst "
+                "deviation from the %.0f%% design %.2f%%\n\n",
+                100.0 * result.detune_mean, 100.0 * result.detune_sigma,
+                detune * 100.0, 100.0 * result.worst_deviation);
+  }
+  std::printf(
+      "The STR pair's counter window is usable on every board; the IRO\n"
+      "pair's per-board mismatch (sigma ~ 1%% between two 5-LUT placements)\n"
+      "is as large as the design detune itself, so its window swings by\n"
+      "design-breaking amounts and can even flip sign — the guarantee\n"
+      "problem the paper's conclusion highlights for coherent-sampling\n"
+      "TRNGs, solved by the STR's Table II robustness.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Design-space explorer: what a TRNG designer would actually do with this
+// library. For a target output bit rate and entropy floor, compare candidate
+// entropy sources: measure frequency and jitter in simulation, apply the
+// entropy bound, and report which designs meet spec with how much margin —
+// including the robustness columns (Table I / II) that the paper argues
+// should drive the choice.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "trng/entropy_model.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+int main() {
+  const auto& cal = cyclone_iii();
+  const double target_entropy = 0.997;  // AIS31-ish floor per raw bit
+
+  const std::vector<RingSpec> candidates = {
+      RingSpec::iro(3),  RingSpec::iro(5),  RingSpec::iro(25),
+      RingSpec::str(4),  RingSpec::str(24), RingSpec::str(96),
+  };
+
+  std::printf("Entropy-source design explorer (target: H >= %.3f per raw "
+              "bit)\n\n",
+              target_entropy);
+  Table table({"Ring", "F (MHz)", "sigma_p (ps)", "max bit rate", "dF 0.4V",
+               "sigma_rel 25 boards"});
+  for (const auto& spec : candidates) {
+    ExperimentOptions options;
+    options.board_index = 0;
+    const auto periods = collect_periods_ps(spec, cal, 20000, options);
+    const auto jitter = analysis::summarize_jitter(periods);
+
+    const Time ts = trng::required_sampling_period(
+        target_entropy, jitter.period_jitter_ps, jitter.mean_period_ps);
+    const double rate_kbps = 1e9 / ts.ps();
+
+    const auto sweep =
+        run_voltage_sweep(spec, cal, {1.0, 1.2, 1.4}, {}, 200);
+    const auto process = run_process_variability(spec, cal, 25, {}, 200);
+
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f kbit/s", rate_kbps);
+    table.add_row({spec.name(), fmt_double(1e6 / jitter.mean_period_ps, 1),
+                   fmt_double(jitter.period_jitter_ps, 2), rate,
+                   fmt_percent(sweep.excursion, 1),
+                   fmt_percent(process.sigma_rel, 2)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "How to read this: raw throughput favours long IROs (more jitter per\n"
+      "period), but their period grows linearly with length, their voltage\n"
+      "excursion is fixed at ~48%%, and their extra-device spread shrinks\n"
+      "only by slowing down. The 96-stage STR combines a >300 MHz clock,\n"
+      "length-independent jitter, the best dF and the tightest sigma_rel —\n"
+      "the paper's conclusion in one table.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build one STR and one IRO at similar frequencies, run them,
+// and print the numbers the paper is about — frequency, period jitter, and
+// the Gaussianity of the jitter.
+#include <cstdio>
+
+#include "analysis/jitter.hpp"
+#include "analysis/normality.hpp"
+#include "analysis/periods.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "measure/frequency.hpp"
+
+using namespace ringent;
+
+namespace {
+
+void characterize(const core::RingSpec& spec) {
+  core::Oscillator osc =
+      core::Oscillator::build(spec, core::cyclone_iii(), {});
+  osc.run_periods(20000);
+
+  const auto periods = analysis::periods_ps(osc.output());
+  const auto jitter = analysis::summarize_jitter(periods);
+  const auto normality = analysis::jarque_bera(periods);
+
+  std::printf("%-8s  F = %7.2f MHz   T = %8.1f ps   sigma_p = %5.2f ps   "
+              "c2c = %5.2f ps   gaussian: %s (JB p=%.3f)\n",
+              spec.name().c_str(), measure::mean_frequency_mhz(osc.output()),
+              jitter.mean_period_ps, jitter.period_jitter_ps,
+              jitter.cycle_to_cycle_jitter_ps, normality.gaussian ? "yes" : "no",
+              normality.p_value);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ringent quickstart: STR vs IRO entropy sources "
+              "(calibrated Cyclone III model)\n\n");
+  characterize(core::RingSpec::iro(3));
+  characterize(core::RingSpec::iro(5));
+  characterize(core::RingSpec::iro(25));
+  characterize(core::RingSpec::str(4));
+  characterize(core::RingSpec::str(24));
+  characterize(core::RingSpec::str(96));
+  std::printf(
+      "\nNote how the IRO period jitter grows with the ring length while the\n"
+      "STR period jitter stays at the single-stage level (paper Figs. 11/12).\n");
+  return 0;
+}

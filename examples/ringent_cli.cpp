@@ -1,0 +1,418 @@
+// ringent_cli — command-line front end over the characterization library.
+//
+//   ringent_cli characterize str 96 [--periods 20000] [--board 0] [--seed S]
+//   ringent_cli sweep-voltage iro 5 [--from 1.0] [--to 1.4] [--step 0.05]
+//   ringent_cli sweep-temperature str 96 [--from -20] [--to 85] [--step 15]
+//   ringent_cli modes 32 [--charlie-scale 1.0] [--clustered]
+//   ringent_cli predict 32 10            (analytic steady state, no sim)
+//   ringent_cli trng str 24 [--rate-mhz 4] [--bits 16384]
+//   ringent_cli vcd str 16 --out ring.vcd [--tokens 4] [--clustered]
+//
+// Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/autocorr.hpp"
+#include "analysis/entropy.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/normality.hpp"
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+#include "core/experiments.hpp"
+#include "core/oscillator.hpp"
+#include "core/report.hpp"
+#include "measure/frequency.hpp"
+#include "ring/analytic.hpp"
+#include "ring/mode.hpp"
+#include "sim/vcd.hpp"
+#include "sim/vcd_read.hpp"
+#include "trng/elementary.hpp"
+#include "trng/entropy_model.hpp"
+#include "trng/health.hpp"
+#include "trng/nist.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+/// Minimal option parser: positional args plus --key value / --flag.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                         nullptr);
+  }
+  long integer(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback
+                                : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  std::string text(const std::string& key, std::string fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? std::move(fallback) : it->second;
+  }
+  bool flag(const std::string& key) const { return options_.count(key) != 0; }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+RingSpec parse_spec(const std::string& kind, const std::string& stages,
+                    const Args& args) {
+  const auto n = static_cast<std::size_t>(std::strtoul(stages.c_str(),
+                                                       nullptr, 10));
+  if (kind == "iro") return RingSpec::iro(n);
+  if (kind == "str") {
+    const auto tokens = static_cast<std::size_t>(args.integer("tokens", 0));
+    const auto placement = args.flag("clustered")
+                               ? ring::TokenPlacement::clustered
+                               : ring::TokenPlacement::evenly_spread;
+    return RingSpec::str(n, tokens, placement);
+  }
+  throw PreconditionError("ring kind must be 'iro' or 'str'");
+}
+
+BuildOptions build_options(const Args& args, const fpga::Board** board_out,
+                           std::optional<fpga::Board>& board_storage) {
+  BuildOptions build;
+  build.noise_seed = static_cast<std::uint64_t>(args.integer("seed", 20120312));
+  const long board = args.integer("board", -1);
+  if (board >= 0) {
+    board_storage.emplace(build.noise_seed, static_cast<unsigned>(board),
+                          cyclone_iii().process);
+    build.board = &*board_storage;
+    *board_out = build.board;
+  }
+  return build;
+}
+
+int cmd_characterize(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  std::optional<fpga::Board> board;
+  const fpga::Board* bp = nullptr;
+  BuildOptions build = build_options(args, &bp, board);
+  Oscillator osc = Oscillator::build(spec, cyclone_iii(), build);
+  const auto periods_wanted =
+      static_cast<std::size_t>(args.integer("periods", 20000));
+  osc.run_periods(periods_wanted);
+
+  const auto periods = analysis::periods_ps(osc.output());
+  const auto jitter = analysis::summarize_jitter(periods);
+  const auto jb = analysis::jarque_bera(periods);
+
+  std::printf("%s on the calibrated Cyclone III model%s\n",
+              spec.name().c_str(), bp != nullptr ? " (with board mismatch)" :
+                                                    "");
+  std::printf("  frequency       : %s\n",
+              fmt_mhz(measure::mean_frequency_mhz(osc.output())).c_str());
+  std::printf("  mean period     : %s\n",
+              fmt_ps(jitter.mean_period_ps, 1).c_str());
+  std::printf("  period jitter   : %s\n",
+              fmt_ps(jitter.period_jitter_ps).c_str());
+  std::printf("  c2c jitter      : %s\n",
+              fmt_ps(jitter.cycle_to_cycle_jitter_ps).c_str());
+  std::printf("  lag-1 autocorr  : %+.3f\n",
+              analysis::autocorrelation(periods, 1));
+  std::printf("  gaussianity (JB): p = %.3f (%s)\n", jb.p_value,
+              jb.gaussian ? "accept" : "reject");
+  std::printf("  samples         : %zu periods\n", jitter.samples);
+  return 0;
+}
+
+int cmd_sweep_voltage(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  std::vector<double> volts;
+  for (double v = args.number("from", 1.0);
+       v <= args.number("to", 1.4) + 1e-9; v += args.number("step", 0.05)) {
+    volts.push_back(v);
+  }
+  // The driver normalizes at the nominal voltage; make sure the grid has it.
+  const double v_nom = cyclone_iii().nominal_voltage;
+  if (std::none_of(volts.begin(), volts.end(), [&](double v) {
+        return std::abs(v - v_nom) < 1e-9;
+      })) {
+    volts.push_back(v_nom);
+    std::sort(volts.begin(), volts.end());
+  }
+  const auto sweep = run_voltage_sweep(spec, cyclone_iii(), volts);
+  Table table({"V", "F (MHz)", "Fn"});
+  for (const auto& p : sweep.points) {
+    table.add_row({fmt_double(p.voltage_v, 2), fmt_double(p.frequency_mhz, 2),
+                   fmt_double(p.normalized, 4)});
+  }
+  std::printf("%s\nexcursion dF = %s\n", table.str().c_str(),
+              fmt_percent(sweep.excursion, 1).c_str());
+  return 0;
+}
+
+int cmd_sweep_temperature(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  std::vector<double> temps;
+  for (double t = args.number("from", -20.0);
+       t <= args.number("to", 85.0) + 1e-9; t += args.number("step", 15.0)) {
+    temps.push_back(t);
+  }
+  // Normalization point is 25 C; insert it when the grid skips it.
+  if (std::none_of(temps.begin(), temps.end(), [](double t) {
+        return std::abs(t - 25.0) < 1e-9;
+      })) {
+    temps.push_back(25.0);
+    std::sort(temps.begin(), temps.end());
+  }
+  const auto sweep = run_temperature_sweep(spec, cyclone_iii(), temps);
+  Table table({"T (C)", "F (MHz)", "Fn"});
+  for (const auto& p : sweep.points) {
+    table.add_row({fmt_double(p.temperature_c, 0),
+                   fmt_double(p.frequency_mhz, 2),
+                   fmt_double(p.normalized, 4)});
+  }
+  std::printf("%s\nexcursion dF = %s\n", table.str().c_str(),
+              fmt_percent(sweep.excursion, 2).c_str());
+  return 0;
+}
+
+int cmd_modes(const Args& args) {
+  const auto stages = static_cast<std::size_t>(
+      std::strtoul(args.positional().at(0).c_str(), nullptr, 10));
+  std::vector<std::size_t> token_counts;
+  for (std::size_t nt = 2; nt < stages; nt += 2) token_counts.push_back(nt);
+  const auto map = run_mode_map(
+      stages, token_counts, cyclone_iii(), {},
+      args.flag("clustered") ? ring::TokenPlacement::clustered
+                             : ring::TokenPlacement::evenly_spread,
+      args.number("charlie-scale", 1.0));
+  Table table({"NT", "mode", "CV", "F (MHz)"});
+  for (const auto& e : map) {
+    table.add_row({std::to_string(e.tokens), ring::to_string(e.mode),
+                   fmt_double(e.interval_cv, 4),
+                   fmt_double(e.frequency_mhz, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto stages = static_cast<std::size_t>(
+      std::strtoul(args.positional().at(0).c_str(), nullptr, 10));
+  const auto tokens = static_cast<std::size_t>(
+      std::strtoul(args.positional().at(1).c_str(), nullptr, 10));
+  const auto& cal = cyclone_iii();
+  const auto pred = ring::predict_steady_state(
+      ring::CharlieParams::symmetric(cal.str_d_static, cal.str_d_charlie),
+      cal.str_routing.per_hop_delay(stages), stages, tokens);
+  std::printf("analytic steady state, STR %zuC with NT = %zu:\n", stages,
+              tokens);
+  std::printf("  period          : %s  (%.2f MHz)\n",
+              fmt_ps(pred.period.ps(), 1).c_str(), pred.frequency_mhz);
+  std::printf("  forward hop d_f : %s\n",
+              fmt_ps(pred.forward_hop.ps(), 1).c_str());
+  std::printf("  reverse hop d_r : %s\n",
+              fmt_ps(pred.reverse_hop.ps(), 1).c_str());
+  std::printf("  separation s    : %s\n",
+              fmt_ps(pred.separation.ps(), 1).c_str());
+  std::printf("  locking margin  : %.3f\n", pred.locking_margin);
+  std::printf("  ideal NT (Eq. 1): %.1f\n",
+              ring::ideal_token_count(
+                  ring::CharlieParams::symmetric(cal.str_d_static,
+                                                 cal.str_d_charlie),
+                  stages));
+  return 0;
+}
+
+int cmd_trng(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  const Time fs = Time::from_ns(1e3 / args.number("rate-mhz", 4.0));
+  const auto bits_wanted =
+      static_cast<std::size_t>(args.integer("bits", 16384));
+
+  std::optional<fpga::Board> board;
+  const fpga::Board* bp = nullptr;
+  BuildOptions build = build_options(args, &bp, board);
+  build.warmup_periods = 128;
+  Oscillator osc = Oscillator::build(spec, cyclone_iii(), build);
+  osc.run_periods(static_cast<std::size_t>(
+      fs.ps() / osc.nominal_period().ps() * (bits_wanted + 2.0) + 256));
+
+  trng::ElementaryTrngConfig config;
+  config.sampling_period = fs;
+  config.start = osc.output().transitions().front().at;
+  const auto bits = trng::elementary_trng_bits(osc.output(), config,
+                                               bits_wanted);
+
+  std::printf("%s sampled at %.2f MHz, %zu bits\n", spec.name().c_str(),
+              1e6 / fs.ps(), bits.size());
+  std::printf("  bias = %.4f   H1 = %.4f   H8 = %.4f\n",
+              analysis::bit_bias(bits),
+              analysis::shannon_entropy_per_bit(bits),
+              analysis::block_entropy_per_bit(bits, 8));
+  const auto battery = trng::nist_battery(bits);
+  for (const auto& r : battery.results) {
+    std::printf("  %-20s p = %.4f  %s\n", r.name.c_str(), r.p_value,
+                r.pass ? "pass" : "FAIL");
+  }
+  // On-line health tests with the claim derived from the measured jitter.
+  const auto periods = analysis::periods_ps(osc.output());
+  const auto jitter = analysis::summarize_jitter(periods);
+  const double claim = std::max(
+      0.05, trng::entropy_lower_bound(jitter.period_jitter_ps,
+                                      jitter.mean_period_ps, fs));
+  const auto health = trng::run_health_tests(bits, claim);
+  std::printf("  health (claim H >= %.3f): RCT %s (C=%u), APT %s (C=%u)\n",
+              claim, health.rct_pass ? "ok" : "ALARM", health.rct_cutoff_used,
+              health.apt_pass ? "ok" : "ALARM", health.apt_cutoff_used);
+  return battery.all_pass ? 0 : 1;
+}
+
+int cmd_restart(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  const auto restarts = static_cast<unsigned>(args.integer("restarts", 64));
+  const auto edges = static_cast<std::size_t>(args.integer("edges", 256));
+  const auto result =
+      run_restart_experiment(spec, cyclone_iii(), restarts, edges);
+  std::printf("restart technique on %s (%u restarts, %zu edges):\n",
+              spec.name().c_str(), restarts, edges);
+  std::printf("  same-seed control: %s\n",
+              result.control_identical ? "bit-identical (ok)" : "BROKEN");
+  for (const auto& p : result.points) {
+    std::printf("  k=%4zu  spread = %8.2f ps\n", p.edge, p.spread_ps);
+  }
+  std::printf("  diffusion = %.2f ps/sqrt(edge)  (R^2 = %.3f)\n",
+              result.diffusion_per_edge_ps, result.fit_r2);
+  return 0;
+}
+
+int cmd_analyze_vcd(const Args& args) {
+  const auto doc = sim::read_vcd_file(args.positional().at(0));
+  std::printf("%s: module '%s', %zu signals, timescale %lld fs\n",
+              args.positional().at(0).c_str(), doc.module_name.c_str(),
+              doc.signals.size(),
+              static_cast<long long>(doc.timescale_fs));
+  for (const auto& sig : doc.signals) {
+    const auto& trace = sig.trace;
+    if (trace.transitions().size() < 4) {
+      std::printf("  %-12s %zu transitions (too few to analyze)\n",
+                  sig.name.c_str(), trace.transitions().size());
+      continue;
+    }
+    const auto periods = analysis::periods_ps(trace);
+    std::vector<Time> times;
+    for (const auto& tr : trace.transitions()) times.push_back(tr.at);
+    const auto mode = ring::classify_mode(times);
+    if (periods.size() >= 3) {
+      const auto jitter = analysis::summarize_jitter(periods);
+      std::printf("  %-12s %6zu transitions  F = %8.2f MHz  sigma_p = %6.2f "
+                  "ps  mode: %s\n",
+                  sig.name.c_str(), trace.transitions().size(),
+                  1e6 / jitter.mean_period_ps, jitter.period_jitter_ps,
+                  ring::to_string(mode.mode));
+    } else {
+      std::printf("  %-12s %6zu transitions  mode: %s\n", sig.name.c_str(),
+                  trace.transitions().size(), ring::to_string(mode.mode));
+    }
+  }
+  return 0;
+}
+
+int cmd_vcd(const Args& args) {
+  const RingSpec spec =
+      parse_spec(args.positional().at(0), args.positional().at(1), args);
+  RINGENT_REQUIRE(spec.kind == RingKind::str,
+                  "vcd currently dumps STR stage waves");
+  const std::string out = args.text("out", "ring.vcd");
+
+  BuildOptions build;
+  build.trace_all_stages = true;
+  build.warmup_periods = 0;
+  build.sigma_g_ps = args.number("sigma-g", -1.0);
+  Oscillator osc = Oscillator::build(spec, cyclone_iii(), build);
+  osc.run_periods(static_cast<std::size_t>(args.integer("periods", 64)));
+
+  sim::VcdWriter vcd("ringent");
+  for (const auto& trace : osc.str()->stage_traces()) vcd.add_signal(trace);
+  vcd.write_file(out);
+  std::printf("wrote %s (%zu stages)\n", out.c_str(), spec.stages);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ringent_cli <command> ...\n"
+      "  characterize <iro|str> <stages> [--periods N] [--board B] [--seed S]\n"
+      "  sweep-voltage <iro|str> <stages> [--from V] [--to V] [--step V]\n"
+      "  sweep-temperature <iro|str> <stages> [--from C] [--to C] [--step C]\n"
+      "  modes <stages> [--charlie-scale X] [--clustered]\n"
+      "  predict <stages> <tokens>\n"
+      "  trng <iro|str> <stages> [--rate-mhz F] [--bits N] [--board B]\n"
+      "  restart <iro|str> <stages> [--restarts N] [--edges N]\n"
+      "  analyze-vcd <file>\n"
+      "  vcd str <stages> [--out FILE] [--tokens N] [--clustered] "
+      "[--periods N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "characterize" && args.positional().size() >= 2)
+      return cmd_characterize(args);
+    if (command == "sweep-voltage" && args.positional().size() >= 2)
+      return cmd_sweep_voltage(args);
+    if (command == "sweep-temperature" && args.positional().size() >= 2)
+      return cmd_sweep_temperature(args);
+    if (command == "modes" && args.positional().size() >= 1)
+      return cmd_modes(args);
+    if (command == "predict" && args.positional().size() >= 2)
+      return cmd_predict(args);
+    if (command == "trng" && args.positional().size() >= 2)
+      return cmd_trng(args);
+    if (command == "restart" && args.positional().size() >= 2)
+      return cmd_restart(args);
+    if (command == "analyze-vcd" && args.positional().size() >= 1)
+      return cmd_analyze_vcd(args);
+    if (command == "vcd" && args.positional().size() >= 2)
+      return cmd_vcd(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::out_of_range&) {
+    return usage();
+  }
+}

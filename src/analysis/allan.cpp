@@ -1,0 +1,69 @@
+#include "analysis/allan.hpp"
+
+#include <cmath>
+
+#include "analysis/regression.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::analysis {
+
+AllanPoint allan_deviation(const std::vector<double>& periods_ps,
+                           std::size_t m) {
+  RINGENT_REQUIRE(m >= 1, "window must be >= 1");
+  RINGENT_REQUIRE(periods_ps.size() >= 2 * m + 1,
+                  "need at least 2m + 1 periods");
+  const double mean = describe(periods_ps).mean();
+  RINGENT_REQUIRE(mean > 0.0, "period mean must be positive");
+
+  // Prefix sums of fractional frequency for O(1) window means.
+  std::vector<double> prefix(periods_ps.size() + 1, 0.0);
+  for (std::size_t i = 0; i < periods_ps.size(); ++i) {
+    prefix[i + 1] = prefix[i] + (periods_ps[i] - mean) / mean;
+  }
+  const auto window_mean = [&](std::size_t start) {
+    return (prefix[start + m] - prefix[start]) / static_cast<double>(m);
+  };
+
+  // Overlapping estimator: adjacent windows at every start offset.
+  double sum_sq = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t start = 0; start + 2 * m <= periods_ps.size(); ++start) {
+    const double d = window_mean(start + m) - window_mean(start);
+    sum_sq += d * d;
+    ++pairs;
+  }
+
+  AllanPoint out;
+  out.m = m;
+  out.tau_ps = static_cast<double>(m) * mean;
+  out.adev = std::sqrt(sum_sq / (2.0 * static_cast<double>(pairs)));
+  out.samples = pairs;
+  return out;
+}
+
+std::vector<AllanPoint> allan_curve(const std::vector<double>& periods_ps,
+                                    std::size_t min_pairs) {
+  RINGENT_REQUIRE(min_pairs >= 1, "min_pairs must be >= 1");
+  std::vector<AllanPoint> out;
+  for (std::size_t m = 1; periods_ps.size() >= 2 * m + min_pairs; m *= 2) {
+    out.push_back(allan_deviation(periods_ps, m));
+  }
+  RINGENT_REQUIRE(!out.empty(), "series too short for an Allan curve");
+  return out;
+}
+
+double allan_slope(const std::vector<AllanPoint>& curve) {
+  RINGENT_REQUIRE(curve.size() >= 2, "need >= 2 Allan points");
+  std::vector<double> lx, ly;
+  lx.reserve(curve.size());
+  ly.reserve(curve.size());
+  for (const auto& p : curve) {
+    RINGENT_REQUIRE(p.adev > 0.0 && p.tau_ps > 0.0, "degenerate Allan point");
+    lx.push_back(std::log(p.tau_ps));
+    ly.push_back(std::log(p.adev));
+  }
+  return linear_fit(lx, ly).slope;
+}
+
+}  // namespace ringent::analysis

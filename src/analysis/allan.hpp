@@ -1,0 +1,43 @@
+// Allan deviation of an oscillator's period sequence.
+//
+// Standard frequency-stability characterization, complementing the paper's
+// accumulated-jitter analysis: convert periods to fractional frequency
+// deviations y_k = (T_k - T_mean)/T_mean, average them over windows of m
+// periods, and take the two-sample (Allan) variance of adjacent window
+// means. The log-log slope of sigma_y(tau) identifies the noise type:
+//
+//     white period noise (the paper's local Gaussian jitter) -> slope -1/2,
+//     flicker frequency noise                                -> slope  0,
+//     random-walk frequency / deterministic drift            -> slope +1/2.
+//
+// The extension benches use this to show where the paper's sqrt-law world
+// ends once 1/f noise is enabled in the stage model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ringent::analysis {
+
+struct AllanPoint {
+  std::size_t m = 0;      ///< averaging window, in periods
+  double tau_ps = 0.0;    ///< window length in time
+  double adev = 0.0;      ///< Allan deviation of fractional frequency
+  std::size_t samples = 0;  ///< window pairs entering the estimate
+};
+
+/// Overlapping Allan deviation at one window size (m >= 1, needs at least
+/// 2m + 1 periods).
+AllanPoint allan_deviation(const std::vector<double>& periods_ps,
+                           std::size_t m);
+
+/// Allan curve over octave-spaced windows 1, 2, 4, ... while at least
+/// `min_pairs` window pairs remain (default 8).
+std::vector<AllanPoint> allan_curve(const std::vector<double>& periods_ps,
+                                    std::size_t min_pairs = 8);
+
+/// Log-log slope of the curve's tail (least squares over all points):
+/// ~-0.5 for white period noise, rising toward 0 with flicker content.
+double allan_slope(const std::vector<AllanPoint>& curve);
+
+}  // namespace ringent::analysis

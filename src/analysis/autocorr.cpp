@@ -1,0 +1,42 @@
+#include "analysis/autocorr.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  RINGENT_REQUIRE(xs.size() > lag + 1, "series too short for this lag");
+  const std::size_t n = xs.size();
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (xs[i + lag] - mean);
+  }
+  RINGENT_REQUIRE(den > 0.0, "degenerate series");
+  return num / den;
+}
+
+std::vector<double> autocorrelation_sequence(std::span<const double> xs,
+                                             std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    out.push_back(autocorrelation(xs, lag));
+  }
+  return out;
+}
+
+double white_noise_band(std::size_t n) {
+  RINGENT_REQUIRE(n >= 2, "need n >= 2");
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace ringent::analysis

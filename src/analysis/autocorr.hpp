@@ -1,0 +1,26 @@
+// Autocorrelation of period sequences.
+//
+// The Charlie restoring force implies a testable prediction beyond the paper:
+// successive STR periods are *negatively* correlated (a long spacing is
+// pulled back, a short one pushed out), whereas IRO periods built from
+// i.i.d. stage noise share only the boundary edge (lag-1 coefficient -> the
+// small negative value -sigma_edge^2/var(T)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ringent::analysis {
+
+/// Sample autocorrelation coefficient at `lag` (biased estimator, the usual
+/// normalization by the lag-0 variance). Requires xs.size() > lag + 1.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Coefficients for lags 1..max_lag.
+std::vector<double> autocorrelation_sequence(std::span<const double> xs,
+                                             std::size_t max_lag);
+
+/// 95% confidence band for zero correlation: ±1.96/sqrt(n).
+double white_noise_band(std::size_t n);
+
+}  // namespace ringent::analysis

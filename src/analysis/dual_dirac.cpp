@@ -1,0 +1,82 @@
+#include "analysis/dual_dirac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/regression.hpp"
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+namespace {
+
+// Inverse standard-normal CDF via bisection on erfc (robust, and fast
+// enough for the few thousand calls a fit makes).
+double probit(double p) {
+  RINGENT_REQUIRE(p > 0.0 && p < 1.0, "probit argument out of (0,1)");
+  double lo = -12.0, hi = 12.0;
+  for (int it = 0; it < 100; ++it) {
+    const double mid = (lo + hi) / 2.0;
+    const double cdf = 0.5 * std::erfc(-mid / std::sqrt(2.0));
+    if (cdf < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double DualDiracFit::total_jitter_ps(double ber) const {
+  RINGENT_REQUIRE(ber > 0.0 && ber < 0.5, "BER out of range");
+  const double q = -probit(ber);  // positive tail multiplier
+  return dj_pp_ps + 2.0 * q * rj_sigma_ps;
+}
+
+DualDiracFit fit_dual_dirac(std::vector<double> samples_ps,
+                            double tail_fraction) {
+  RINGENT_REQUIRE(samples_ps.size() >= 1000, "need >= 1000 samples");
+  RINGENT_REQUIRE(tail_fraction > 0.0 && tail_fraction <= 0.25,
+                  "tail fraction out of (0, 0.25]");
+  std::sort(samples_ps.begin(), samples_ps.end());
+  const std::size_t n = samples_ps.size();
+  const auto tail = static_cast<std::size_t>(
+      std::max(20.0, tail_fraction * static_cast<double>(n)));
+  RINGENT_REQUIRE(tail * 2 < n, "tails overlap; use more samples");
+
+  // Left tail: the dual-Dirac model puts half the population on each
+  // impulse, so the total CDF at the far-left is half the left Gaussian's
+  // CDF: x = mu_left + RJ * probit(2 * CDF_total). (Without the factor of 2
+  // the fit underestimates DJ by ~sigma/4 — the textbook pitfall.)
+  std::vector<double> qs, xs;
+  qs.reserve(tail);
+  xs.reserve(tail);
+  for (std::size_t i = 0; i < tail; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    qs.push_back(probit(2.0 * p));
+    xs.push_back(samples_ps[i]);
+  }
+  const LinearFit left = linear_fit(qs, xs);
+
+  qs.clear();
+  xs.clear();
+  for (std::size_t i = n - tail; i < n; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    qs.push_back(probit(2.0 * p - 1.0));
+    xs.push_back(samples_ps[i]);
+  }
+  const LinearFit right = linear_fit(qs, xs);
+
+  DualDiracFit out;
+  // Each tail slope estimates RJ; average them (they should agree for a
+  // symmetric Gaussian).
+  out.rj_sigma_ps = std::max(0.0, (left.slope + right.slope) / 2.0);
+  out.mu_left_ps = left.intercept;
+  out.mu_right_ps = right.intercept;
+  out.dj_pp_ps = std::max(0.0, right.intercept - left.intercept);
+  return out;
+}
+
+}  // namespace ringent::analysis

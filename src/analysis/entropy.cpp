@@ -1,0 +1,80 @@
+#include "analysis/entropy.hpp"
+
+#include <cmath>
+
+#include "analysis/autocorr.hpp"
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+double bit_bias(std::span<const std::uint8_t> bits) {
+  RINGENT_REQUIRE(!bits.empty(), "empty bit sequence");
+  std::size_t ones = 0;
+  for (std::uint8_t b : bits) {
+    RINGENT_REQUIRE(b <= 1, "bits must be 0 or 1");
+    ones += b;
+  }
+  return static_cast<double>(ones) / static_cast<double>(bits.size());
+}
+
+double shannon_entropy_per_bit(std::span<const std::uint8_t> bits) {
+  const double p = bit_bias(bits);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double block_entropy_per_bit(std::span<const std::uint8_t> bits,
+                             unsigned block_bits) {
+  RINGENT_REQUIRE(block_bits >= 1 && block_bits <= 16,
+                  "block_bits must be in [1,16]");
+  RINGENT_REQUIRE(bits.size() >= block_bits * 4, "sequence too short");
+
+  std::vector<std::size_t> counts(std::size_t{1} << block_bits, 0);
+  std::size_t total = 0;
+  std::uint32_t window = 0;
+  const std::uint32_t mask = (1u << block_bits) - 1;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    RINGENT_REQUIRE(bits[i] <= 1, "bits must be 0 or 1");
+    window = ((window << 1) | bits[i]) & mask;
+    if (i + 1 >= block_bits) {
+      ++counts[window];
+      ++total;
+    }
+  }
+
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h / static_cast<double>(block_bits);
+}
+
+double min_entropy_per_bit(std::span<const std::uint8_t> bits) {
+  const double p = bit_bias(bits);
+  const double p_max = p > 0.5 ? p : 1.0 - p;
+  if (p_max >= 1.0) return 0.0;
+  return -std::log2(p_max);
+}
+
+double bit_autocorrelation(std::span<const std::uint8_t> bits,
+                           std::size_t lag) {
+  std::vector<double> xs(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    xs[i] = static_cast<double>(bits[i]);
+  }
+  return autocorrelation(xs, lag);
+}
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits) {
+  RINGENT_REQUIRE(bits.size() % 8 == 0, "bit count must be a multiple of 8");
+  std::vector<std::uint8_t> out(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    RINGENT_REQUIRE(bits[i] <= 1, "bits must be 0 or 1");
+    out[i / 8] |= static_cast<std::uint8_t>(bits[i] << (i % 8));
+  }
+  return out;
+}
+
+}  // namespace ringent::analysis

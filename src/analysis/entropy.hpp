@@ -1,0 +1,32 @@
+// Entropy estimators for generated bit sequences (TRNG evaluation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ringent::analysis {
+
+/// Fraction of ones.
+double bit_bias(std::span<const std::uint8_t> bits);
+
+/// Shannon entropy per bit of the marginal distribution (1.0 = unbiased).
+double shannon_entropy_per_bit(std::span<const std::uint8_t> bits);
+
+/// Shannon entropy per symbol of overlapping `block_bits`-bit patterns,
+/// divided by block_bits (entropy rate estimate). block_bits in [1, 16].
+double block_entropy_per_bit(std::span<const std::uint8_t> bits,
+                             unsigned block_bits);
+
+/// Min-entropy per bit from the most-common-value estimate (NIST SP 800-90B
+/// MCV-style, without the confidence correction).
+double min_entropy_per_bit(std::span<const std::uint8_t> bits);
+
+/// Lag-`lag` autocorrelation of the bit sequence (bits as 0/1 values).
+double bit_autocorrelation(std::span<const std::uint8_t> bits,
+                           std::size_t lag);
+
+/// Pack bits (LSB first) into bytes; size must be a multiple of 8.
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
+
+}  // namespace ringent::analysis

@@ -1,0 +1,124 @@
+#include "analysis/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::analysis {
+
+void fft_inplace(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  RINGENT_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> xs) {
+  RINGENT_REQUIRE(xs.size() >= 8, "spectrum needs >= 8 samples");
+  const double mean = mean_of(xs);
+  const std::size_t n = xs.size();
+  const std::size_t padded = next_power_of_two(n);
+
+  std::vector<std::complex<double>> data(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    // Hann window to keep leakage from swamping weak tones.
+    const double w =
+        0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                              static_cast<double>(n - 1)));
+    data[i] = {(xs[i] - mean) * w, 0.0};
+  }
+  fft_inplace(data);
+
+  std::vector<double> mags(padded / 2 + 1);
+  for (std::size_t i = 0; i < mags.size(); ++i) mags[i] = std::abs(data[i]);
+  return mags;
+}
+
+TonePeak find_tone(std::span<const double> xs) {
+  const std::vector<double> mags = magnitude_spectrum(xs);
+  const std::size_t padded_half = mags.size() - 1;
+
+  TonePeak out;
+  std::size_t peak_bin = 1;
+  for (std::size_t i = 1; i < mags.size(); ++i) {
+    if (mags[i] > out.magnitude) {
+      out.magnitude = mags[i];
+      peak_bin = i;
+    }
+  }
+  out.frequency_cycles = static_cast<double>(peak_bin) /
+                         (2.0 * static_cast<double>(padded_half));
+
+  // Noise floor: median of off-peak bins (exclude a small window round the
+  // peak and the DC neighbourhood).
+  std::vector<double> floor_bins;
+  floor_bins.reserve(mags.size());
+  for (std::size_t i = 2; i < mags.size(); ++i) {
+    const std::size_t dist = i > peak_bin ? i - peak_bin : peak_bin - i;
+    if (dist > 3) floor_bins.push_back(mags[i]);
+  }
+  const double floor = floor_bins.empty() ? 0.0 : median(floor_bins);
+  out.snr = floor > 0.0 ? out.magnitude / floor : 0.0;
+  return out;
+}
+
+double tone_amplitude(std::span<const double> xs, double frequency_cycles) {
+  return fit_tone(xs, frequency_cycles).amplitude;
+}
+
+ToneFit fit_tone(std::span<const double> xs, double frequency_cycles) {
+  RINGENT_REQUIRE(xs.size() >= 8, "tone projection needs >= 8 samples");
+  RINGENT_REQUIRE(frequency_cycles > 0.0 && frequency_cycles < 0.5,
+                  "frequency must be in (0, 0.5) cycles/sample");
+  const double mean = mean_of(xs);
+  double c = 0.0, s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double phase = 2.0 * M_PI * frequency_cycles * static_cast<double>(i);
+    c += (xs[i] - mean) * std::cos(phase);
+    s += (xs[i] - mean) * std::sin(phase);
+  }
+  const double n = static_cast<double>(xs.size());
+  ToneFit fit;
+  fit.amplitude = 2.0 / n * std::sqrt(c * c + s * s);
+  fit.phase_rad = std::atan2(-s, c);
+  return fit;
+}
+
+std::vector<double> remove_tone(std::span<const double> xs,
+                                double frequency_cycles) {
+  const ToneFit fit = fit_tone(xs, frequency_cycles);
+  const double mean = mean_of(xs);
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double phase =
+        2.0 * M_PI * frequency_cycles * static_cast<double>(i) + fit.phase_rad;
+    out[i] = xs[i] - mean - fit.amplitude * std::cos(phase);
+  }
+  return out;
+}
+
+}  // namespace ringent::analysis

@@ -1,0 +1,50 @@
+// Radix-2 FFT and tone detection.
+//
+// Used by the Sec. IV-B deterministic-jitter experiment: a sinusoidal supply
+// modulation leaves a tone in the period sequence; its amplitude relative to
+// the noise floor quantifies how much deterministic jitter each ring type
+// lets through.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ringent::analysis {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data);
+
+/// Magnitude spectrum of a real series: the series is mean-removed,
+/// Hann-windowed, zero-padded to the next power of two, transformed, and the
+/// one-sided magnitudes (bins 0..N/2) returned.
+std::vector<double> magnitude_spectrum(std::span<const double> xs);
+
+struct TonePeak {
+  double frequency_cycles = 0.0;  ///< cycles per sample, in [0, 0.5]
+  double magnitude = 0.0;
+  double snr = 0.0;  ///< peak magnitude over median off-peak magnitude
+};
+
+/// Find the strongest non-DC tone of a real series.
+TonePeak find_tone(std::span<const double> xs);
+
+/// Magnitude at a known tone frequency (cycles per sample) via a direct
+/// Goertzel-style projection — exact frequency, no bin straddling. Returns
+/// the amplitude of the best-fit sinusoid at that frequency.
+double tone_amplitude(std::span<const double> xs, double frequency_cycles);
+
+struct ToneFit {
+  double amplitude = 0.0;
+  double phase_rad = 0.0;  ///< x[i] ~ amplitude * cos(2 pi f i + phase)
+};
+
+/// Least-squares fit of a sinusoid at a known frequency.
+ToneFit fit_tone(std::span<const double> xs, double frequency_cycles);
+
+/// Series with the fitted tone (and mean) subtracted — isolates the residual
+/// random jitter under deterministic modulation.
+std::vector<double> remove_tone(std::span<const double> xs,
+                                double frequency_cycles);
+
+}  // namespace ringent::analysis

@@ -1,0 +1,97 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RINGENT_REQUIRE(hi > lo, "histogram range must be non-empty");
+  RINGENT_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+Histogram Histogram::auto_binned(std::span<const double> xs) {
+  RINGENT_REQUIRE(!xs.empty(), "auto_binned needs data");
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  RINGENT_REQUIRE(*mx > *mn, "auto_binned needs non-degenerate data");
+  const double n = static_cast<double>(xs.size());
+  const auto bins = static_cast<std::size_t>(
+      std::clamp(2.0 * std::cbrt(n), 8.0, 128.0));
+  // Widen the top edge slightly so the maximum lands inside the last bin.
+  const double span = *mx - *mn;
+  Histogram h(*mn, *mx + span * 1e-9, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / bin_width());
+  ++counts_[std::min(i, counts_.size() - 1)];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  RINGENT_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::string Histogram::csv() const {
+  std::string out = "bin_center,count,fraction\n";
+  const auto fractions = normalized();
+  char line[96];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%.9g,%zu,%.9g\n", bin_center(i),
+                  counts_[i], fractions[i]);
+    out += line;
+  }
+  return out;
+}
+
+std::string Histogram::ascii(std::size_t width, const std::string& unit) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(label, sizeof(label), "%12.3f %-4s |",
+                  bin_center(i), unit.c_str());
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : (counts_[i] * width + peak / 2) / peak;
+    out.append(bar, '#');
+    std::snprintf(label, sizeof(label), " %zu\n", counts_[i]);
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace ringent::analysis

@@ -1,0 +1,54 @@
+// Histograms with ASCII rendering (the paper's Fig. 9 jitter histograms).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ringent::analysis {
+
+class Histogram {
+ public:
+  /// Fixed binning over [lo, hi) with `bins` equal-width bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Auto binning: range spans the data, bin count by the Rice rule
+  /// (2 * n^(1/3)), clamped to [8, 128]. Requires non-empty data with
+  /// min < max.
+  static Histogram auto_binned(std::span<const double> xs);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const;
+  double bin_center(std::size_t i) const;
+  std::size_t count(std::size_t i) const { return counts_.at(i); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Bin counts as fractions of the total.
+  std::vector<double> normalized() const;
+
+  /// Multi-line ASCII bar rendering, `width` characters at the tallest bin.
+  /// `unit` labels the x axis (e.g. "ps").
+  std::string ascii(std::size_t width = 50,
+                    const std::string& unit = "") const;
+
+  /// CSV rendering: "bin_center,count,fraction" rows with a header line —
+  /// drop into any plotting tool.
+  std::string csv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace ringent::analysis

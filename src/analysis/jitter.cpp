@@ -1,0 +1,87 @@
+#include "analysis/jitter.hpp"
+
+#include <cmath>
+
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::analysis {
+
+JitterSummary summarize_jitter(const std::vector<double>& periods_ps) {
+  RINGENT_REQUIRE(periods_ps.size() >= 3, "need at least 3 periods");
+  JitterSummary out;
+  const SampleStats stats = describe(periods_ps);
+  out.mean_period_ps = stats.mean();
+  out.period_jitter_ps = stats.stddev();
+  out.cycle_to_cycle_jitter_ps =
+      describe(first_differences(periods_ps)).stddev();
+  out.samples = periods_ps.size();
+  return out;
+}
+
+double accumulated_jitter_ps(const std::vector<double>& periods_ps,
+                             std::size_t m) {
+  RINGENT_REQUIRE(m >= 1, "horizon must be >= 1");
+  const std::vector<double> grouped = grouped_periods_ps(periods_ps, m);
+  RINGENT_REQUIRE(grouped.size() >= 3,
+                  "not enough periods for this accumulation horizon");
+  return describe(grouped).stddev();
+}
+
+std::vector<AccumulationPoint> accumulation_curve(
+    const std::vector<double>& periods_ps,
+    const std::vector<std::size_t>& horizons) {
+  std::vector<AccumulationPoint> out;
+  out.reserve(horizons.size());
+  for (std::size_t m : horizons) {
+    out.push_back(AccumulationPoint{m, accumulated_jitter_ps(periods_ps, m)});
+  }
+  return out;
+}
+
+AccumulationDecomposition decompose_accumulation(
+    const std::vector<AccumulationPoint>& curve) {
+  RINGENT_REQUIRE(curve.size() >= 2, "need >= 2 accumulation points");
+  // Least squares for y = a x1 + b x2 with y = sigma^2, x1 = m, x2 = m^2
+  // (no intercept). Normal equations on the 2x2 system.
+  double s11 = 0.0, s12 = 0.0, s22 = 0.0, sy1 = 0.0, sy2 = 0.0;
+  for (const auto& p : curve) {
+    const double x1 = static_cast<double>(p.m);
+    const double x2 = x1 * x1;
+    const double y = p.sigma_ps * p.sigma_ps;
+    s11 += x1 * x1;
+    s12 += x1 * x2;
+    s22 += x2 * x2;
+    sy1 += x1 * y;
+    sy2 += x2 * y;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  RINGENT_REQUIRE(std::abs(det) > 1e-30, "degenerate accumulation fit");
+  double a = (sy1 * s22 - sy2 * s12) / det;
+  double b = (s11 * sy2 - s12 * sy1) / det;
+  // Clamp tiny negative estimates caused by sampling noise.
+  if (a < 0.0) a = 0.0;
+  if (b < 0.0) b = 0.0;
+
+  AccumulationDecomposition out;
+  out.random_per_period_ps = std::sqrt(a);
+  out.deterministic_per_period_ps = std::sqrt(b);
+
+  // R^2 of the fit on sigma^2.
+  double y_mean = 0.0;
+  for (const auto& p : curve) y_mean += p.sigma_ps * p.sigma_ps;
+  y_mean /= static_cast<double>(curve.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (const auto& p : curve) {
+    const double x1 = static_cast<double>(p.m);
+    const double y = p.sigma_ps * p.sigma_ps;
+    const double fit = a * x1 + b * x1 * x1;
+    ss_tot += (y - y_mean) * (y - y_mean);
+    ss_res += (y - fit) * (y - fit);
+  }
+  out.fit_r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+}  // namespace ringent::analysis

@@ -1,0 +1,52 @@
+// Jitter metrics (paper Sec. IV).
+//
+// Definitions follow the paper: the *period jitter* is the standard deviation
+// sigma_period of the period population; the *cycle-to-cycle jitter* is the
+// standard deviation of differences between successive periods; the
+// *accumulated jitter* over m periods is the standard deviation of sums of m
+// consecutive periods. For white (random) per-period noise the accumulated
+// variance grows linearly in m; deterministic modulation grows quadratically
+// — decompose_accumulation() separates the two by fitting
+// sigma_acc^2(m) = a m + b m^2 (reference [2] of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ringent::analysis {
+
+struct JitterSummary {
+  double mean_period_ps = 0.0;
+  double period_jitter_ps = 0.0;        ///< sigma of periods
+  double cycle_to_cycle_jitter_ps = 0.0;  ///< sigma of successive differences
+  std::size_t samples = 0;
+};
+
+/// Summary metrics of a period population (>= 3 samples required).
+JitterSummary summarize_jitter(const std::vector<double>& periods_ps);
+
+/// sigma of sums of m consecutive non-overlapping periods.
+double accumulated_jitter_ps(const std::vector<double>& periods_ps,
+                             std::size_t m);
+
+struct AccumulationPoint {
+  std::size_t m;
+  double sigma_ps;
+};
+
+/// Accumulated jitter for each m in `horizons`.
+std::vector<AccumulationPoint> accumulation_curve(
+    const std::vector<double>& periods_ps,
+    const std::vector<std::size_t>& horizons);
+
+struct AccumulationDecomposition {
+  double random_per_period_ps = 0.0;  ///< sqrt(a): white component per period
+  double deterministic_per_period_ps = 0.0;  ///< sqrt(b): linear-growth part
+  double fit_r2 = 0.0;
+};
+
+/// Fit sigma^2(m) = a m + b m^2 by least squares on the accumulation curve.
+AccumulationDecomposition decompose_accumulation(
+    const std::vector<AccumulationPoint>& curve);
+
+}  // namespace ringent::analysis

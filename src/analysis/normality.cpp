@@ -1,0 +1,103 @@
+#include "analysis/normality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::analysis {
+
+namespace {
+// Inverse standard-normal CDF (Acklam's rational approximation, |err|<1e-9).
+double normal_quantile(double p) {
+  RINGENT_REQUIRE(p > 0.0 && p < 1.0, "quantile argument out of (0,1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+}  // namespace
+
+NormalityResult chi_square_normality(std::span<const double> xs,
+                                     std::size_t bins, double significance) {
+  RINGENT_REQUIRE(xs.size() >= 100, "chi-square normality needs >= 100 samples");
+  RINGENT_REQUIRE(bins >= 4, "need at least 4 bins");
+
+  const SampleStats stats = describe(xs);
+  const double mean = stats.mean();
+  const double sigma = stats.stddev();
+  RINGENT_REQUIRE(sigma > 0.0, "degenerate sample for normality test");
+
+  // Equiprobable bin edges under the fitted Gaussian.
+  std::vector<double> edges(bins - 1);
+  for (std::size_t i = 1; i < bins; ++i) {
+    edges[i - 1] =
+        mean + sigma * normal_quantile(static_cast<double>(i) /
+                                       static_cast<double>(bins));
+  }
+
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : xs) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    ++counts[static_cast<std::size_t>(it - edges.begin())];
+  }
+
+  const double expected =
+      static_cast<double>(xs.size()) / static_cast<double>(bins);
+  double chi2 = 0.0;
+  for (std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+
+  NormalityResult out;
+  out.statistic = chi2;
+  out.p_value = chi_square_sf(chi2, static_cast<double>(bins - 3));
+  out.gaussian = out.p_value > significance;
+  return out;
+}
+
+NormalityResult jarque_bera(std::span<const double> xs, double significance) {
+  RINGENT_REQUIRE(xs.size() >= 20, "Jarque-Bera needs >= 20 samples");
+  const SampleStats stats = describe(xs);
+  const double g1 = stats.skewness();
+  const double g2 = stats.excess_kurtosis();
+  const double n = static_cast<double>(xs.size());
+  NormalityResult out;
+  out.statistic = n / 6.0 * (g1 * g1 + g2 * g2 / 4.0);
+  out.p_value = chi_square_sf(out.statistic, 2.0);
+  out.gaussian = out.p_value > significance;
+  return out;
+}
+
+}  // namespace ringent::analysis

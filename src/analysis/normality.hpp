@@ -1,0 +1,27 @@
+// Gaussianity tests for jitter populations (paper Fig. 9 and the hypothesis
+// check of the Fig. 10 measurement method).
+#pragma once
+
+#include <span>
+
+namespace ringent::analysis {
+
+struct NormalityResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+  bool gaussian = false;  ///< p_value above the chosen significance level
+};
+
+/// Chi-square goodness-of-fit against N(mean, sigma) estimated from the data.
+/// Bins are equiprobable under the fitted Gaussian; degrees of freedom are
+/// bins - 3 (two estimated parameters). Requires >= 100 samples.
+NormalityResult chi_square_normality(std::span<const double> xs,
+                                     std::size_t bins = 20,
+                                     double significance = 0.01);
+
+/// Jarque-Bera test: JB = n/6 (g1^2 + g2^2/4) ~ chi^2(2) under normality.
+/// Requires >= 20 samples.
+NormalityResult jarque_bera(std::span<const double> xs,
+                            double significance = 0.01);
+
+}  // namespace ringent::analysis

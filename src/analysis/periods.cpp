@@ -1,0 +1,77 @@
+#include "analysis/periods.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+std::vector<double> periods_ps(const sim::SignalTrace& trace) {
+  return periods_ps(trace.rising_edges());
+}
+
+std::vector<double> periods_ps(const std::vector<Time>& rising_edges) {
+  std::vector<double> out;
+  if (rising_edges.size() < 2) return out;
+  out.reserve(rising_edges.size() - 1);
+  for (std::size_t i = 1; i < rising_edges.size(); ++i) {
+    out.push_back((rising_edges[i] - rising_edges[i - 1]).ps());
+  }
+  return out;
+}
+
+std::vector<double> half_periods_ps(const sim::SignalTrace& trace) {
+  const auto& transitions = trace.transitions();
+  std::vector<double> out;
+  if (transitions.size() < 2) return out;
+  out.reserve(transitions.size() - 1);
+  for (std::size_t i = 1; i < transitions.size(); ++i) {
+    out.push_back((transitions[i].at - transitions[i - 1].at).ps());
+  }
+  return out;
+}
+
+double duty_cycle(const sim::SignalTrace& trace) {
+  const auto& transitions = trace.transitions();
+  double high_ps = 0.0;
+  double total_ps = 0.0;
+  bool have_cycle = false;
+  for (std::size_t i = 1; i < transitions.size(); ++i) {
+    const double dt = (transitions[i].at - transitions[i - 1].at).ps();
+    // The signal held transitions[i-1].value during this interval.
+    if (transitions[i - 1].value) high_ps += dt;
+    total_ps += dt;
+    have_cycle = true;
+  }
+  RINGENT_REQUIRE(have_cycle && total_ps > 0.0,
+                  "duty cycle needs at least two transitions");
+  return high_ps / total_ps;
+}
+
+std::vector<double> grouped_periods_ps(const std::vector<double>& periods_ps,
+                                       std::size_t group) {
+  RINGENT_REQUIRE(group >= 1, "group must be >= 1");
+  std::vector<double> out;
+  out.reserve(periods_ps.size() / group);
+  double acc = 0.0;
+  std::size_t in_group = 0;
+  for (double p : periods_ps) {
+    acc += p;
+    if (++in_group == group) {
+      out.push_back(acc);
+      acc = 0.0;
+      in_group = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> first_differences(const std::vector<double>& xs) {
+  std::vector<double> out;
+  if (xs.size() < 2) return out;
+  out.reserve(xs.size() - 1);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    out.push_back(xs[i] - xs[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace ringent::analysis

@@ -1,0 +1,31 @@
+// Period extraction from recorded signal edges.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/probe.hpp"
+
+namespace ringent::analysis {
+
+/// Rising-edge-to-rising-edge periods, in picoseconds.
+std::vector<double> periods_ps(const sim::SignalTrace& trace);
+
+/// Periods from an explicit rising-edge timestamp list.
+std::vector<double> periods_ps(const std::vector<Time>& rising_edges);
+
+/// Consecutive half-periods (transition-to-transition intervals).
+std::vector<double> half_periods_ps(const sim::SignalTrace& trace);
+
+/// Duty cycle = mean high time / mean period; requires >= 2 full cycles.
+double duty_cycle(const sim::SignalTrace& trace);
+
+/// Sum groups of `group` consecutive periods (the divided-clock periods of a
+/// by-2^n counter, paper Fig. 10, when group = 2^n).
+std::vector<double> grouped_periods_ps(const std::vector<double>& periods_ps,
+                                       std::size_t group);
+
+/// First differences x[i+1] - x[i] (cycle-to-cycle deltas).
+std::vector<double> first_differences(const std::vector<double>& xs);
+
+}  // namespace ringent::analysis

@@ -1,0 +1,92 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+namespace {
+double r_squared(std::span<const double> ys, std::span<const double> fits) {
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+    ss_res += (ys[i] - fits[i]) * (ys[i] - fits[i]);
+  }
+  return ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+}  // namespace
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  RINGENT_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  RINGENT_REQUIRE(xs.size() >= 2, "need >= 2 points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double det = n * sxx - sx * sx;
+  RINGENT_REQUIRE(std::abs(det) > 1e-30, "degenerate x values");
+
+  LinearFit out;
+  out.slope = (n * sxy - sx * sy) / det;
+  out.intercept = (sy - out.slope * sx) / n;
+
+  std::vector<double> fits(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    fits[i] = out.slope * xs[i] + out.intercept;
+  }
+  out.r2 = r_squared(ys, fits);
+  return out;
+}
+
+PowerLawFit power_law_fit(std::span<const double> xs,
+                          std::span<const double> ys) {
+  RINGENT_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  RINGENT_REQUIRE(xs.size() >= 2, "need >= 2 points");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RINGENT_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                    "power-law fit needs positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit lin = linear_fit(lx, ly);
+  PowerLawFit out;
+  out.exponent = lin.slope;
+  out.prefactor = std::exp(lin.intercept);
+  out.r2 = lin.r2;
+  return out;
+}
+
+SqrtLawFit sqrt_law_fit(std::span<const double> xs,
+                        std::span<const double> ys) {
+  RINGENT_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  RINGENT_REQUIRE(!xs.empty(), "need >= 1 point");
+  // Minimize sum (y - c sqrt(x))^2  =>  c = sum(y sqrt(x)) / sum(x).
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RINGENT_REQUIRE(xs[i] >= 0.0, "sqrt-law fit needs x >= 0");
+    num += ys[i] * std::sqrt(xs[i]);
+    den += xs[i];
+  }
+  RINGENT_REQUIRE(den > 0.0, "degenerate x values");
+
+  SqrtLawFit out;
+  out.coefficient = num / den;
+  std::vector<double> fits(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    fits[i] = out.coefficient * std::sqrt(xs[i]);
+  }
+  out.r2 = r_squared(ys, fits);
+  return out;
+}
+
+}  // namespace ringent::analysis

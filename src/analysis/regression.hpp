@@ -1,0 +1,39 @@
+// Least-squares fits used to verify the paper's scaling laws.
+#pragma once
+
+#include <span>
+
+namespace ringent::analysis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares y = slope * x + intercept. Needs >= 2 points with
+/// distinct x.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+struct PowerLawFit {
+  double exponent = 0.0;
+  double prefactor = 0.0;
+  double r2 = 0.0;  ///< in log-log space
+};
+
+/// Fit y = prefactor * x^exponent via OLS on (ln x, ln y). All data must be
+/// positive. The paper's Fig. 11 expects exponent ~= 0.5 for the IRO and
+/// Fig. 12 expects ~= 0 for the STR.
+PowerLawFit power_law_fit(std::span<const double> xs,
+                          std::span<const double> ys);
+
+struct SqrtLawFit {
+  double coefficient = 0.0;  ///< c in y = c * sqrt(x)
+  double r2 = 0.0;
+};
+
+/// Fit y = c * sqrt(x) (no intercept): the paper's Eq. 4 with
+/// c = sqrt(2) * sigma_g when x is the stage count.
+SqrtLawFit sqrt_law_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ringent::analysis

@@ -1,0 +1,100 @@
+#include "analysis/spectrum.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "analysis/fft.hpp"
+#include "analysis/regression.hpp"
+#include "common/math.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::analysis {
+
+std::vector<SpectrumPoint> welch_psd(std::span<const double> xs,
+                                     const WelchOptions& options) {
+  RINGENT_REQUIRE(is_power_of_two(options.segment) && options.segment >= 16,
+                  "segment must be a power of two >= 16");
+  RINGENT_REQUIRE(xs.size() >= options.segment,
+                  "series shorter than one segment");
+  const std::size_t seg = options.segment;
+  const std::size_t hop = seg / 2;  // 50% overlap
+  const double mean = mean_of(xs);
+
+  // Window and its power normalization.
+  std::vector<double> window(seg, 1.0);
+  if (options.hann) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      window[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                        static_cast<double>(seg - 1)));
+    }
+  }
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  std::vector<double> accum(seg / 2, 0.0);
+  std::size_t segments = 0;
+  std::vector<std::complex<double>> buffer(seg);
+  for (std::size_t start = 0; start + seg <= xs.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      buffer[i] = {(xs[start + i] - mean) * window[i], 0.0};
+    }
+    fft_inplace(buffer);
+    for (std::size_t k = 1; k <= seg / 2; ++k) {
+      const double mag2 = std::norm(buffer[k]);
+      // One-sided: double every bin except Nyquist.
+      const double factor = (k == seg / 2) ? 1.0 : 2.0;
+      accum[k - 1] += factor * mag2 / window_power;
+    }
+    ++segments;
+  }
+
+  std::vector<SpectrumPoint> out(seg / 2);
+  for (std::size_t k = 1; k <= seg / 2; ++k) {
+    out[k - 1].frequency =
+        static_cast<double>(k) / static_cast<double>(seg);
+    out[k - 1].psd = accum[k - 1] / static_cast<double>(segments);
+  }
+  return out;
+}
+
+std::vector<SpectrumPoint> fractional_frequency_psd(
+    std::span<const double> periods_ps, const WelchOptions& options) {
+  RINGENT_REQUIRE(periods_ps.size() >= options.segment,
+                  "series shorter than one segment");
+  const double mean = mean_of(periods_ps);
+  RINGENT_REQUIRE(mean > 0.0, "period mean must be positive");
+  std::vector<double> y(periods_ps.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = (periods_ps[i] - mean) / mean;
+  }
+  return welch_psd(y, options);
+}
+
+double psd_slope(const std::vector<SpectrumPoint>& psd, double f_lo,
+                 double f_hi) {
+  RINGENT_REQUIRE(f_lo > 0.0 && f_hi > f_lo && f_hi <= 0.5,
+                  "bad frequency band");
+  // Octave-average before fitting so the dense high-frequency bins do not
+  // dominate the least squares.
+  std::vector<double> lx, ly;
+  double band_lo = f_lo;
+  while (band_lo < f_hi) {
+    const double band_hi = std::min(band_lo * 2.0, f_hi);
+    SampleStats stats;
+    for (const auto& p : psd) {
+      if (p.frequency >= band_lo && p.frequency < band_hi && p.psd > 0.0) {
+        stats.add(p.psd);
+      }
+    }
+    if (stats.count() >= 1) {
+      lx.push_back(std::log(std::sqrt(band_lo * band_hi)));
+      ly.push_back(std::log(stats.mean()));
+    }
+    band_lo = band_hi;
+  }
+  RINGENT_REQUIRE(lx.size() >= 2, "not enough octaves in the band");
+  return linear_fit(lx, ly).slope;
+}
+
+}  // namespace ringent::analysis

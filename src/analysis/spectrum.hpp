@@ -1,0 +1,46 @@
+// Frequency-noise power spectral density of a period sequence (Welch).
+//
+// Complements the time-domain metrics: the PSD of the fractional frequency
+// y_k = (T_k - T)/T identifies noise types by slope (white FM flat, flicker
+// FM ~ 1/f) and exposes correlation structure the variance hides — the
+// STR's Charlie anticorrelation appears as a high-pass-shaped S_y(f) (noise
+// pushed to high offset frequencies where a downstream PLL or sampler
+// averages it away), while an IRO's i.i.d. periods give a flat floor.
+//
+// Estimator: Welch's method — mean-removed, Hann-windowed, 50%-overlapped
+// segments of power-of-two length, averaged periodograms, one-sided
+// normalization such that the integral over [0, f_N] equals the variance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ringent::analysis {
+
+struct SpectrumPoint {
+  double frequency = 0.0;  ///< cycles per sample, in (0, 0.5]
+  double psd = 0.0;        ///< one-sided PSD of the (dimensionless) input
+};
+
+struct WelchOptions {
+  std::size_t segment = 1024;  ///< power-of-two segment length
+  bool hann = true;
+};
+
+/// Welch PSD of an arbitrary series (mean removed). Requires at least one
+/// full segment; DC bin is dropped.
+std::vector<SpectrumPoint> welch_psd(std::span<const double> xs,
+                                     const WelchOptions& options = {});
+
+/// PSD of fractional frequency computed from a period sequence (ps).
+std::vector<SpectrumPoint> fractional_frequency_psd(
+    std::span<const double> periods_ps, const WelchOptions& options = {});
+
+/// Log-log slope of the PSD between two frequencies (octave-averaged fit):
+/// ~0 for white FM, ~-1 for flicker FM, positive for anticorrelated
+/// (high-pass) noise.
+double psd_slope(const std::vector<SpectrumPoint>& psd, double f_lo = 0.002,
+                 double f_hi = 0.4);
+
+}  // namespace ringent::analysis

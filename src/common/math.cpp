@@ -1,0 +1,113 @@
+#include "common/math.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  RINGENT_REQUIRE(a > 0 && b > 0, "gcd64 requires positive arguments");
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t next_power_of_two(std::uint64_t n) {
+  RINGENT_REQUIRE(n >= 1, "next_power_of_two requires n >= 1");
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+unsigned log2_exact(std::uint64_t n) {
+  RINGENT_REQUIRE(is_power_of_two(n), "log2_exact requires a power of two");
+  unsigned k = 0;
+  while ((1ULL << k) < n) ++k;
+  return k;
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+namespace {
+
+// Lanczos approximation of log-gamma, good to ~1e-13 for a > 0.
+double log_gamma(double a) {
+  static constexpr double kCoef[] = {
+      676.5203681218851,     -1259.1392167224028,  771.32342877765313,
+      -176.61502916214059,   12.507343278686905,   -0.13857109526572012,
+      9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (a < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * a)) - log_gamma(1.0 - a);
+  }
+  a -= 1.0;
+  double x = 0.99999999999980993;
+  for (int i = 0; i < 8; ++i) x += kCoef[i] / (a + i + 1);
+  const double t = a + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (a + 0.5) * std::log(t) - t + std::log(x);
+}
+
+// Lower incomplete gamma P(a,x) by series expansion (x < a+1).
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Upper incomplete gamma Q(a,x) by continued fraction (x >= a+1).
+double gamma_q_contfrac(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_q(double a, double x) {
+  RINGENT_REQUIRE(a > 0.0, "gamma_q requires a > 0");
+  RINGENT_REQUIRE(x >= 0.0, "gamma_q requires x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_contfrac(a, x);
+}
+
+double chi_square_sf(double x, double k) {
+  RINGENT_REQUIRE(k > 0.0, "chi_square_sf requires k > 0");
+  if (x <= 0.0) return 1.0;
+  return gamma_q(k / 2.0, x / 2.0);
+}
+
+double erfc_scaled(double x) { return std::erfc(x / std::sqrt(2.0)); }
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace ringent

@@ -1,0 +1,44 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ringent {
+
+/// Greatest common divisor of two positive integers.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// True if n is a power of two (n > 0).
+constexpr bool is_power_of_two(std::uint64_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1).
+std::uint64_t next_power_of_two(std::uint64_t n);
+
+/// Integer log2 of a power of two.
+unsigned log2_exact(std::uint64_t n);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// Regularized upper incomplete gamma Q(a, x); used by chi-square p-values.
+double gamma_q(double a, double x);
+
+/// Chi-square survival function: P(X >= x) for k degrees of freedom.
+double chi_square_sf(double x, double k);
+
+/// Error function complement wrapper (for test batteries).
+double erfc_scaled(double x);
+
+/// Clamp helper that works on doubles without pulling in <algorithm>.
+constexpr double clampd(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Mean of a span (0 for empty).
+double mean_of(std::span<const double> xs);
+
+}  // namespace ringent

@@ -1,0 +1,44 @@
+// Error handling primitives for the ringent library.
+//
+// Policy (see DESIGN.md §5): violated *preconditions* on the public API throw
+// ringent::PreconditionError with a message naming the offending expression;
+// violated *internal invariants* abort via assert in debug builds. Simulation
+// code never swallows errors silently.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ringent {
+
+/// Base class for all errors thrown by the ringent library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace ringent
+
+/// Check a documented precondition of a public API; throws PreconditionError.
+#define RINGENT_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ringent::detail::throw_precondition(#expr, __FILE__, __LINE__,    \
+                                            (msg));                      \
+    }                                                                     \
+  } while (false)

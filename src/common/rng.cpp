@@ -1,0 +1,116 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // Seed expansion through SplitMix64 as recommended by the xoshiro authors;
+  // guarantees a nonzero state for any seed, including zero.
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+double Xoshiro256::uniform01() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  RINGENT_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: exact, branchy but fast enough for our volumes.
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  RINGENT_REQUIRE(n > 0, "below(n) requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % n;
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view label) {
+  SplitMix64 sm(master ^ hash_label(label));
+  sm.next();
+  return sm.next();
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view label,
+                          std::uint64_t index) {
+  SplitMix64 sm(derive_seed(master, label) + 0x9E3779B97F4A7C15ULL * (index + 1));
+  return sm.next();
+}
+
+}  // namespace ringent

@@ -1,0 +1,124 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent {
+
+void SampleStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Welford update for central moments up to order 4 (Pebay 2008).
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3 * n + 3) + 6 * delta_n2 * m2_ -
+         4 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2) - 3 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void SampleStats::merge(const SampleStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double n = na + nb;
+  const double delta = o.mean_ - mean_;
+  const double d2 = delta * delta;
+  const double d3 = d2 * delta;
+  const double d4 = d2 * d2;
+
+  const double m4 = m4_ + o.m4_ +
+                    d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * d2 * (na * na * o.m2_ + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * o.m3_ - nb * m3_) / n;
+  const double m3 = m3_ + o.m3_ + d3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * o.m2_ - nb * m2_) / n;
+  const double m2 = m2_ + o.m2_ + d2 * na * nb / n;
+
+  mean_ = (na * mean_ + nb * o.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double SampleStats::mean() const {
+  RINGENT_REQUIRE(n_ >= 1, "mean of empty sample");
+  return mean_;
+}
+
+double SampleStats::variance() const {
+  RINGENT_REQUIRE(n_ >= 2, "variance needs at least 2 samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SampleStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleStats::relative_stddev() const {
+  const double m = std::abs(mean());
+  RINGENT_REQUIRE(m > 0.0, "relative stddev of zero-mean sample");
+  return stddev() / m;
+}
+
+double SampleStats::skewness() const {
+  RINGENT_REQUIRE(n_ >= 3, "skewness needs at least 3 samples");
+  const double n = static_cast<double>(n_);
+  if (m2_ == 0.0) return 0.0;
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double SampleStats::excess_kurtosis() const {
+  RINGENT_REQUIRE(n_ >= 4, "kurtosis needs at least 4 samples");
+  const double n = static_cast<double>(n_);
+  if (m2_ == 0.0) return 0.0;
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double SampleStats::min() const {
+  RINGENT_REQUIRE(n_ >= 1, "min of empty sample");
+  return min_;
+}
+
+double SampleStats::max() const {
+  RINGENT_REQUIRE(n_ >= 1, "max of empty sample");
+  return max_;
+}
+
+SampleStats describe(std::span<const double> xs) {
+  SampleStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  RINGENT_REQUIRE(!xs.empty(), "percentile of empty sample");
+  RINGENT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace ringent

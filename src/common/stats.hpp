@@ -1,0 +1,56 @@
+// Streaming and batch descriptive statistics.
+//
+// SampleStats implements Welford's online algorithm extended to third and
+// fourth central moments, so jitter populations of millions of periods can be
+// summarized in one pass without storing samples. Batch helpers (median,
+// percentile) operate on explicit vectors where order statistics are needed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ringent {
+
+/// One-pass accumulator for mean / variance / skewness / kurtosis / extrema.
+class SampleStats {
+ public:
+  void add(double x);
+  void merge(const SampleStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  /// Relative standard deviation stddev()/|mean()| (the paper's sigma_rel).
+  double relative_stddev() const;
+  /// Sample skewness g1. Requires count() >= 3.
+  double skewness() const;
+  /// Excess kurtosis g2 (0 for a Gaussian). Requires count() >= 4.
+  double excess_kurtosis() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Compute SampleStats over a span in one call.
+SampleStats describe(std::span<const double> xs);
+
+/// Median (average of the two central order statistics for even sizes).
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace ringent

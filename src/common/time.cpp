@@ -1,0 +1,30 @@
+#include "common/time.hpp"
+
+#include <ostream>
+
+#include "common/require.hpp"
+
+namespace ringent {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  const std::int64_t fs = t.fs();
+  if (fs % 1'000'000 == 0) {
+    return os << (fs / 1'000'000) << "ns";
+  }
+  if (fs % 1'000 == 0) {
+    return os << (fs / 1'000) << "ps";
+  }
+  return os << fs << "fs";
+}
+
+double period_to_mhz(Time period) {
+  if (period.is_zero()) return 0.0;
+  return 1.0 / period.seconds() * 1e-6;
+}
+
+Time mhz_to_period(double mhz) {
+  RINGENT_REQUIRE(mhz > 0.0, "frequency must be positive");
+  return Time::from_seconds(1.0 / (mhz * 1e6));
+}
+
+}  // namespace ringent

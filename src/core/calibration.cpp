@@ -1,0 +1,40 @@
+#include "core/calibration.hpp"
+
+namespace ringent::core {
+
+namespace {
+
+// Routing tables back-solved from the paper's measured frequencies:
+// IRO:  T = 2 L (D_lut + r)          -> r = T/(2L) - D_lut
+// STR:  T = 2 L (Ds + Dch + r) / NT  -> r = T NT/(2L) - (Ds + Dch)
+// with NT = L/2, i.e. T = 4 (Ds + Dch + r).
+fpga::RoutingModel make_iro_routing() {
+  return fpga::RoutingModel({
+      {3, Time::from_ps(0.0)},    // 654 MHz (Table II)
+      {5, Time::from_ps(11.0)},   // 376 MHz (Table I)
+      {25, Time::from_ps(19.0)},  //  73 MHz (Table I)
+      {80, Time::from_ps(17.0)},  //  23 MHz (Table I)
+  });
+}
+
+fpga::RoutingModel make_str_routing() {
+  return fpga::RoutingModel({
+      {4, Time::from_ps(0.0)},     // 653 MHz (Table I)
+      {24, Time::from_ps(194.0)},  // 433 MHz
+      {48, Time::from_ps(230.0)},  // 408 MHz
+      {64, Time::from_ps(295.0)},  // 369 MHz
+      {96, Time::from_ps(398.0)},  // 320 MHz
+  });
+}
+
+}  // namespace
+
+Calibration::Calibration()
+    : iro_routing(make_iro_routing()), str_routing(make_str_routing()) {}
+
+const Calibration& cyclone_iii() {
+  static const Calibration calibration;
+  return calibration;
+}
+
+}  // namespace ringent::core

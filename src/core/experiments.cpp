@@ -1,0 +1,388 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "analysis/fft.hpp"
+#include "analysis/regression.hpp"
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "measure/frequency.hpp"
+#include "measure/method.hpp"
+#include "trng/coherent.hpp"
+#include "analysis/entropy.hpp"
+
+namespace ringent::core {
+
+namespace {
+
+BuildOptions base_build_options(const ExperimentOptions& options) {
+  BuildOptions build;
+  build.sigma_g_ps = options.with_noise ? -1.0 : 0.0;
+  build.noise_seed = options.seed;
+  build.warmup_periods = options.warmup_periods;
+  return build;
+}
+
+RingSpec spec_for(RingKind kind, std::size_t stages) {
+  return kind == RingKind::iro ? RingSpec::iro(stages) : RingSpec::str(stages);
+}
+
+}  // namespace
+
+VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
+                                     const Calibration& calibration,
+                                     const std::vector<double>& voltages,
+                                     const ExperimentOptions& options,
+                                     std::size_t periods) {
+  RINGENT_REQUIRE(!voltages.empty(), "need at least one voltage");
+  VoltageSweepResult out;
+  out.spec = spec;
+
+  for (double v : voltages) {
+    fpga::Supply supply(calibration.nominal_voltage);
+    supply.set_level(v);
+
+    BuildOptions build = base_build_options(options);
+    build.supply = &supply;
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(periods);
+
+    VoltageSweepPoint point;
+    point.voltage_v = v;
+    point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+    out.points.push_back(point);
+    if (std::abs(v - calibration.nominal_voltage) < 1e-9) {
+      out.f_nominal_mhz = point.frequency_mhz;
+    }
+  }
+  RINGENT_REQUIRE(out.f_nominal_mhz > 0.0,
+                  "sweep must include the nominal voltage");
+
+  double f_min = out.points.front().frequency_mhz;
+  double f_max = f_min;
+  for (auto& point : out.points) {
+    point.normalized = point.frequency_mhz / out.f_nominal_mhz;
+    f_min = std::min(f_min, point.frequency_mhz);
+    f_max = std::max(f_max, point.frequency_mhz);
+  }
+  out.excursion = (f_max - f_min) / out.f_nominal_mhz;
+  return out;
+}
+
+TemperatureSweepResult run_temperature_sweep(
+    const RingSpec& spec, const Calibration& calibration,
+    const std::vector<double>& temperatures, const ExperimentOptions& options,
+    std::size_t periods) {
+  RINGENT_REQUIRE(!temperatures.empty(), "need at least one temperature");
+  TemperatureSweepResult out;
+  out.spec = spec;
+
+  for (double t : temperatures) {
+    fpga::Supply supply(calibration.nominal_voltage);
+    supply.set_temperature_c(t);
+
+    BuildOptions build = base_build_options(options);
+    build.supply = &supply;
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(periods);
+
+    TemperatureSweepPoint point;
+    point.temperature_c = t;
+    point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+    out.points.push_back(point);
+    if (std::abs(t - 25.0) < 1e-9) out.f_nominal_mhz = point.frequency_mhz;
+  }
+  RINGENT_REQUIRE(out.f_nominal_mhz > 0.0, "sweep must include 25 C");
+
+  double f_min = out.points.front().frequency_mhz;
+  double f_max = f_min;
+  for (auto& point : out.points) {
+    point.normalized = point.frequency_mhz / out.f_nominal_mhz;
+    f_min = std::min(f_min, point.frequency_mhz);
+    f_max = std::max(f_max, point.frequency_mhz);
+  }
+  out.excursion = (f_max - f_min) / out.f_nominal_mhz;
+  return out;
+}
+
+ProcessVariabilityResult run_process_variability(
+    const RingSpec& spec, const Calibration& calibration,
+    unsigned board_count, const ExperimentOptions& options,
+    std::size_t periods) {
+  RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
+  ProcessVariabilityResult out;
+  out.spec = spec;
+
+  SampleStats stats;
+  for (unsigned b = 0; b < board_count; ++b) {
+    const fpga::Board board(options.seed, b, calibration.process);
+    BuildOptions build = base_build_options(options);
+    build.board = &board;
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(periods);
+
+    BoardFrequency bf;
+    bf.board = b;
+    bf.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+    out.boards.push_back(bf);
+    stats.add(bf.frequency_mhz);
+  }
+  out.mean_mhz = stats.mean();
+  out.sigma_rel = stats.relative_stddev();
+  return out;
+}
+
+std::vector<double> collect_periods_ps(const RingSpec& spec,
+                                       const Calibration& calibration,
+                                       std::size_t periods,
+                                       const ExperimentOptions& options) {
+  BuildOptions build = base_build_options(options);
+  std::optional<fpga::Board> board;
+  if (options.board_index >= 0) {
+    board.emplace(options.seed, static_cast<unsigned>(options.board_index),
+                  calibration.process);
+    build.board = &*board;
+  }
+  Oscillator osc = Oscillator::build(spec, calibration, build);
+  osc.run_periods(periods);
+  auto all = analysis::periods_ps(osc.output());
+  if (all.size() > periods) all.resize(periods);
+  return all;
+}
+
+std::vector<JitterPoint> run_jitter_vs_stages(
+    RingKind kind, const std::vector<std::size_t>& stage_counts,
+    const Calibration& calibration, const ExperimentOptions& options,
+    const JitterVsStagesConfig& config) {
+  std::vector<JitterPoint> out;
+  out.reserve(stage_counts.size());
+
+  const std::size_t ring_periods =
+      (std::size_t{1} << config.divider_n) * (config.mes_periods + 1) + 2;
+
+  for (std::size_t stages : stage_counts) {
+    const RingSpec spec = spec_for(kind, stages);
+    BuildOptions build = base_build_options(options);
+    build.noise_seed = derive_seed(options.seed, "jitter-vs-stages", stages);
+    std::optional<fpga::Board> board;
+    if (options.board_index >= 0) {
+      board.emplace(options.seed, static_cast<unsigned>(options.board_index),
+                    calibration.process);
+      build.board = &*board;
+    }
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(ring_periods);
+
+    const std::vector<Time> edges = osc.output().rising_edges();
+
+    measure::OscilloscopeConfig scope_config = calibration.scope;
+    scope_config.seed = derive_seed(options.seed, "scope", stages);
+    measure::Oscilloscope scope(scope_config);
+    const measure::JitterMethodResult method =
+        measure::measure_sigma_p(edges, config.divider_n, scope);
+
+    JitterPoint point;
+    point.stages = stages;
+    point.mean_period_ps = method.mean_period_ps;
+    point.sigma_p_ps = method.sigma_p_ps;
+    point.sigma_g_ps = measure::iro_sigma_g_ps(method.sigma_p_ps, stages);
+    point.sigma_direct_ps =
+        describe(analysis::periods_ps(edges)).stddev();
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
+                                       const std::vector<std::size_t>& token_counts,
+                                       const Calibration& calibration,
+                                       const ExperimentOptions& options,
+                                       ring::TokenPlacement placement,
+                                       double charlie_scale,
+                                       std::size_t periods) {
+  RINGENT_REQUIRE(charlie_scale >= 0.0, "negative charlie scale");
+  Calibration scaled = calibration;
+  scaled.str_d_charlie = calibration.str_d_charlie.scaled(charlie_scale);
+  if (scaled.str_d_charlie.is_zero()) {
+    // A strictly zero Charlie magnitude makes the delay curve piecewise
+    // linear; keep a hair of smoothing for numerical sanity.
+    scaled.str_d_charlie = Time::from_ps(1e-3);
+  }
+
+  std::vector<ModeMapEntry> out;
+  out.reserve(token_counts.size());
+  for (std::size_t tokens : token_counts) {
+    const RingSpec spec = RingSpec::str(stages, tokens, placement);
+    BuildOptions build = base_build_options(options);
+    build.noise_seed = derive_seed(options.seed, "mode-map", tokens);
+    Oscillator osc = Oscillator::build(spec, scaled, build);
+    osc.run_periods(periods);
+
+    std::vector<Time> transition_times;
+    transition_times.reserve(osc.output().transitions().size());
+    for (const auto& tr : osc.output().transitions()) {
+      transition_times.push_back(tr.at);
+    }
+    const ring::ModeAnalysis analysis = ring::classify_mode(transition_times);
+
+    ModeMapEntry entry;
+    entry.tokens = tokens;
+    entry.mode = analysis.mode;
+    entry.interval_cv = analysis.interval_cv;
+    entry.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+    out.push_back(entry);
+  }
+  return out;
+}
+
+RestartResult run_restart_experiment(const RingSpec& spec,
+                                     const Calibration& calibration,
+                                     unsigned restarts, std::size_t edges,
+                                     const ExperimentOptions& options) {
+  RINGENT_REQUIRE(restarts >= 8, "need at least 8 restarts");
+  RINGENT_REQUIRE(edges >= 8, "need at least 8 edges");
+  RestartResult out;
+  out.spec = spec;
+
+  const auto run_edges = [&](std::uint64_t noise_seed) {
+    BuildOptions build = base_build_options(options);
+    build.noise_seed = noise_seed;
+    build.warmup_periods = 0;  // restarts observe the transient by design
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(edges + 2);
+    auto out_edges = osc.output().rising_edges();
+    out_edges.resize(edges);
+    return out_edges;
+  };
+
+  // Control: identical seeds must collapse to zero divergence.
+  {
+    const auto a = run_edges(derive_seed(options.seed, "restart", 0));
+    const auto b = run_edges(derive_seed(options.seed, "restart", 0));
+    out.control_identical = a == b;
+  }
+
+  // t_k across restarts with independent noise streams.
+  std::vector<std::vector<Time>> runs;
+  runs.reserve(restarts);
+  for (unsigned r = 0; r < restarts; ++r) {
+    runs.push_back(run_edges(derive_seed(options.seed, "restart", r)));
+  }
+
+  std::vector<double> ks, spreads;
+  for (std::size_t k = 0; k < edges; k += std::max<std::size_t>(1, edges / 32)) {
+    SampleStats stats;
+    for (const auto& run : runs) stats.add(run[k].ps());
+    RestartPoint point;
+    point.edge = k + 1;
+    point.spread_ps = stats.stddev();
+    out.points.push_back(point);
+    ks.push_back(static_cast<double>(k + 1));
+    spreads.push_back(point.spread_ps);
+  }
+  const auto fit = analysis::sqrt_law_fit(ks, spreads);
+  out.diffusion_per_edge_ps = fit.coefficient;
+  out.fit_r2 = fit.r2;
+  return out;
+}
+
+CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
+                                               const Calibration& calibration,
+                                               double design_detune,
+                                               unsigned board_count,
+                                               const ExperimentOptions& options,
+                                               std::size_t periods) {
+  RINGENT_REQUIRE(design_detune > 0.0 && design_detune < 0.2,
+                  "design detune out of (0, 0.2)");
+  RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
+  CoherentSweepResult out;
+  out.spec = spec;
+  out.design_detune = design_detune;
+
+  SampleStats detunes;
+  for (unsigned b = 0; b < board_count; ++b) {
+    const fpga::Board board(options.seed, b, calibration.process);
+
+    BuildOptions b0 = base_build_options(options);
+    b0.board = &board;
+    b0.lut_base = 0;
+    Oscillator osc0 = Oscillator::build(spec, calibration, b0);
+
+    BuildOptions b1 = base_build_options(options);
+    b1.board = &board;
+    b1.lut_base = 128;
+    b1.delay_scale = 1.0 + design_detune;
+    Oscillator osc1 = Oscillator::build(spec, calibration, b1);
+
+    osc0.run_periods(periods);
+    osc1.run_periods(periods);
+
+    const auto result = trng::coherent_sampling_bits(
+        osc0.output().transitions(), osc1.output().rising_edges());
+
+    CoherentBoardResult row;
+    row.board = b;
+    row.half_beat_samples = result.median_run_length;
+    row.implied_detune = 1.0 / (2.0 * result.median_run_length);
+    row.bits = result.bits.size();
+    if (result.bits.size() >= 100) {
+      row.lsb_bias = analysis::bit_bias(result.bits);
+    }
+    out.boards.push_back(row);
+    detunes.add(row.implied_detune);
+    out.worst_deviation = std::max(
+        out.worst_deviation, std::abs(row.implied_detune - design_detune));
+  }
+  out.detune_mean = detunes.mean();
+  out.detune_sigma = detunes.stddev();
+  return out;
+}
+
+std::vector<DeterministicJitterPoint> run_deterministic_jitter(
+    RingKind kind, const std::vector<std::size_t>& stage_counts,
+    const Calibration& calibration, const DeterministicJitterConfig& config,
+    const ExperimentOptions& options) {
+  std::vector<DeterministicJitterPoint> out;
+  out.reserve(stage_counts.size());
+
+  for (std::size_t stages : stage_counts) {
+    const RingSpec spec = spec_for(kind, stages);
+
+    fpga::Supply supply(calibration.nominal_voltage);
+    supply.set_modulation(fpga::Modulation::sine(
+        config.modulation_amplitude_v, config.modulation_frequency_hz));
+
+    BuildOptions build = base_build_options(options);
+    build.supply = &supply;
+    build.noise_seed = derive_seed(options.seed, "det-jitter", stages);
+    Oscillator osc = Oscillator::build(spec, calibration, build);
+    osc.run_periods(config.periods);
+
+    std::vector<double> periods = analysis::periods_ps(osc.output());
+    if (periods.size() > config.periods) periods.resize(config.periods);
+
+    DeterministicJitterPoint point;
+    point.stages = stages;
+    point.mean_period_ps = describe(periods).mean();
+    // The tone sits at f_mod expressed in cycles per period sample.
+    const double tone_freq =
+        config.modulation_frequency_hz * point.mean_period_ps * 1e-12;
+    point.tone_ps = analysis::tone_amplitude(periods, tone_freq);
+    point.tone_relative = point.tone_ps / point.mean_period_ps;
+
+    // Residual random jitter with the deterministic tone subtracted; the
+    // cycle-to-cycle statistic then also suppresses what little slow residue
+    // the single-tone fit leaves (sigma_cc = sqrt(2) * sigma_white).
+    const std::vector<double> residual =
+        analysis::remove_tone(periods, tone_freq);
+    const analysis::JitterSummary summary =
+        analysis::summarize_jitter(residual);
+    point.random_ps = summary.cycle_to_cycle_jitter_ps / std::sqrt(2.0);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace ringent::core

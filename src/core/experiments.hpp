@@ -1,0 +1,231 @@
+// Experiment drivers: one function per paper experiment.
+//
+// Each driver builds oscillators through the public factory, runs them on the
+// event kernel, measures through the instrument models, and returns a plain
+// result struct. The bench binaries (bench/) only format these results into
+// the paper's tables and figures; the test suite asserts their shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/jitter.hpp"
+#include "core/calibration.hpp"
+#include "core/oscillator.hpp"
+#include "core/spec.hpp"
+#include "ring/mode.hpp"
+
+namespace ringent::core {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 20120312;  ///< master seed (DATE 2012 dates)
+  bool with_noise = true;         ///< dynamic Gaussian noise on/off
+  std::size_t warmup_periods = 64;
+
+  /// Which simulated board carries the ring: >= 0 selects a die from the
+  /// process population (with per-LUT mismatch), -1 an ideal mismatch-free
+  /// device. Jitter measurements default to board 0, like the paper's
+  /// single-board oscilloscope session.
+  int board_index = -1;
+};
+
+// --- Fig. 8 / Table I: sensitivity to voltage variations -------------------
+
+struct VoltageSweepPoint {
+  double voltage_v = 0.0;
+  double frequency_mhz = 0.0;
+  double normalized = 0.0;  ///< F / F_nom
+};
+
+struct VoltageSweepResult {
+  RingSpec spec;
+  double f_nominal_mhz = 0.0;
+  double excursion = 0.0;  ///< ΔF = (F_max - F_min) / F_nom over the sweep
+  std::vector<VoltageSweepPoint> points;
+};
+
+/// Measure ring frequency at each supply level (Fn normalized at
+/// `calibration.nominal_voltage`, which must be among `voltages`).
+VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
+                                     const Calibration& calibration,
+                                     const std::vector<double>& voltages,
+                                     const ExperimentOptions& options = {},
+                                     std::size_t periods = 400);
+
+// --- extension: sensitivity to temperature ----------------------------------
+
+struct TemperatureSweepPoint {
+  double temperature_c = 25.0;
+  double frequency_mhz = 0.0;
+  double normalized = 0.0;  ///< F / F(25 C)
+};
+
+struct TemperatureSweepResult {
+  RingSpec spec;
+  double f_nominal_mhz = 0.0;
+  double excursion = 0.0;  ///< (F_max - F_min) / F(25 C) over the sweep
+  std::vector<TemperatureSweepPoint> points;
+};
+
+/// Frequency vs die temperature at nominal voltage (extension: the paper's
+/// ref [1] attack surface; 25 C must be among `temperatures`).
+TemperatureSweepResult run_temperature_sweep(
+    const RingSpec& spec, const Calibration& calibration,
+    const std::vector<double>& temperatures,
+    const ExperimentOptions& options = {}, std::size_t periods = 400);
+
+// --- Table II: sensitivity to process variability --------------------------
+
+struct BoardFrequency {
+  unsigned board = 0;
+  double frequency_mhz = 0.0;
+};
+
+struct ProcessVariabilityResult {
+  RingSpec spec;
+  std::vector<BoardFrequency> boards;
+  double mean_mhz = 0.0;
+  double sigma_rel = 0.0;  ///< relative standard deviation across boards
+};
+
+/// Load "the same bitstream" into `board_count` simulated boards and compare
+/// ring frequencies (paper Sec. V-C).
+ProcessVariabilityResult run_process_variability(
+    const RingSpec& spec, const Calibration& calibration,
+    unsigned board_count = 5, const ExperimentOptions& options = {},
+    std::size_t periods = 400);
+
+// --- Figs. 9, 11, 12: jitter -------------------------------------------------
+
+/// Ground-truth period population (no instrument in the path).
+std::vector<double> collect_periods_ps(const RingSpec& spec,
+                                       const Calibration& calibration,
+                                       std::size_t periods,
+                                       const ExperimentOptions& options = {});
+
+struct JitterPoint {
+  std::size_t stages = 0;
+  double mean_period_ps = 0.0;
+  double sigma_p_ps = 0.0;    ///< recovered by the Fig. 10 method
+  double sigma_g_ps = 0.0;    ///< per-gate jitter derived via Eq. 7 (IRO)
+  double sigma_direct_ps = 0.0;  ///< ground-truth sigma of the periods
+};
+
+struct JitterVsStagesConfig {
+  unsigned divider_n = 8;        ///< divide by 2^n in the measurement method
+  std::size_t mes_periods = 150; ///< osc_mes periods per point
+};
+
+/// Period jitter as a function of the number of stages, measured through the
+/// full instrument chain (divider + oscilloscope + Eq. 6), one point per
+/// entry of `stage_counts`. For RingKind::str, NT = NB.
+std::vector<JitterPoint> run_jitter_vs_stages(
+    RingKind kind, const std::vector<std::size_t>& stage_counts,
+    const Calibration& calibration, const ExperimentOptions& options = {},
+    const JitterVsStagesConfig& config = {});
+
+// --- Fig. 5 / Sec. V-A: oscillation modes -----------------------------------
+
+struct ModeMapEntry {
+  std::size_t tokens = 0;
+  ring::OscillationMode mode = ring::OscillationMode::irregular;
+  double interval_cv = 0.0;
+  double frequency_mhz = 0.0;
+};
+
+/// Classify the steady-state mode for each token count of an L-stage STR
+/// (paper Sec. V-A: L=32 locks evenly spaced for NT = 10..20). Charlie
+/// magnitude can be scaled to probe the locking mechanism (ablation);
+/// 1.0 = calibrated value.
+std::vector<ModeMapEntry> run_mode_map(
+    std::size_t stages, const std::vector<std::size_t>& token_counts,
+    const Calibration& calibration, const ExperimentOptions& options = {},
+    ring::TokenPlacement placement = ring::TokenPlacement::clustered,
+    double charlie_scale = 1.0, std::size_t periods = 600);
+
+// --- extension: the restart technique ----------------------------------------
+
+struct RestartPoint {
+  std::size_t edge = 0;      ///< k-th rising edge after start
+  double spread_ps = 0.0;    ///< stddev of t_k across restarts
+};
+
+struct RestartResult {
+  RingSpec spec;
+  std::vector<RestartPoint> points;
+  /// Fitted per-edge diffusion: spread(k) ~ sigma_restart * sqrt(k).
+  double diffusion_per_edge_ps = 0.0;
+  double fit_r2 = 0.0;
+  /// Control: two runs with identical seeds diverge by exactly zero.
+  bool control_identical = false;
+};
+
+/// The restart technique (standard TRNG entropy validation): run the ring
+/// `restarts` times from the SAME initial state with independent noise and
+/// measure how the k-th edge time spreads across runs. True (thermal)
+/// randomness gives sqrt(k) growth; a deterministic oscillator restarts
+/// identically (the same-seed control). The fitted diffusion must agree
+/// with the divided-clock readout of Figs. 11/12 — two entirely different
+/// estimators of the same quantity.
+RestartResult run_restart_experiment(const RingSpec& spec,
+                                     const Calibration& calibration,
+                                     unsigned restarts = 64,
+                                     std::size_t edges = 256,
+                                     const ExperimentOptions& options = {});
+
+// --- conclusion / ref [7]: coherent sampling across devices -----------------
+
+struct CoherentBoardResult {
+  unsigned board = 0;
+  double half_beat_samples = 0.0;  ///< median run length
+  double implied_detune = 0.0;     ///< 1 / (2 * half_beat)
+  double lsb_bias = 0.5;
+  std::size_t bits = 0;
+};
+
+struct CoherentSweepResult {
+  RingSpec spec;
+  double design_detune = 0.0;
+  std::vector<CoherentBoardResult> boards;
+  double detune_mean = 0.0;
+  double detune_sigma = 0.0;
+  double worst_deviation = 0.0;  ///< max |implied - design|
+};
+
+/// Build a coherent-sampling pair (ring + delay_scale-detuned sampling ring
+/// on different LUTs of the same board) on each of `board_count` boards and
+/// measure the beat window — the Table II consequence the paper's
+/// conclusion highlights. `design_detune` is the sampling ring's design
+/// slowdown (e.g. 0.01 for 1%).
+CoherentSweepResult run_coherent_across_boards(
+    const RingSpec& spec, const Calibration& calibration,
+    double design_detune = 0.01, unsigned board_count = 5,
+    const ExperimentOptions& options = {}, std::size_t periods = 60000);
+
+// --- Sec. IV-B: global deterministic jitter ---------------------------------
+
+struct DeterministicJitterPoint {
+  std::size_t stages = 0;
+  double mean_period_ps = 0.0;
+  double tone_ps = 0.0;       ///< amplitude of the modulation tone in T(k)
+  double tone_relative = 0.0; ///< tone_ps / mean_period_ps
+  double random_ps = 0.0;     ///< residual white jitter per period
+};
+
+struct DeterministicJitterConfig {
+  double modulation_amplitude_v = 0.05;
+  double modulation_frequency_hz = 2.0e6;
+  std::size_t periods = 8192;
+};
+
+/// Apply a sinusoidal supply modulation and measure the deterministic tone
+/// it leaves in the period sequence, per ring length. The paper's claim:
+/// the IRO tone grows with the stage count (linear accumulation over 2k
+/// crossings) while the STR tone does not.
+std::vector<DeterministicJitterPoint> run_deterministic_jitter(
+    RingKind kind, const std::vector<std::size_t>& stage_counts,
+    const Calibration& calibration,
+    const DeterministicJitterConfig& config = {},
+    const ExperimentOptions& options = {});
+
+}  // namespace ringent::core

@@ -1,0 +1,39 @@
+#include "core/export.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace ringent::core {
+
+std::optional<std::string> artifact_dir() {
+  const char* dir = std::getenv("RINGENT_OUT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+bool write_artifact(const std::string& experiment_id, const Table& table,
+                    const std::string& notes) {
+  RINGENT_REQUIRE(!experiment_id.empty(), "empty experiment id");
+  for (char c : experiment_id) {
+    RINGENT_REQUIRE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                        c == '_',
+                    "experiment id must be a filesystem-safe slug");
+  }
+  const auto dir = artifact_dir();
+  if (!dir.has_value()) return false;
+
+  const std::string path = *dir + "/" + experiment_id + ".csv";
+  std::ofstream out(path);
+  RINGENT_REQUIRE(out.good(), "cannot open artifact file " + path);
+  out << "# ringent experiment artifact: " << experiment_id << "\n";
+  if (!notes.empty()) out << "# " << notes << "\n";
+  out << table.csv();
+  out.flush();
+  if (!out.good()) throw Error("I/O error writing artifact " + path);
+  return true;
+}
+
+}  // namespace ringent::core

@@ -1,0 +1,28 @@
+// Machine-readable experiment artifacts.
+//
+// Every bench prints the paper-shaped table to stdout; when the environment
+// variable RINGENT_OUT_DIR names a writable directory, benches additionally
+// drop CSV files there (one per table/series) so plots can be regenerated
+// without scraping stdout. The export layer is deliberately dumb: benches
+// build core::Table objects anyway, and artifact() writes table.csv() plus a
+// provenance header (experiment id, seed, library version).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace ringent::core {
+
+/// Directory from RINGENT_OUT_DIR, or nullopt when exporting is off.
+std::optional<std::string> artifact_dir();
+
+/// Write `table` as <dir>/<experiment_id>.csv with a provenance comment
+/// header. No-op (returns false) when RINGENT_OUT_DIR is unset; throws
+/// ringent::Error on I/O failure when it is set. `experiment_id` must be a
+/// filesystem-safe slug (letters, digits, '-', '_').
+bool write_artifact(const std::string& experiment_id, const Table& table,
+                    const std::string& notes = "");
+
+}  // namespace ringent::core

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RINGENT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RINGENT_REQUIRE(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::csv() const {
+  const auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += ",";
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = render(headers_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_mhz(double mhz) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f MHz", mhz);
+  return buf;
+}
+
+std::string fmt_ps(double ps, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ps", precision, ps);
+  return buf;
+}
+
+}  // namespace ringent::core

@@ -1,0 +1,35 @@
+// Aligned-table and CSV rendering for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ringent::core {
+
+/// Column-aligned plain-text table, markdown-ish, for bench stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with padded columns and a header separator.
+  std::string str() const;
+
+  /// Comma-separated rendering (header + rows).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_mhz(double mhz);
+std::string fmt_ps(double ps, int precision = 2);
+
+}  // namespace ringent::core

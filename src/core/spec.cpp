@@ -1,0 +1,55 @@
+#include "core/spec.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::core {
+
+const char* to_string(RingKind kind) {
+  return kind == RingKind::iro ? "IRO" : "STR";
+}
+
+RingSpec RingSpec::iro(std::size_t stages) {
+  RingSpec spec;
+  spec.kind = RingKind::iro;
+  spec.stages = stages;
+  spec.validate();
+  return spec;
+}
+
+RingSpec RingSpec::str(std::size_t stages, std::size_t tokens,
+                       ring::TokenPlacement placement) {
+  RingSpec spec;
+  spec.kind = RingKind::str;
+  spec.stages = stages;
+  spec.tokens = tokens;
+  spec.placement = placement;
+  spec.validate();
+  return spec;
+}
+
+std::size_t RingSpec::effective_tokens() const {
+  if (kind != RingKind::str) return 0;
+  if (tokens != 0) return tokens;
+  std::size_t nt = stages / 2;
+  if (nt % 2 == 1) --nt;
+  return nt;
+}
+
+std::string RingSpec::name() const {
+  return std::string(to_string(kind)) + " " + std::to_string(stages) + "C";
+}
+
+void RingSpec::validate() const {
+  if (kind == RingKind::iro) {
+    RINGENT_REQUIRE(stages >= 3, "IRO needs at least 3 stages");
+    RINGENT_REQUIRE(tokens == 0, "tokens only apply to STRs");
+  } else {
+    RINGENT_REQUIRE(stages >= 3, "STR needs at least 3 stages");
+    const std::size_t nt = effective_tokens();
+    RINGENT_REQUIRE(ring::can_oscillate(stages, nt),
+                    "STR token count cannot oscillate (need positive even NT "
+                    "and at least one bubble)");
+  }
+}
+
+}  // namespace ringent::core

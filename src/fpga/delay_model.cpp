@@ -1,0 +1,27 @@
+#include "fpga/delay_model.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::fpga {
+
+DelayVoltageLaw::DelayVoltageLaw(double v_t, double v_nom,
+                                 double temp_coeff_per_c)
+    : v_t_(v_t), v_nom_(v_nom), temp_coeff_per_c_(temp_coeff_per_c) {
+  RINGENT_REQUIRE(v_nom > v_t, "nominal voltage must exceed the pivot");
+}
+
+double DelayVoltageLaw::scale(const OperatingPoint& op) const {
+  RINGENT_REQUIRE(op.voltage_v > v_t_,
+                  "operating voltage at or below the law's pivot");
+  const double voltage_scale = (v_nom_ - v_t_) / (op.voltage_v - v_t_);
+  const double temp_scale = 1.0 + temp_coeff_per_c_ * (op.temperature_c - 25.0);
+  return voltage_scale * temp_scale;
+}
+
+double DelayVoltageLaw::predicted_excursion(double v_lo, double v_hi) const {
+  RINGENT_REQUIRE(v_lo < v_hi && v_lo > v_t_, "invalid sweep bounds");
+  // F ∝ (V - V_t), so (F_max - F_min)/F_nom telescopes to a ratio of spans.
+  return (v_hi - v_lo) / (v_nom_ - v_t_);
+}
+
+}  // namespace ringent::fpga

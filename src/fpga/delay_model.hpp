@@ -1,0 +1,61 @@
+// Delay-vs-operating-point laws for FPGA timing arcs.
+//
+// The paper observes (Fig. 8) that ring frequencies vary *linearly* with core
+// voltage between 1.0 V and 1.4 V. A first-order alpha-power law with
+// exponent 1,
+//
+//     D(V) = D_nom * (V_nom - V_t) / (V - V_t),
+//
+// yields exactly that: F ∝ 1/D ∝ (V - V_t). The fitted pivot V_t controls the
+// sensitivity: the normalized excursion for a sweep [V_lo, V_hi] is
+// ΔF/F_nom = (V_hi - V_lo)/(V_nom - V_t). Different delay components (LUT
+// logic, programmable routing, Charlie-effect magnitude) carry different
+// fitted pivots; this is the model ingredient that reproduces the paper's
+// Table I trend (see DESIGN.md §1).
+//
+// A linear temperature derating is included for attack experiments; the paper
+// itself holds temperature constant.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace ringent::fpga {
+
+/// Operating point of the fabric at one instant.
+struct OperatingPoint {
+  double voltage_v = 1.2;
+  double temperature_c = 25.0;
+};
+
+/// One timing arc's dependence on the operating point.
+class DelayVoltageLaw {
+ public:
+  /// `v_t` is the fitted pivot voltage (must be below any operating voltage);
+  /// `v_nom` the voltage at which nominal delays are specified;
+  /// `temp_coeff_per_c` the relative delay increase per degree C above 25 C.
+  DelayVoltageLaw(double v_t, double v_nom, double temp_coeff_per_c = 0.0);
+
+  /// Dimensionless multiplier applied to the nominal delay.
+  double scale(const OperatingPoint& op) const;
+
+  /// Normalized frequency excursion this law alone would produce for a sweep
+  /// [v_lo, v_hi] around v_nom (the paper's ΔF for a single-component ring).
+  double predicted_excursion(double v_lo, double v_hi) const;
+
+  double v_t() const { return v_t_; }
+  double v_nom() const { return v_nom_; }
+
+ private:
+  double v_t_;
+  double v_nom_;
+  double temp_coeff_per_c_;
+};
+
+/// The set of laws used by one device family.
+struct VoltageLaws {
+  DelayVoltageLaw lut;      ///< LUT logic delay (strongly voltage sensitive)
+  DelayVoltageLaw routing;  ///< programmable interconnect (weaker sensitivity)
+  DelayVoltageLaw charlie;  ///< Charlie-effect magnitude
+};
+
+}  // namespace ringent::fpga

@@ -1,0 +1,30 @@
+#include "fpga/device.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::fpga {
+
+Board::Board(std::uint64_t master_seed, unsigned board_index,
+             const ProcessParams& params)
+    : board_seed_(derive_seed(master_seed, "board", board_index)),
+      index_(board_index),
+      params_(params) {
+  RINGENT_REQUIRE(params.global_sigma >= 0.0 && params.lut_mismatch_sigma >= 0.0,
+                  "process sigmas must be non-negative");
+  Xoshiro256 rng(derive_seed(board_seed_, "global"));
+  global_factor_ = 1.0 + params_.global_sigma * rng.normal();
+  RINGENT_REQUIRE(global_factor_ > 0.0, "degenerate global process factor");
+}
+
+double Board::lut_factor(std::size_t lut_index) const {
+  Xoshiro256 rng(derive_seed(board_seed_, "lut", lut_index));
+  const double f = 1.0 + params_.lut_mismatch_sigma * rng.normal();
+  RINGENT_REQUIRE(f > 0.0, "degenerate LUT mismatch factor");
+  return f;
+}
+
+std::uint64_t Board::noise_seed(std::size_t lut_index) const {
+  return derive_seed(board_seed_, "noise", lut_index);
+}
+
+}  // namespace ringent::fpga

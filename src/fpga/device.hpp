@@ -1,0 +1,62 @@
+// Device (board) model: the static delay population of one FPGA die.
+//
+// Table II of the paper measures *extra-device* frequency spread by loading
+// the same bitstream into five boards. We model a die as
+//   * one global process factor  g ~ N(1, sigma_global^2)   (lot/die-level),
+//   * one mismatch factor per LUT m_i ~ N(1, sigma_mismatch^2)
+//     (within-die random variability),
+// both drawn deterministically from (master_seed, board_index, lut_index), so
+// "the same bitstream on board k" always sees the same silicon. The observed
+// decomposition in the paper's data (sigma_rel ≈ sqrt(sigma_g^2 +
+// sigma_mm^2 / L)) fixes sigma_mismatch ≈ 1.35 % and sigma_global ≈ 0.1 % for
+// the Cyclone III population (see EXPERIMENTS.md, Table II).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ringent::fpga {
+
+/// Statistical parameters of a device family's delay population.
+struct ProcessParams {
+  double global_sigma = 0.001;        ///< die-level relative delay spread
+  double lut_mismatch_sigma = 0.0135; ///< per-LUT relative delay spread
+};
+
+class Board {
+ public:
+  /// `master_seed` identifies the manufactured population; `board_index`
+  /// selects one die from it (boards 0..4 reproduce the paper's five boards).
+  Board(std::uint64_t master_seed, unsigned board_index,
+        const ProcessParams& params);
+
+  unsigned index() const { return index_; }
+
+  /// Die-level multiplicative delay factor.
+  double global_factor() const { return global_factor_; }
+
+  /// Multiplicative delay factor of LUT cell `lut_index`. Deterministic in
+  /// (master seed, board, lut): repeated calls return the same silicon.
+  double lut_factor(std::size_t lut_index) const;
+
+  /// Combined static factor for one LUT (global * mismatch).
+  double stage_factor(std::size_t lut_index) const {
+    return global_factor_ * lut_factor(lut_index);
+  }
+
+  /// Seed for the *dynamic* noise stream of LUT `lut_index` — independent of
+  /// the static factors and of every other LUT's stream.
+  std::uint64_t noise_seed(std::size_t lut_index) const;
+
+  const ProcessParams& params() const { return params_; }
+
+ private:
+  std::uint64_t board_seed_;
+  unsigned index_;
+  ProcessParams params_;
+  double global_factor_;
+};
+
+}  // namespace ringent::fpga

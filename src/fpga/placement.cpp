@@ -1,0 +1,83 @@
+#include "fpga/placement.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::fpga {
+
+std::size_t labs_used(std::size_t stages) {
+  RINGENT_REQUIRE(stages >= 1, "ring needs at least one stage");
+  return (stages + lab_capacity - 1) / lab_capacity;
+}
+
+std::vector<Time> distribute_routing(Time mean_per_hop, std::size_t stages,
+                                     double crossing_weight) {
+  RINGENT_REQUIRE(stages >= 1, "ring needs at least one stage");
+  RINGENT_REQUIRE(!mean_per_hop.is_negative(),
+                  "routing delay cannot be negative");
+  RINGENT_REQUIRE(crossing_weight >= 1.0, "crossing weight must be >= 1");
+
+  // Weight per hop: hop i connects stage i to stage i+1 (cyclically). LAB
+  // boundary crossings and the wrap-around net each cost `crossing_weight`
+  // within-LAB units. (The wrap is deliberately NOT scaled by the number of
+  // LABs spanned: a ring's throughput is bounded by its slowest stage —
+  // tokens queue behind it — so a single oversized net would bottleneck the
+  // whole ring, which routers avoid by using a fast long line.)
+  std::vector<double> weights(stages, 1.0);
+  const std::size_t labs = labs_used(stages);
+  for (std::size_t i = 0; i + 1 < stages; ++i) {
+    if ((i + 1) % lab_capacity == 0) weights[i] = crossing_weight;
+  }
+  if (labs > 1) weights[stages - 1] = crossing_weight;
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const double scale =
+      mean_per_hop.ps() * static_cast<double>(stages) / total;
+
+  std::vector<Time> out;
+  out.reserve(stages);
+  for (double w : weights) out.push_back(Time::from_ps(w * scale));
+  return out;
+}
+
+RoutingModel::RoutingModel(std::vector<Point> points)
+    : points_(std::move(points)) {
+  RINGENT_REQUIRE(!points_.empty(), "routing model needs >= 1 point");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    RINGENT_REQUIRE(!points_[i].per_hop.is_negative(),
+                    "routing delay cannot be negative");
+    if (i > 0) {
+      RINGENT_REQUIRE(points_[i].stages > points_[i - 1].stages,
+                      "routing points must be strictly increasing in length");
+    }
+  }
+}
+
+Time RoutingModel::per_hop_delay(std::size_t stages) const {
+  RINGENT_REQUIRE(stages >= 1, "ring needs at least one stage");
+  if (stages <= points_.front().stages) return points_.front().per_hop;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (stages <= points_[i].stages) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double frac = static_cast<double>(stages - a.stages) /
+                          static_cast<double>(b.stages - a.stages);
+      const double ps =
+          a.per_hop.ps() + frac * (b.per_hop.ps() - a.per_hop.ps());
+      return Time::from_ps(ps);
+    }
+  }
+  // Extrapolate with the last segment's slope; never below zero.
+  if (points_.size() == 1) return points_.back().per_hop;
+  const auto& a = points_[points_.size() - 2];
+  const auto& b = points_.back();
+  const double slope = (b.per_hop.ps() - a.per_hop.ps()) /
+                       static_cast<double>(b.stages - a.stages);
+  const double ps =
+      b.per_hop.ps() + slope * static_cast<double>(stages - b.stages);
+  return Time::from_ps(ps < 0.0 ? 0.0 : ps);
+}
+
+}  // namespace ringent::fpga

@@ -1,0 +1,69 @@
+// Placement & routing delay model.
+//
+// The paper places ring stages manually, "if possible in the same Altera
+// LAB", to minimize interconnect delay. A Cyclone III LAB holds 16 logic
+// elements; rings longer than that span several LABs and pick up programmable
+// -interconnect delay on every hop. The paper publishes no layout data, but
+// its measured frequencies imply an average per-hop routing delay that grows
+// with ring length for STRs (each stage connects both forward to i+1 and
+// backward from i+1, so the feedback nets stretch as the ring spreads over
+// more LABs) and quickly saturates for IROs (a simple unidirectional chain).
+//
+// RoutingModel therefore carries a *calibration table* per ring kind —
+// (ring length -> mean per-hop routing delay) — extracted from the paper's
+// Table I/II frequencies, interpolated piecewise-linearly between calibrated
+// lengths. This is documented as calibration, not physics (DESIGN.md §1);
+// the voltage behaviour of the routed fraction is what reproduces the
+// Table I ΔF-vs-length trend.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ringent::fpga {
+
+/// Number of logic elements per LAB (Cyclone III).
+inline constexpr std::size_t lab_capacity = 16;
+
+/// LABs needed to place an L-stage ring (one LUT per stage).
+std::size_t labs_used(std::size_t stages);
+
+/// Distribute a calibrated mean per-hop routing delay across the stages of
+/// a chain-placed ring with LAB structure: hops that cross a LAB boundary
+/// (every lab_capacity-th hop) cost `crossing_weight` x the within-LAB base,
+/// and the wrap-around connection from the last stage back to stage 0 costs
+/// crossing_weight x (LABs spanned - 1) x base. Weights are normalized so
+/// the mean over all hops equals `mean_per_hop` exactly — total ring delay
+/// (and therefore the calibrated frequency) is preserved; only the per-stage
+/// *asymmetry* changes. In STRs this asymmetry parks stages away from the
+/// Charlie apex, weakening the idealized regulation — the physical
+/// explanation our EXPERIMENTS.md offers for the silicon-vs-model diffusion
+/// gap, made testable by ext_routing_structure.
+std::vector<Time> distribute_routing(Time mean_per_hop, std::size_t stages,
+                                     double crossing_weight = 4.0);
+
+/// Piecewise-linear (length -> per-hop routing delay) calibration.
+class RoutingModel {
+ public:
+  struct Point {
+    std::size_t stages;
+    Time per_hop;
+  };
+
+  /// `points` must be non-empty and strictly increasing in `stages`.
+  explicit RoutingModel(std::vector<Point> points);
+
+  /// Mean per-hop routing delay at nominal voltage for an L-stage ring.
+  /// Below the first calibrated length the first value is held; above the
+  /// last the final segment's slope is extrapolated (clamped at zero).
+  Time per_hop_delay(std::size_t stages) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace ringent::fpga

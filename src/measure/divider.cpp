@@ -1,0 +1,27 @@
+#include "measure/divider.hpp"
+
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+
+namespace ringent::measure {
+
+std::vector<Time> divide_rising_edges(const std::vector<Time>& rising_edges,
+                                      const DividerConfig& config) {
+  RINGENT_REQUIRE(config.n >= 1 && config.n <= 30, "divider n must be in [1,30]");
+  RINGENT_REQUIRE(!config.tap_delay.is_negative(),
+                  "tap delay cannot be negative");
+  const std::size_t step = std::size_t{1} << config.n;
+  std::vector<Time> out;
+  out.reserve(rising_edges.size() / step + 1);
+  for (std::size_t i = step - 1; i < rising_edges.size(); i += step) {
+    out.push_back(rising_edges[i] + config.tap_delay);
+  }
+  return out;
+}
+
+std::vector<double> divided_periods_ps(const std::vector<Time>& rising_edges,
+                                       const DividerConfig& config) {
+  return analysis::periods_ps(divide_rising_edges(rising_edges, config));
+}
+
+}  // namespace ringent::measure

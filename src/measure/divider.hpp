@@ -1,0 +1,32 @@
+// On-chip frequency divider (paper Fig. 10).
+//
+// The measurement method divides the ring output by 2^n with a ripple counter
+// inside the chip; the oscilloscope then only sees the slow osc_mes signal.
+// A T-flip-flop chain toggles its last stage on every 2^n-th source rising
+// edge, so dividing is exactly "keep every 2^n-th rising edge" — we implement
+// it as edge-list post-processing (bit-identical to simulating the counter,
+// with none of the event cost) plus a small per-tap latency for realism.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ringent::measure {
+
+struct DividerConfig {
+  unsigned n = 10;            ///< divide by 2^n
+  Time tap_delay = Time::zero();  ///< counter propagation latency (constant)
+};
+
+/// Rising edges of osc_mes: every 2^n-th source rising edge, shifted by the
+/// tap latency. The first output edge is the (2^n)-th input edge.
+std::vector<Time> divide_rising_edges(const std::vector<Time>& rising_edges,
+                                      const DividerConfig& config);
+
+/// osc_mes periods in ps (each the sum of 2^n source periods).
+std::vector<double> divided_periods_ps(const std::vector<Time>& rising_edges,
+                                       const DividerConfig& config);
+
+}  // namespace ringent::measure

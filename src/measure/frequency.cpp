@@ -1,0 +1,30 @@
+#include "measure/frequency.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::measure {
+
+double mean_frequency_mhz(const sim::SignalTrace& trace) {
+  return mean_frequency_mhz(trace.rising_edges());
+}
+
+double mean_frequency_mhz(const std::vector<Time>& rising_edges) {
+  RINGENT_REQUIRE(rising_edges.size() >= 2, "need >= 2 rising edges");
+  const Time span = rising_edges.back() - rising_edges.front();
+  RINGENT_REQUIRE(span > Time::zero(), "degenerate edge list");
+  const double cycles = static_cast<double>(rising_edges.size() - 1);
+  return cycles / span.seconds() * 1e-6;
+}
+
+double gated_frequency_mhz(const std::vector<Time>& rising_edges,
+                           Time gate_start, Time gate) {
+  RINGENT_REQUIRE(gate > Time::zero(), "gate must be positive");
+  const Time gate_end = gate_start + gate;
+  std::size_t count = 0;
+  for (Time t : rising_edges) {
+    if (t >= gate_start && t < gate_end) ++count;
+  }
+  return static_cast<double>(count) / gate.seconds() * 1e-6;
+}
+
+}  // namespace ringent::measure

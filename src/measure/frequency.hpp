@@ -1,0 +1,20 @@
+// Frequency measurement from recorded edges.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/probe.hpp"
+
+namespace ringent::measure {
+
+/// Mean frequency in MHz over the recorded rising edges (>= 2 required).
+double mean_frequency_mhz(const sim::SignalTrace& trace);
+double mean_frequency_mhz(const std::vector<Time>& rising_edges);
+
+/// Gated frequency counter: rising edges inside [gate_start, gate_start +
+/// gate) divided by the gate time — what an on-chip counter would report.
+double gated_frequency_mhz(const std::vector<Time>& rising_edges,
+                           Time gate_start, Time gate);
+
+}  // namespace ringent::measure

@@ -1,0 +1,50 @@
+#include "measure/oscilloscope.hpp"
+
+#include "analysis/jitter.hpp"
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::measure {
+
+Oscilloscope::Oscilloscope(const OscilloscopeConfig& config)
+    : config_(config), rng_(config.seed) {
+  RINGENT_REQUIRE(config.noise_floor_ps >= 0.0,
+                  "noise floor cannot be negative");
+  RINGENT_REQUIRE(!config.sample_period.is_negative(),
+                  "sample period cannot be negative");
+}
+
+Time Oscilloscope::measure_one(Time t) {
+  double ps = t.ps() + rng_.normal(0.0, config_.noise_floor_ps);
+  if (config_.sample_period > Time::zero()) {
+    const double q = config_.sample_period.ps();
+    ps = q * std::llround(ps / q);
+  }
+  return Time::from_ps(ps);
+}
+
+std::vector<Time> Oscilloscope::measure_edges(
+    const std::vector<Time>& true_edges) {
+  std::vector<Time> out;
+  out.reserve(true_edges.size());
+  for (Time t : true_edges) out.push_back(measure_one(t));
+  return out;
+}
+
+std::vector<double> Oscilloscope::measure_periods_ps(
+    const std::vector<Time>& true_edges) {
+  return analysis::periods_ps(measure_edges(true_edges));
+}
+
+double Oscilloscope::period_jitter_ps(const std::vector<Time>& true_edges) {
+  return describe(measure_periods_ps(true_edges)).stddev();
+}
+
+double Oscilloscope::cycle_to_cycle_jitter_ps(
+    const std::vector<Time>& true_edges) {
+  const auto periods = measure_periods_ps(true_edges);
+  return describe(analysis::first_differences(periods)).stddev();
+}
+
+}  // namespace ringent::measure

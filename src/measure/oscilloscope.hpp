@@ -1,0 +1,59 @@
+// Wide-band digital oscilloscope model (LeCroy WavePro 735 Zi stand-in).
+//
+// The paper notes that direct oscilloscope measurement of very low jitter is
+// biased by the instrument's sampling clock and the FPGA's I/O circuitry.
+// We model each measured edge timestamp as
+//
+//     t_meas = quantize(t_true + N(0, sigma_floor^2), sample_period)
+//
+// — a Gaussian trigger/interpolation noise floor plus sample-clock
+// quantization. Measuring a sigma_p ~ 2.8 ps period jitter through a
+// ~2-3 ps floor inflates it to sqrt(sigma_p^2 + 2*sigma_floor^2): exactly the
+// bias that motivates the divided-clock method (measure/method.hpp), which
+// must recover the true value through the same instrument model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ringent::measure {
+
+struct OscilloscopeConfig {
+  /// Per-edge Gaussian timestamp noise (trigger jitter + I/O buffer noise).
+  double noise_floor_ps = 2.5;
+  /// Sampling period; 40 GS/s = 25 ps. Zero disables quantization (the
+  /// scope's sin(x)/x interpolation is then taken as perfect).
+  Time sample_period = Time::from_ps(25.0);
+  std::uint64_t seed = 0x05C0FE;
+};
+
+class Oscilloscope {
+ public:
+  explicit Oscilloscope(const OscilloscopeConfig& config);
+
+  /// Timestamps as the instrument reports them.
+  std::vector<Time> measure_edges(const std::vector<Time>& true_edges);
+
+  /// Periods (ps) of the measured edge sequence.
+  std::vector<double> measure_periods_ps(const std::vector<Time>& true_edges);
+
+  /// Instrument-reported period jitter (sigma of measured periods).
+  double period_jitter_ps(const std::vector<Time>& true_edges);
+
+  /// Instrument-reported cycle-to-cycle jitter (sigma of successive period
+  /// differences).
+  double cycle_to_cycle_jitter_ps(const std::vector<Time>& true_edges);
+
+  const OscilloscopeConfig& config() const { return config_; }
+
+ private:
+  Time measure_one(Time t);
+
+  OscilloscopeConfig config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ringent::measure

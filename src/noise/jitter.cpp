@@ -1,0 +1,50 @@
+#include "noise/jitter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent::noise {
+
+GaussianNoise::GaussianNoise(double sigma_ps, std::uint64_t seed)
+    : sigma_ps_(sigma_ps), rng_(seed) {
+  RINGENT_REQUIRE(sigma_ps >= 0.0, "noise sigma must be non-negative");
+}
+
+double GaussianNoise::sample_ps() { return rng_.normal(0.0, sigma_ps_); }
+
+FlickerNoise::FlickerNoise(double amplitude_ps, unsigned octaves,
+                           std::uint64_t seed)
+    : rng_(seed) {
+  RINGENT_REQUIRE(amplitude_ps >= 0.0, "noise amplitude must be non-negative");
+  RINGENT_REQUIRE(octaves >= 1 && octaves <= 32, "octaves must be in [1,32]");
+  // The sum of `octaves` independent rows has variance octaves * row_var.
+  row_sigma_ps_ = amplitude_ps / std::sqrt(static_cast<double>(octaves));
+  rows_.resize(octaves);
+  for (auto& r : rows_) r = rng_.normal(0.0, row_sigma_ps_);
+}
+
+double FlickerNoise::sample_ps() {
+  // Voss–McCartney: on sample n, refresh row = number of trailing zeros of n,
+  // so row k updates every 2^k samples -> approximately 1/f spectrum.
+  ++counter_;
+  const unsigned row = static_cast<unsigned>(std::countr_zero(counter_));
+  if (row < rows_.size()) rows_[row] = rng_.normal(0.0, row_sigma_ps_);
+  double sum = 0.0;
+  for (double r : rows_) sum += r;
+  return sum;
+}
+
+void CompositeNoise::add(std::unique_ptr<NoiseSource> source) {
+  RINGENT_REQUIRE(source != nullptr, "null noise source");
+  sources_.push_back(std::move(source));
+}
+
+double CompositeNoise::sample_ps() {
+  double sum = 0.0;
+  for (auto& s : sources_) sum += s->sample_ps();
+  return sum;
+}
+
+}  // namespace ringent::noise

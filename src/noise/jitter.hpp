@@ -1,0 +1,80 @@
+// Dynamic (per-event) noise sources for gate propagation delays.
+//
+// The paper's jitter model (Sec. IV-A): each LUT's propagation delay carries
+// an i.i.d. Gaussian term N(0, sigma_g^2), with sigma_g ≈ 2 ps extracted from
+// the IRO accumulation curve (Fig. 11). GaussianNoise implements exactly
+// that. FlickerNoise adds an optional 1/f component (Voss–McCartney) — real
+// oscillators show flicker at long horizons; the paper's model neglects it
+// and so do our default calibrations, but the ablation benches can switch it
+// on to show where the sqrt-accumulation law bends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ringent::noise {
+
+/// A per-event additive delay-noise stream (values in picoseconds).
+class NoiseSource {
+ public:
+  virtual ~NoiseSource() = default;
+
+  /// Noise contribution of the next gate firing (may be negative).
+  virtual double sample_ps() = 0;
+};
+
+/// White Gaussian noise: the paper's local jitter model.
+class GaussianNoise final : public NoiseSource {
+ public:
+  GaussianNoise(double sigma_ps, std::uint64_t seed);
+
+  double sample_ps() override;
+
+  double sigma_ps() const { return sigma_ps_; }
+
+ private:
+  double sigma_ps_;
+  Xoshiro256 rng_;
+};
+
+/// 1/f (flicker) noise via the Voss–McCartney algorithm: `octaves` white
+/// generators updated at halving rates sum to a pink spectrum. Amplitude is
+/// the per-sample standard deviation of the summed output.
+class FlickerNoise final : public NoiseSource {
+ public:
+  FlickerNoise(double amplitude_ps, unsigned octaves, std::uint64_t seed);
+
+  double sample_ps() override;
+
+  unsigned octaves() const { return static_cast<unsigned>(rows_.size()); }
+
+ private:
+  double row_sigma_ps_;
+  Xoshiro256 rng_;
+  std::vector<double> rows_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Sum of independent sources (e.g. white + flicker).
+class CompositeNoise final : public NoiseSource {
+ public:
+  void add(std::unique_ptr<NoiseSource> source);
+
+  double sample_ps() override;
+
+  std::size_t size() const { return sources_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<NoiseSource>> sources_;
+};
+
+/// The zero source, for noise-free deterministic runs.
+class NoNoise final : public NoiseSource {
+ public:
+  double sample_ps() override { return 0.0; }
+};
+
+}  // namespace ringent::noise

@@ -1,0 +1,30 @@
+#include "noise/modulation.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent::noise {
+
+SineDelayModulation::SineDelayModulation(double amplitude_ps,
+                                         double frequency_hz, double phase_rad)
+    : amplitude_ps_(amplitude_ps),
+      frequency_hz_(frequency_hz),
+      phase_rad_(phase_rad) {
+  RINGENT_REQUIRE(amplitude_ps >= 0.0, "negative modulation amplitude");
+  RINGENT_REQUIRE(frequency_hz > 0.0, "modulation frequency must be positive");
+}
+
+double SineDelayModulation::offset_ps(Time t) const {
+  return amplitude_ps_ *
+         std::sin(2.0 * M_PI * frequency_hz_ * t.seconds() + phase_rad_);
+}
+
+StepDelayModulation::StepDelayModulation(double step_ps, Time at)
+    : step_ps_(step_ps), at_(at) {}
+
+double StepDelayModulation::offset_ps(Time t) const {
+  return t >= at_ ? step_ps_ : 0.0;
+}
+
+}  // namespace ringent::noise

@@ -1,0 +1,59 @@
+// Direct deterministic delay modulation.
+//
+// The physically-motivated path for global deterministic jitter is supply
+// modulation (fpga::Supply + the delay-voltage laws). For *controlled*
+// experiments and ablations it is useful to bypass the analog chain and add
+// a known deterministic waveform straight to every stage delay; the Sec. IV-B
+// bench uses both paths and checks they agree in shape.
+#pragma once
+
+#include <memory>
+
+#include "common/time.hpp"
+
+namespace ringent::noise {
+
+/// A deterministic, time-dependent additive delay offset.
+class DelayModulation {
+ public:
+  virtual ~DelayModulation() = default;
+
+  /// Additive delay offset (ps) applied to a stage firing at absolute time t.
+  virtual double offset_ps(Time t) const = 0;
+};
+
+class NoModulation final : public DelayModulation {
+ public:
+  double offset_ps(Time) const override { return 0.0; }
+};
+
+/// Sinusoidal deterministic modulation of the per-stage delay.
+class SineDelayModulation final : public DelayModulation {
+ public:
+  SineDelayModulation(double amplitude_ps, double frequency_hz,
+                      double phase_rad = 0.0);
+
+  double offset_ps(Time t) const override;
+
+  double amplitude_ps() const { return amplitude_ps_; }
+  double frequency_hz() const { return frequency_hz_; }
+
+ private:
+  double amplitude_ps_;
+  double frequency_hz_;
+  double phase_rad_;
+};
+
+/// Step change in per-stage delay at a given instant (attack transient).
+class StepDelayModulation final : public DelayModulation {
+ public:
+  StepDelayModulation(double step_ps, Time at);
+
+  double offset_ps(Time t) const override;
+
+ private:
+  double step_ps_;
+  Time at_;
+};
+
+}  // namespace ringent::noise

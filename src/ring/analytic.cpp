@@ -1,0 +1,60 @@
+#include "ring/analytic.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "ring/str_logic.hpp"
+
+namespace ringent::ring {
+
+SteadyStatePrediction predict_steady_state(const CharlieParams& params,
+                                           Time routing_per_hop,
+                                           std::size_t stages,
+                                           std::size_t tokens) {
+  RINGENT_REQUIRE(can_oscillate(stages, tokens),
+                  "pattern cannot oscillate (need positive even NT, NB >= 1)");
+  RINGENT_REQUIRE(params.d_ff > Time::zero() && params.d_rr > Time::zero(),
+                  "static delays must be positive");
+  RINGENT_REQUIRE(!routing_per_hop.is_negative(),
+                  "routing delay cannot be negative");
+
+  const double d_mean = params.d_mean().ps() + routing_per_hop.ps();
+  const double s0 = params.s_offset().ps();
+  const double dch = params.d_charlie.ps();
+  const double nt = static_cast<double>(tokens);
+  const double nb = static_cast<double>(stages - tokens);
+  const double alpha = (nb - nt) / static_cast<double>(stages);
+
+  // Solve x = d_mean + sqrt(dch^2 + (alpha x - s0)^2) for x = T/4:
+  // (1 - alpha^2) x^2 - 2 (d_mean - alpha s0) x + (d_mean^2 - dch^2 - s0^2) = 0.
+  const double a = 1.0 - alpha * alpha;
+  const double b = -2.0 * (d_mean - alpha * s0);
+  const double c = d_mean * d_mean - dch * dch - s0 * s0;
+  RINGENT_REQUIRE(a > 0.0, "degenerate token/bubble ratio");
+  const double disc = b * b - 4.0 * a * c;
+  RINGENT_REQUIRE(disc >= 0.0, "no steady-state solution for these delays");
+  const double x = (-b + std::sqrt(disc)) / (2.0 * a);
+  RINGENT_REQUIRE(x >= d_mean + dch - 1e-9,
+                  "inadmissible steady-state root");
+
+  const double s = alpha * x - s0;  // separation relative to the apex
+  SteadyStatePrediction out;
+  out.period = Time::from_ps(4.0 * x);
+  out.forward_hop =
+      Time::from_ps(nt * 4.0 * x / (2.0 * static_cast<double>(stages)));
+  out.reverse_hop =
+      Time::from_ps(nb * 4.0 * x / (2.0 * static_cast<double>(stages)));
+  out.separation = Time::from_ps(alpha * x);
+  out.frequency_mhz = 1e6 / (4.0 * x);
+  out.locking_margin = 1.0 - std::abs(s) / std::sqrt(dch * dch + s * s);
+  return out;
+}
+
+double ideal_token_count(const CharlieParams& params, std::size_t stages) {
+  RINGENT_REQUIRE(stages >= 3, "ring needs at least 3 stages");
+  const double dff = params.d_ff.ps();
+  const double drr = params.d_rr.ps();
+  return static_cast<double>(stages) * dff / (dff + drr);
+}
+
+}  // namespace ringent::ring

@@ -1,0 +1,63 @@
+// Analytic steady-state model of the evenly-spaced STR regime — the
+// high-level "time accurate model" of Hamon et al. (paper ref [4]) that the
+// paper builds on, in closed form for the Charlie parametrization of Eq. 3.
+//
+// Derivation. In the evenly-spaced limit cycle every stage fires with
+// interval T/2 and the firing wave is uniform, so the enabling events of a
+// stage sit fixed lags behind its own firing: the token-side event by the
+// forward hop latency d_f, the bubble-side event by the reverse hop latency
+// d_r. Counting passages gives
+//
+//     d_f = NT T / (2L),        d_r = NB T / (2L),
+//
+// and the Charlie firing rule t = (tf+tr)/2 + charlie((tf-tr)/2) becomes the
+// scalar equation
+//
+//     T/4 = D_mean + sqrt(Dch^2 + (alpha T/4 - s0)^2),
+//     alpha = (NB - NT)/L,   s = (d_r - d_f)/2 = alpha T/4,
+//
+// a quadratic in T with exactly one admissible root. For NT = NB it reduces
+// to the paper's Sec. III result: zero separation, maximal Charlie effect,
+// T = 4 (Ds + Dch) (plus routing). The event simulator must agree with this
+// model to <1% on homogeneous rings — asserted in tests/test_analytic.cpp —
+// and the sec5a bench prints both columns side by side.
+//
+// The locking margin 1 - |charlie'(s)| is a fragility heuristic: the
+// restoring force vanishes as the steady separation climbs onto the linear
+// part of the Charlie curve (token-starved or bubble-starved rings, or
+// Dch -> 0), which is where the burst mode survives in simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "ring/charlie.hpp"
+
+namespace ringent::ring {
+
+struct SteadyStatePrediction {
+  Time period;        ///< output period T of any stage
+  Time forward_hop;   ///< token hop latency d_f (stage i fires -> i+1 fires)
+  Time reverse_hop;   ///< bubble hop latency d_r
+  Time separation;    ///< steady input separation s (signed, 0 for NT = NB)
+  double frequency_mhz = 0.0;
+  /// 1 - |d charlie/ds| at the operating separation; 1 = strongest locking
+  /// (parabola apex), -> 0 = marginal (linear region, burst-prone).
+  double locking_margin = 0.0;
+};
+
+/// Closed-form steady state of an L-stage ring with `tokens` tokens.
+/// `routing_per_hop` is added to both static delays (it is in series with
+/// the stage on both the forward and reverse paths). Preconditions: a valid
+/// oscillating pattern (can_oscillate) and positive delays.
+SteadyStatePrediction predict_steady_state(const CharlieParams& params,
+                                           Time routing_per_hop,
+                                           std::size_t stages,
+                                           std::size_t tokens);
+
+/// Hamon's design rule (paper Eq. 1): the token/bubble ratio that centres
+/// the ring at zero separation, NT/NB = Dff/Drr. Returns the real-valued
+/// ideal token count for a given ring length.
+double ideal_token_count(const CharlieParams& params, std::size_t stages);
+
+}  // namespace ringent::ring

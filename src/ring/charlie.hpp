@@ -1,0 +1,77 @@
+// The Charlie-effect delay model for a self-timed ring stage (paper Eq. 3).
+//
+// A Muller gate's propagation delay depends on the separation of its two
+// input events: the closer the arrivals, the longer the delay. With forward
+// input arriving at tf, reverse at tr, mean arrival M = (tf+tr)/2 and
+// separation s = (tf-tr)/2, the output fires at
+//
+//     t_out = M + charlie(s),   charlie(s) = D_mean + sqrt(Dch^2 + (s-s0)^2),
+//
+// where D_mean = (Dff+Drr)/2 and s0 = (Drr-Dff)/2. The asymptotes recover
+// pure static behaviour: for s -> +inf (token waits on a late bubble... i.e.
+// forward arrives last) t_out -> tf + Dff; for s -> -inf, t_out -> tr + Drr.
+// The paper's FPGA case has Dff = Drr = Ds, giving its Eq. 3 exactly.
+//
+// The parabola bottom is the evenly-spaced locking mechanism: d(charlie)/ds
+// vanishes at s = s0, so small spacing perturbations change the delay only to
+// second order, while larger ones are pushed back with slope ±1 — tokens
+// repel each other (Sec. II-D.3).
+//
+// The drafting effect (delay reduction shortly after the stage's previous
+// output event) is implemented as an optional exponential term; the paper
+// finds it negligible in FPGAs and our calibrations disable it by default.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace ringent::ring {
+
+struct CharlieParams {
+  Time d_ff;       ///< forward static delay Dff
+  Time d_rr;       ///< reverse static delay Drr
+  Time d_charlie;  ///< Charlie effect magnitude Dch
+
+  /// Symmetric stage (the paper's FPGA hypothesis Dff = Drr = Ds).
+  static CharlieParams symmetric(Time d_static, Time d_charlie);
+
+  Time d_mean() const { return (d_ff + d_rr) / 2; }
+  /// Separation offset where the delay is minimal.
+  Time s_offset() const { return (d_rr - d_ff) / 2; }
+};
+
+struct DraftingParams {
+  bool enabled = false;
+  double amplitude_ps = 0.0;  ///< maximum delay reduction
+  double tau_ps = 1.0;        ///< recovery time constant
+
+  static DraftingParams disabled() { return {}; }
+  static DraftingParams asic(double amplitude_ps, double tau_ps);
+};
+
+/// charlie(s) in picoseconds for explicit parameters (analysis/plots).
+double charlie_delay_ps(double d_mean_ps, double d_charlie_ps, double s_ps,
+                        double s_offset_ps = 0.0);
+
+class CharlieModel {
+ public:
+  CharlieModel(const CharlieParams& params,
+               const DraftingParams& drafting = DraftingParams::disabled());
+
+  const CharlieParams& params() const { return params_; }
+  const DraftingParams& drafting() const { return drafting_; }
+
+  /// Absolute output event time for forward/reverse input events at tf / tr,
+  /// given the stage's previous output event time and an extra additive delay
+  /// contribution (noise + deterministic modulation + routing), in ps.
+  /// Static delays are scaled by `static_scale` and the Charlie magnitude by
+  /// `charlie_scale` (process mismatch x voltage laws). The result is clamped
+  /// to max(tf, tr) + a small causality floor.
+  Time fire_time(Time tf, Time tr, Time last_output, double extra_ps,
+                 double static_scale = 1.0, double charlie_scale = 1.0) const;
+
+ private:
+  CharlieParams params_;
+  DraftingParams drafting_;
+};
+
+}  // namespace ringent::ring

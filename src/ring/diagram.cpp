@@ -1,0 +1,170 @@
+#include "ring/diagram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/require.hpp"
+
+namespace ringent::ring {
+
+namespace {
+/// Latest transition time strictly before `t`, or nullopt semantics via
+/// bool + value (avoid optional in the hot loop).
+bool last_before(const std::vector<sim::Transition>& transitions, Time t,
+                 Time& out) {
+  const auto it = std::lower_bound(
+      transitions.begin(), transitions.end(), t,
+      [](const sim::Transition& tr, Time rhs) { return tr.at < rhs; });
+  if (it == transitions.begin()) return false;
+  out = std::prev(it)->at;
+  return true;
+}
+}  // namespace
+
+std::vector<CharliePoint> extract_charlie_points(
+    const std::vector<sim::SignalTrace>& stage_traces,
+    std::size_t skip_per_stage) {
+  const std::size_t stages = stage_traces.size();
+  RINGENT_REQUIRE(stages >= 3, "need traces of at least 3 stages");
+
+  std::vector<CharliePoint> out;
+  for (std::size_t i = 0; i < stages; ++i) {
+    const auto& mine = stage_traces[i].transitions();
+    const auto& prev = stage_traces[(i + stages - 1) % stages].transitions();
+    const auto& next = stage_traces[(i + 1) % stages].transitions();
+    for (std::size_t k = skip_per_stage; k < mine.size(); ++k) {
+      const Time t = mine[k].at;
+      Time tf, tr;
+      if (!last_before(prev, t, tf) || !last_before(next, t, tr)) continue;
+      CharliePoint point;
+      point.separation_ps = (tf.ps() - tr.ps()) / 2.0;
+      point.latency_ps = t.ps() - (tf.ps() + tr.ps()) / 2.0;
+      point.stage = i;
+      out.push_back(point);
+    }
+  }
+  return out;
+}
+
+std::vector<BinnedCharliePoint> binned_charlie_curve(
+    const std::vector<CharliePoint>& points, double bin_ps,
+    std::size_t min_count) {
+  RINGENT_REQUIRE(bin_ps > 0.0, "bin width must be positive");
+  struct Bin {
+    double sum_s = 0.0;
+    double sum_latency = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<long long, Bin> bins;  // keyed by bin index: iteration is sorted
+  for (const auto& p : points) {
+    auto& bin = bins[static_cast<long long>(std::floor(p.separation_ps /
+                                                       bin_ps))];
+    bin.sum_s += p.separation_ps;
+    bin.sum_latency += p.latency_ps;
+    ++bin.count;
+  }
+  std::vector<BinnedCharliePoint> out;
+  for (const auto& [key, bin] : bins) {
+    if (bin.count < min_count) continue;
+    BinnedCharliePoint p;
+    p.separation_ps = bin.sum_s / static_cast<double>(bin.count);
+    p.latency_ps = bin.sum_latency / static_cast<double>(bin.count);
+    p.count = bin.count;
+    out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+/// Weighted RMS residual of the Eq. 3 fit for a fixed D_mean, with the
+/// inner (s0, Dch) regression solved in closed form. Outputs the recovered
+/// parameters through the pointers when non-null.
+double fit_residual_for_dmean(const std::vector<BinnedCharliePoint>& curve,
+                              double d_mean_ps, double* s0_out,
+                              double* dch_out) {
+  // z = (u - Dm)^2 - s^2 = (Dch^2 + s0^2) - 2 s0 s  ==  a + b s.
+  double sw = 0.0, ss = 0.0, ss2 = 0.0, sz = 0.0, ssz = 0.0;
+  for (const auto& p : curve) {
+    const double w = static_cast<double>(p.count);
+    const double u = p.latency_ps - d_mean_ps;
+    const double z = u * u - p.separation_ps * p.separation_ps;
+    sw += w;
+    ss += w * p.separation_ps;
+    ss2 += w * p.separation_ps * p.separation_ps;
+    sz += w * z;
+    ssz += w * p.separation_ps * z;
+  }
+  const double det = sw * ss2 - ss * ss;
+  if (std::abs(det) < 1e-12) return 1e300;
+  const double b = (sw * ssz - ss * sz) / det;
+  const double a = (sz - b * ss) / sw;
+  const double s0 = -b / 2.0;
+  const double dch2 = a - s0 * s0;
+  const double dch = dch2 > 0.0 ? std::sqrt(dch2) : 0.0;
+  if (s0_out != nullptr) *s0_out = s0;
+  if (dch_out != nullptr) *dch_out = dch;
+
+  double res = 0.0;
+  for (const auto& p : curve) {
+    const double model =
+        charlie_delay_ps(d_mean_ps, dch, p.separation_ps, s0);
+    const double w = static_cast<double>(p.count);
+    res += w * (model - p.latency_ps) * (model - p.latency_ps);
+  }
+  return std::sqrt(res / sw);
+}
+
+}  // namespace
+
+CharlieFit fit_charlie(const std::vector<BinnedCharliePoint>& curve) {
+  RINGENT_REQUIRE(curve.size() >= 3, "need >= 3 binned points");
+  double min_latency = curve.front().latency_ps;
+  double s_min = curve.front().separation_ps;
+  double s_max = s_min;
+  for (const auto& p : curve) {
+    min_latency = std::min(min_latency, p.latency_ps);
+    s_min = std::min(s_min, p.separation_ps);
+    s_max = std::max(s_max, p.separation_ps);
+  }
+  RINGENT_REQUIRE(s_max - s_min > 1.0,
+                  "points must span distinct separations");
+  RINGENT_REQUIRE(min_latency > 1.0, "latencies must be positive");
+
+  // Golden-section search for D_mean in (0, min latency).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1.0, hi = min_latency - 0.5;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = fit_residual_for_dmean(curve, x1, nullptr, nullptr);
+  double f2 = fit_residual_for_dmean(curve, x2, nullptr, nullptr);
+  for (int it = 0; it < 120 && hi - lo > 1e-4; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = fit_residual_for_dmean(curve, x1, nullptr, nullptr);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = fit_residual_for_dmean(curve, x2, nullptr, nullptr);
+    }
+  }
+  const double d_mean = (lo + hi) / 2.0;
+  double s0 = 0.0, dch = 0.0;
+  const double rms = fit_residual_for_dmean(curve, d_mean, &s0, &dch);
+
+  CharlieFit out;
+  // Decompose D_mean/s0 back into Dff/Drr: s0 = (Drr - Dff)/2.
+  out.params.d_ff = Time::from_ps(d_mean - s0);
+  out.params.d_rr = Time::from_ps(d_mean + s0);
+  out.params.d_charlie = Time::from_ps(dch);
+  out.rms_residual_ps = rms;
+  return out;
+}
+
+}  // namespace ringent::ring

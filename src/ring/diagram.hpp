@@ -1,0 +1,68 @@
+// Measured Charlie diagram: recover (separation, latency) operating points
+// from a running ring's recorded stage traces.
+//
+// For each firing of stage i at time t, the enabling events are the latest
+// preceding transitions of its neighbours (they cannot change between
+// enabling and firing — an enabled stage freezes both neighbours). With the
+// token-side event at tf (stage i-1) and the bubble-side event at tr (stage
+// i+1), the stage's operating point on the Charlie diagram is
+//
+//     s = (tf - tr)/2,     latency = t - (tf + tr)/2.
+//
+// A noise-free NT = NB ring collapses onto the apex (0, Ds + Dch); rings
+// with other token counts sit at the analytic steady separation
+// (ring/analytic.hpp); sweeping NT traces out the whole measured curve —
+// the Fig. 7 bench prints it next to the Eq. 3 formula.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ring/charlie.hpp"
+#include "sim/probe.hpp"
+
+namespace ringent::ring {
+
+struct CharliePoint {
+  double separation_ps = 0.0;  ///< s, signed
+  double latency_ps = 0.0;     ///< output delay measured from mean arrival
+  std::size_t stage = 0;
+};
+
+/// Extract operating points from per-stage traces (Str built with
+/// trace_all_stages). The first `skip_per_stage` firings of every stage are
+/// dropped (startup transient where an enabling "event" is the t=0 reset).
+/// Requires at least 3 stages of traces.
+std::vector<CharliePoint> extract_charlie_points(
+    const std::vector<sim::SignalTrace>& stage_traces,
+    std::size_t skip_per_stage = 16);
+
+struct BinnedCharliePoint {
+  double separation_ps = 0.0;
+  double latency_ps = 0.0;  ///< mean latency of the bin
+  std::size_t count = 0;
+};
+
+/// Average measured latency in separation bins of width `bin_ps` — the
+/// measured Charlie curve. Bins with fewer than `min_count` points are
+/// dropped. Returned points are sorted by separation.
+std::vector<BinnedCharliePoint> binned_charlie_curve(
+    const std::vector<CharliePoint>& points, double bin_ps,
+    std::size_t min_count = 5);
+
+struct CharlieFit {
+  CharlieParams params{Time::from_ps(1.0), Time::from_ps(1.0), Time::zero()};
+  double rms_residual_ps = 0.0;
+};
+
+/// Recover (D_mean, Dch, s0) from measured operating points by fitting
+/// Eq. 3: latency = D_mean + sqrt(Dch^2 + (s - s0)^2). For fixed D_mean the
+/// model is linear in s after squaring, so the fit is a 1-D golden-section
+/// search over D_mean with a closed-form inner regression — no initial
+/// guess needed. This is how one would characterize a real device from the
+/// diagram extraction: simulate/measure at several NT (different steady
+/// separations), extract, fit, compare to the datasheet.
+/// Requires >= 8 points spanning at least two distinct separations.
+CharlieFit fit_charlie(const std::vector<BinnedCharliePoint>& curve);
+
+}  // namespace ringent::ring

@@ -1,0 +1,109 @@
+#include "ring/iro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::ring {
+
+namespace {
+constexpr double min_hop_ps = 1.0;  // causality floor under negative noise
+}
+
+Iro::Iro(sim::Kernel& kernel, const IroConfig& config,
+         std::vector<std::unique_ptr<noise::NoiseSource>> stage_noise)
+    : kernel_(kernel),
+      config_(config),
+      stage_noise_(std::move(stage_noise)),
+      output_("iro_out") {
+  RINGENT_REQUIRE(config.stages >= 1, "IRO needs at least one stage");
+  RINGENT_REQUIRE(config.lut_delay > Time::zero(), "LUT delay must be positive");
+  RINGENT_REQUIRE(!config.routing_per_hop.is_negative(),
+                  "routing delay cannot be negative");
+  RINGENT_REQUIRE(
+      config.stage_factors.empty() || config.stage_factors.size() == config.stages,
+      "stage_factors size must match stage count");
+  RINGENT_REQUIRE(config.routing_per_stage.empty() ||
+                      config.routing_per_stage.size() == config.stages,
+                  "routing_per_stage size must match stage count");
+  for (Time r : config_.routing_per_stage) {
+    RINGENT_REQUIRE(!r.is_negative(), "routing delay cannot be negative");
+  }
+  RINGENT_REQUIRE(stage_noise_.empty() || stage_noise_.size() == config.stages,
+                  "stage_noise size must match stage count");
+  RINGENT_REQUIRE((config.supply == nullptr) == (config.laws == nullptr),
+                  "supply and laws must be provided together");
+  for (double f : config_.stage_factors) {
+    RINGENT_REQUIRE(f > 0.0, "stage factors must be positive");
+  }
+  node_ = kernel_.add_process(this);
+}
+
+Time Iro::hop_delay(std::size_t stage, Time now) {
+  const double factor =
+      config_.stage_factors.empty() ? 1.0 : config_.stage_factors[stage];
+
+  double lut_scale = 1.0;
+  double routing_scale = 1.0;
+  if (config_.supply != nullptr) {
+    const fpga::OperatingPoint op = config_.supply->operating_point_at(now);
+    lut_scale = config_.laws->lut.scale(op);
+    routing_scale = config_.laws->routing.scale(op);
+  }
+
+  const double routing_ps = config_.routing_per_stage.empty()
+                                ? config_.routing_per_hop.ps()
+                                : config_.routing_per_stage[stage].ps();
+  double delay_ps = config_.lut_delay.ps() * factor * lut_scale +
+                    routing_ps * factor * routing_scale;
+  if (stage < stage_noise_.size()) {
+    double noise_scale = 1.0;
+    if (config_.jitter_delay_exponent != 0.0) {
+      noise_scale = std::pow(lut_scale, config_.jitter_delay_exponent);
+    }
+    delay_ps += stage_noise_[stage]->sample_ps() * noise_scale;
+  }
+  if (config_.modulation != nullptr) {
+    delay_ps += config_.modulation->offset_ps(now);
+  }
+  return Time::from_ps(std::max(delay_ps, min_hop_ps));
+}
+
+void Iro::start() {
+  RINGENT_REQUIRE(!started_, "IRO already started");
+  started_ = true;
+  // The circulating event enters stage 0 at t = 0.
+  kernel_.schedule_in(hop_delay(0, kernel_.now()), node_, 0);
+}
+
+void Iro::fire(sim::Kernel& kernel, std::uint32_t tag) {
+  const std::size_t stage = tag;
+  const Time now = kernel.now();
+  if (stage + 1 == config_.stages) {
+    // The event completed a lap: the ring output (the inverter's input edge
+    // arriving back) toggles once per lap.
+    output_value_ = !output_value_;
+    output_.record(now, output_value_);
+    kernel.schedule_in(hop_delay(0, now), node_, 0);
+  } else {
+    const std::uint32_t next = tag + 1;
+    kernel.schedule_in(hop_delay(next, now), node_, next);
+  }
+}
+
+Time Iro::nominal_period() const {
+  double lap_ps = 0.0;
+  for (std::size_t i = 0; i < config_.stages; ++i) {
+    const double factor =
+        config_.stage_factors.empty() ? 1.0 : config_.stage_factors[i];
+    const double routing_ps = config_.routing_per_stage.empty()
+                                  ? config_.routing_per_hop.ps()
+                                  : config_.routing_per_stage[i].ps();
+    lap_ps += (config_.lut_delay.ps() + routing_ps) * factor;
+  }
+  return Time::from_ps(2.0 * lap_ps);
+}
+
+}  // namespace ringent::ring

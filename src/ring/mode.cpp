@@ -1,0 +1,95 @@
+#include "ring/mode.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::ring {
+
+const char* to_string(OscillationMode mode) {
+  switch (mode) {
+    case OscillationMode::evenly_spaced:
+      return "evenly-spaced";
+    case OscillationMode::burst:
+      return "burst";
+    case OscillationMode::irregular:
+      return "irregular";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, OscillationMode mode) {
+  return os << to_string(mode);
+}
+
+ModeAnalysis classify_mode(const std::vector<Time>& transition_times,
+                           const ModeThresholds& thresholds) {
+  ModeAnalysis out;
+  if (transition_times.size() < 2) return out;
+
+  std::vector<double> intervals_ps;
+  intervals_ps.reserve(transition_times.size() - 1);
+  for (std::size_t i = 1; i < transition_times.size(); ++i) {
+    intervals_ps.push_back(
+        (transition_times[i] - transition_times[i - 1]).ps());
+  }
+  out.intervals = intervals_ps.size();
+
+  const SampleStats stats = describe(intervals_ps);
+  out.mean_interval_ps = stats.mean();
+  if (stats.count() < 8 || stats.mean() <= 0.0) return out;
+
+  out.interval_cv = stats.stddev() / stats.mean();
+  const double p5 = percentile(intervals_ps, 5.0);
+  const double p95 = percentile(intervals_ps, 95.0);
+  out.spread_ratio = p5 > 0.0 ? p95 / p5 : 1e9;
+
+  if (out.interval_cv < thresholds.evenly_spaced_cv) {
+    out.mode = OscillationMode::evenly_spaced;
+  } else if (out.interval_cv > thresholds.burst_cv &&
+             out.spread_ratio > thresholds.burst_spread_ratio) {
+    out.mode = OscillationMode::burst;
+  } else {
+    out.mode = OscillationMode::irregular;
+  }
+  return out;
+}
+
+LockingResult time_to_lock(const std::vector<Time>& transition_times,
+                           std::size_t window, double cv_threshold) {
+  RINGENT_REQUIRE(window >= 8, "window must be >= 8 intervals");
+  RINGENT_REQUIRE(cv_threshold > 0.0, "threshold must be positive");
+  LockingResult out;
+  if (transition_times.size() < window + 1) return out;
+
+  // Rolling mean/variance over `window` intervals via prefix sums.
+  const std::size_t n = transition_times.size() - 1;
+  std::vector<double> intervals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    intervals[i] = (transition_times[i + 1] - transition_times[i]).ps();
+  }
+  std::vector<double> sum(n + 1, 0.0), sum2(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i + 1] = sum[i] + intervals[i];
+    sum2[i + 1] = sum2[i] + intervals[i] * intervals[i];
+  }
+  const double w = static_cast<double>(window);
+  for (std::size_t start = 0; start + window <= n; ++start) {
+    const double mean = (sum[start + window] - sum[start]) / w;
+    const double var =
+        (sum2[start + window] - sum2[start]) / w - mean * mean;
+    if (mean <= 0.0) continue;
+    const double cv = std::sqrt(std::max(var, 0.0)) / mean;
+    if (cv < cv_threshold) {
+      out.locked = true;
+      out.lock_time = transition_times[start];
+      out.lock_interval = start;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace ringent::ring

@@ -1,0 +1,64 @@
+// Oscillation-mode classification (paper Sec. II-C.3, Fig. 5).
+//
+// In the evenly-spaced mode, tokens pass the observed stage with constant
+// spacing, so successive output transitions are (nearly) equidistant. In the
+// burst mode, a token cluster races past and is followed by a long silence —
+// the inter-transition intervals are strongly bimodal. We classify from the
+// interval statistics of a recorded trace: coefficient of variation plus the
+// spread ratio between the longest and shortest observed interval.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ringent::ring {
+
+enum class OscillationMode {
+  evenly_spaced,
+  burst,
+  irregular,  ///< neither clearly uniform nor clearly clustered
+};
+
+std::ostream& operator<<(std::ostream& os, OscillationMode mode);
+
+const char* to_string(OscillationMode mode);
+
+struct ModeAnalysis {
+  OscillationMode mode = OscillationMode::irregular;
+  double interval_cv = 0.0;     ///< stddev/mean of inter-transition intervals
+  double spread_ratio = 1.0;    ///< p95 / p5 of intervals
+  double mean_interval_ps = 0.0;
+  std::size_t intervals = 0;
+};
+
+struct ModeThresholds {
+  /// Intervals with CV below this are evenly spaced. Dynamic noise
+  /// contributes CV ~ sigma_g/interval, orders of magnitude below this.
+  double evenly_spaced_cv = 0.15;
+  /// CV above this plus a large spread ratio is a burst.
+  double burst_cv = 0.40;
+  double burst_spread_ratio = 3.0;
+};
+
+/// Classify from the transition timestamps of one stage output. Requires at
+/// least 8 transitions; fewer yields `irregular` with intervals == count-1.
+ModeAnalysis classify_mode(const std::vector<Time>& transition_times,
+                           const ModeThresholds& thresholds = {});
+
+struct LockingResult {
+  bool locked = false;
+  Time lock_time = Time::zero();     ///< time of the first locked window
+  std::size_t lock_interval = 0;     ///< index of that window's first interval
+};
+
+/// Time until the ring first sustains the evenly-spaced mode: slide a window
+/// of `window` intervals over the transitions; the ring is locked at the
+/// first window whose interval CV stays below `cv_threshold`. Measures the
+/// locking transient of Fig. 5 — relevant to TRNG start-up health checks.
+LockingResult time_to_lock(const std::vector<Time>& transition_times,
+                           std::size_t window = 64,
+                           double cv_threshold = 0.05);
+
+}  // namespace ringent::ring

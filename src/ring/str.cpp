@@ -1,0 +1,154 @@
+#include "ring/str.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::ring {
+
+Str::Str(sim::Kernel& kernel, const StrConfig& config, RingState initial,
+         std::vector<std::unique_ptr<noise::NoiseSource>> stage_noise)
+    : kernel_(kernel),
+      config_(config),
+      charlie_model_(config.charlie, config.drafting),
+      state_(std::move(initial)),
+      tokens_(token_count(state_)),
+      stage_noise_(std::move(stage_noise)),
+      observe_trace_("str_out") {
+  RINGENT_REQUIRE(config_.stages >= 3, "STR needs at least three stages");
+  RINGENT_REQUIRE(state_.size() == config_.stages,
+                  "initial state size must match stage count");
+  RINGENT_REQUIRE(can_oscillate(config_.stages, tokens_),
+                  "initial pattern cannot oscillate");
+  RINGENT_REQUIRE(
+      config_.stage_factors.empty() ||
+          config_.stage_factors.size() == config_.stages,
+      "stage_factors size must match stage count");
+  RINGENT_REQUIRE(stage_noise_.empty() || stage_noise_.size() == config_.stages,
+                  "stage_noise size must match stage count");
+  RINGENT_REQUIRE((config_.supply == nullptr) == (config_.laws == nullptr),
+                  "supply and laws must be provided together");
+  RINGENT_REQUIRE(config_.observe_stage < config_.stages,
+                  "observe_stage out of range");
+  RINGENT_REQUIRE(!config_.routing_per_hop.is_negative(),
+                  "routing delay cannot be negative");
+  RINGENT_REQUIRE(config_.routing_per_stage.empty() ||
+                      config_.routing_per_stage.size() == config_.stages,
+                  "routing_per_stage size must match stage count");
+  for (Time r : config_.routing_per_stage) {
+    RINGENT_REQUIRE(!r.is_negative(), "routing delay cannot be negative");
+  }
+  for (double f : config_.stage_factors) {
+    RINGENT_REQUIRE(f > 0.0, "stage factors must be positive");
+  }
+
+  last_change_.assign(config_.stages, Time::zero());
+  scheduled_.assign(config_.stages, false);
+  if (config_.trace_all_stages) {
+    traces_.reserve(config_.stages);
+    for (std::size_t i = 0; i < config_.stages; ++i) {
+      traces_.emplace_back("C" + std::to_string(i));
+    }
+    output_ = &traces_[config_.observe_stage];
+  } else {
+    output_ = &observe_trace_;
+  }
+  node_ = kernel_.add_process(this);
+}
+
+bool Str::enabled(std::size_t i) const {
+  // Token at i and bubble at i+1.
+  return state_[i] != state_[prev(i)] && state_[next(i)] == state_[i];
+}
+
+void Str::try_schedule(std::size_t i, Time now) {
+  if (scheduled_[i] || !enabled(i)) return;
+
+  const Time tf = last_change_[prev(i)];  // token-side enabling event
+  const Time tr = last_change_[next(i)];  // bubble-side enabling event
+
+  const double factor =
+      config_.stage_factors.empty() ? 1.0 : config_.stage_factors[i];
+  double static_scale = factor;
+  double charlie_scale = factor;
+  double routing_scale = factor;
+  if (config_.supply != nullptr) {
+    const fpga::OperatingPoint op = config_.supply->operating_point_at(now);
+    static_scale *= config_.laws->lut.scale(op);
+    charlie_scale *= config_.laws->charlie.scale(op);
+    routing_scale *= config_.laws->routing.scale(op);
+  }
+
+  const double routing_ps = config_.routing_per_stage.empty()
+                                ? config_.routing_per_hop.ps()
+                                : config_.routing_per_stage[i].ps();
+  double extra_ps = routing_ps * routing_scale;
+  if (i < stage_noise_.size()) {
+    double noise_scale = 1.0;
+    if (config_.jitter_delay_exponent != 0.0) {
+      // static_scale already contains the mismatch factor; couple the noise
+      // to the voltage part only (static_scale / factor).
+      noise_scale = std::pow(static_scale / factor,
+                             config_.jitter_delay_exponent);
+    }
+    extra_ps += stage_noise_[i]->sample_ps() * noise_scale;
+  }
+  if (config_.modulation != nullptr) {
+    extra_ps += config_.modulation->offset_ps(now);
+  }
+
+  const Time fire_at = charlie_model_.fire_time(
+      tf, tr, last_change_[i], extra_ps, static_scale, charlie_scale);
+  kernel_.schedule_at(fire_at, node_, static_cast<std::uint32_t>(i));
+  scheduled_[i] = true;
+}
+
+void Str::start() {
+  RINGENT_REQUIRE(!started_, "STR already started");
+  started_ = true;
+  for (std::size_t i = 0; i < config_.stages; ++i) {
+    try_schedule(i, kernel_.now());
+  }
+}
+
+void Str::fire(sim::Kernel& kernel, std::uint32_t tag) {
+  const std::size_t i = tag;
+  const Time now = kernel.now();
+
+  // The enabling conditions cannot be withdrawn between scheduling and
+  // firing (neighbours of an enabled stage are themselves disabled), so the
+  // event is always valid here.
+  scheduled_[i] = false;
+  state_[i] = state_[prev(i)];
+  last_change_[i] = now;
+  ++firings_;
+
+  if (config_.trace_all_stages) {
+    traces_[i].record(now, state_[i]);
+  } else if (i == config_.observe_stage) {
+    output_->record(now, state_[i]);
+  }
+
+  // The firing moved a token to i+1 and a bubble to i; only those two
+  // neighbours can have become enabled.
+  try_schedule(next(i), now);
+  try_schedule(prev(i), now);
+}
+
+Time Str::nominal_period() const {
+  double routing_ps = config_.routing_per_hop.ps();
+  if (!config_.routing_per_stage.empty()) {
+    routing_ps = 0.0;
+    for (Time r : config_.routing_per_stage) routing_ps += r.ps();
+    routing_ps /= static_cast<double>(config_.routing_per_stage.size());
+  }
+  const double hop_ps = config_.charlie.d_mean().ps() +
+                        config_.charlie.d_charlie.ps() + routing_ps;
+  const double period_ps = 2.0 * static_cast<double>(config_.stages) * hop_ps /
+                           static_cast<double>(tokens_);
+  return Time::from_ps(period_ps);
+}
+
+}  // namespace ringent::ring

@@ -1,0 +1,104 @@
+#include "ring/str_logic.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::ring {
+
+namespace {
+std::size_t prev_index(std::size_t i, std::size_t n) {
+  return i == 0 ? n - 1 : i - 1;
+}
+std::size_t next_index(std::size_t i, std::size_t n) {
+  return i + 1 == n ? 0 : i + 1;
+}
+}  // namespace
+
+bool has_token(const RingState& state, std::size_t i) {
+  RINGENT_REQUIRE(i < state.size(), "stage index out of range");
+  return state[i] != state[prev_index(i, state.size())];
+}
+
+bool has_bubble(const RingState& state, std::size_t i) {
+  return !has_token(state, i);
+}
+
+std::size_t token_count(const RingState& state) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (has_token(state, i)) ++n;
+  }
+  return n;
+}
+
+std::size_t bubble_count(const RingState& state) {
+  return state.size() - token_count(state);
+}
+
+bool stage_enabled(const RingState& state, std::size_t i) {
+  return has_token(state, i) && has_bubble(state, next_index(i, state.size()));
+}
+
+std::vector<std::size_t> enabled_stages(const RingState& state) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (stage_enabled(state, i)) out.push_back(i);
+  }
+  return out;
+}
+
+RingState fire_stage(const RingState& state, std::size_t i) {
+  RINGENT_REQUIRE(stage_enabled(state, i), "firing a disabled stage");
+  RingState next = state;
+  next[i] = state[prev_index(i, state.size())];
+  return next;
+}
+
+RingState step_all(const RingState& state) {
+  RingState next = state;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (stage_enabled(state, i)) {
+      next[i] = state[prev_index(i, state.size())];
+    }
+  }
+  return next;
+}
+
+bool can_oscillate(std::size_t stages, std::size_t tokens) {
+  return stages >= 3 && tokens >= 2 && tokens % 2 == 0 && tokens < stages;
+}
+
+RingState make_initial_state(std::size_t stages, std::size_t tokens,
+                             TokenPlacement placement) {
+  RINGENT_REQUIRE(can_oscillate(stages, tokens),
+                  "need stages >= 3, tokens positive even, bubbles >= 1");
+  // Mark the stages that hold tokens, then integrate: a token at stage i
+  // means C_i != C_{i-1}. An even token count makes the cyclic sequence
+  // consistent.
+  std::vector<bool> token_at(stages, false);
+  if (placement == TokenPlacement::clustered) {
+    for (std::size_t t = 0; t < tokens; ++t) token_at[t] = true;
+  } else {
+    for (std::size_t t = 0; t < tokens; ++t) {
+      token_at[(t * stages) / tokens] = true;
+    }
+  }
+
+  RingState state(stages, false);
+  bool value = false;
+  for (std::size_t i = 0; i < stages; ++i) {
+    if (token_at[i]) value = !value;
+    state[i] = value;
+  }
+  return state;
+}
+
+std::string token_string(const RingState& state) {
+  std::string s;
+  s.reserve(state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    s.push_back(has_token(state, i) ? 'T' : '.');
+  }
+  return s;
+}
+
+}  // namespace ringent::ring

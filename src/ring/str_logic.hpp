@@ -1,0 +1,64 @@
+// Untimed token/bubble semantics of a self-timed ring (paper Sec. II-B/C).
+//
+// A ring of L stages is described by its output vector C[0..L-1]. Stage i
+// holds a *token* if C[i] != C[i-1] (cyclically) and a *bubble* otherwise.
+// Stage i is *enabled* — its Muller gate will fire, copying C[i-1] into C[i]
+// — exactly when it holds a token and stage i+1 holds a bubble; the firing
+// moves the token forward and the bubble backward (Fig. 4).
+//
+// This module implements the pure combinational semantics with no timing at
+// all. It exists (a) as the specification the timed model in ring/str.hpp is
+// property-tested against, and (b) to build and validate initial patterns:
+// oscillation requires L >= 3, NB >= 1 and a positive even NT (Sec. II-C.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ringent::ring {
+
+/// Stage output vector; index i is C_i.
+using RingState = std::vector<bool>;
+
+/// Stage i holds a token iff C_i != C_{i-1} (cyclic).
+bool has_token(const RingState& state, std::size_t i);
+
+/// Stage i holds a bubble iff C_i == C_{i-1} (cyclic).
+bool has_bubble(const RingState& state, std::size_t i);
+
+std::size_t token_count(const RingState& state);
+std::size_t bubble_count(const RingState& state);
+
+/// Stage i is enabled iff token at i and bubble at i+1 (cyclic).
+bool stage_enabled(const RingState& state, std::size_t i);
+
+/// Indices of all enabled stages.
+std::vector<std::size_t> enabled_stages(const RingState& state);
+
+/// Fire stage i (precondition: enabled): C_i <- C_{i-1}.
+RingState fire_stage(const RingState& state, std::size_t i);
+
+/// Fire every currently enabled stage simultaneously (synchronous step).
+/// Firings never conflict: two adjacent stages cannot both be enabled.
+RingState step_all(const RingState& state);
+
+/// True if (stages, tokens) can oscillate: stages >= 3, tokens positive and
+/// even, and at least one bubble (tokens < stages).
+bool can_oscillate(std::size_t stages, std::size_t tokens);
+
+/// Where to put the tokens of an initial pattern.
+enum class TokenPlacement {
+  evenly_spread,  ///< tokens distributed all around the ring
+  clustered,      ///< tokens packed together (burst-mode seed)
+};
+
+/// Build an initial state with exactly `tokens` tokens in `stages` stages.
+/// Throws PreconditionError unless can_oscillate(stages, tokens).
+RingState make_initial_state(std::size_t stages, std::size_t tokens,
+                             TokenPlacement placement);
+
+/// Render a state as e.g. "T.T." (T = token, . = bubble) for logs and tests.
+std::string token_string(const RingState& state);
+
+}  // namespace ringent::ring

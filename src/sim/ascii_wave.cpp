@@ -1,0 +1,101 @@
+#include "sim/ascii_wave.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace ringent::sim {
+
+namespace {
+
+Time window_end(const std::vector<const SignalTrace*>& traces,
+                const AsciiWaveOptions& options) {
+  if (options.to > Time::zero()) return options.to;
+  Time end = options.from;
+  for (const auto* trace : traces) {
+    if (!trace->transitions().empty()) {
+      end = std::max(end, trace->transitions().back().at);
+    }
+  }
+  return end;
+}
+
+char sample_column(const SignalTrace& trace, Time t0, Time t1) {
+  const auto& transitions = trace.transitions();
+  // Value at t0: last transition at or before t0.
+  const auto it = std::upper_bound(
+      transitions.begin(), transitions.end(), t0,
+      [](Time lhs, const Transition& tr) { return lhs < tr.at; });
+  const bool known = it != transitions.begin();
+  const bool value = known && std::prev(it)->value;
+  // Any transition strictly inside (t0, t1]?
+  bool rising = false, falling = false;
+  for (auto scan = it; scan != transitions.end() && scan->at <= t1; ++scan) {
+    (scan->value ? rising : falling) = true;
+  }
+  if (rising && falling) return value ? 'X' : 'X';
+  if (rising) return '/';
+  if (falling) return '\\';
+  if (!known) return '?';
+  return value ? '-' : '_';
+}
+
+}  // namespace
+
+std::string ascii_wave(const SignalTrace& trace,
+                       const AsciiWaveOptions& options) {
+  return ascii_waves({&trace}, options);
+}
+
+std::string ascii_waves(const std::vector<const SignalTrace*>& traces,
+                        const AsciiWaveOptions& options) {
+  RINGENT_REQUIRE(!traces.empty(), "need at least one trace");
+  RINGENT_REQUIRE(options.columns >= 8, "need at least 8 columns");
+  for (const auto* trace : traces) {
+    RINGENT_REQUIRE(trace != nullptr, "null trace");
+  }
+  const Time end = window_end(traces, options);
+  RINGENT_REQUIRE(end > options.from, "empty time window");
+  const double span_ps = (end - options.from).ps();
+
+  std::size_t label_width = 0;
+  for (const auto* trace : traces) {
+    label_width = std::max(label_width, trace->name().size());
+  }
+
+  std::string out;
+  for (const auto* trace : traces) {
+    out += trace->name();
+    out.append(label_width - trace->name().size() + 2, ' ');
+    for (std::size_t c = 0; c < options.columns; ++c) {
+      const Time t0 = options.from + Time::from_ps(
+                                         span_ps * static_cast<double>(c) /
+                                         static_cast<double>(options.columns));
+      const Time t1 = options.from +
+                      Time::from_ps(span_ps * static_cast<double>(c + 1) /
+                                    static_cast<double>(options.columns));
+      out.push_back(sample_column(*trace, t0, t1));
+    }
+    out.push_back('\n');
+  }
+  // Time ruler.
+  char ruler[64];
+  out.append(label_width + 2, ' ');
+  std::snprintf(ruler, sizeof(ruler), "%.2f ns", options.from.ns());
+  out += ruler;
+  const std::string end_label = [&] {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f ns", end.ns());
+    return std::string(buf);
+  }();
+  const std::size_t used = std::string(ruler).size();
+  if (options.columns > used + end_label.size()) {
+    out.append(options.columns - used - end_label.size(), ' ');
+    out += end_label;
+  }
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace ringent::sim

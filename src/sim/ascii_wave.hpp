@@ -1,0 +1,36 @@
+// ASCII timing-diagram rendering of recorded traces.
+//
+// Renders one line per signal over a time window, logic-analyzer style:
+//
+//   C0  ▔▔▔▔\____/▔▔▔▔\____
+//   C1  __/▔▔▔▔\____/▔▔▔▔\_
+//
+// (plain-ASCII variant: "----\____/----"). Used by examples to show the
+// actual simulated waveforms of burst vs evenly-spaced rings in a terminal,
+// complementing the VCD dumps for GTKWave.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/probe.hpp"
+
+namespace ringent::sim {
+
+struct AsciiWaveOptions {
+  Time from = Time::zero();
+  Time to = Time::zero();   ///< zero = end of the longest trace
+  std::size_t columns = 72;  ///< characters across the window
+};
+
+/// Render one signal. Each column shows the signal's value at the column's
+/// start instant: '-' high, '_' low, '/' and '\' for columns containing a
+/// transition, '?' before the first recorded transition.
+std::string ascii_wave(const SignalTrace& trace,
+                       const AsciiWaveOptions& options);
+
+/// Render several signals with aligned name labels and a time ruler.
+std::string ascii_waves(const std::vector<const SignalTrace*>& traces,
+                        const AsciiWaveOptions& options);
+
+}  // namespace ringent::sim

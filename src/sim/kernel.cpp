@@ -1,0 +1,58 @@
+#include "sim/kernel.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::sim {
+
+Kernel::Kernel(QueueKind queue_kind) : queue_(make_event_queue(queue_kind)) {}
+
+NodeId Kernel::add_process(Process* process) {
+  RINGENT_REQUIRE(process != nullptr, "null process");
+  processes_.push_back(process);
+  return static_cast<NodeId>(processes_.size() - 1);
+}
+
+void Kernel::schedule_in(Time delay, NodeId node, std::uint32_t tag) {
+  RINGENT_REQUIRE(!delay.is_negative(), "negative delay");
+  schedule_at(now_ + delay, node, tag);
+}
+
+void Kernel::schedule_at(Time at, NodeId node, std::uint32_t tag) {
+  RINGENT_REQUIRE(node < processes_.size(), "unknown node id");
+  RINGENT_REQUIRE(at >= now_, "cannot schedule in the past");
+  queue_->push(QueuedEvent{at, next_seq_++, node, tag});
+}
+
+void Kernel::fire_one() {
+  const QueuedEvent ev = queue_->pop_min();
+  now_ = ev.at;
+  ++events_fired_;
+  processes_[ev.node]->fire(*this, ev.tag);
+}
+
+std::uint64_t Kernel::run_until(Time t_end) {
+  RINGENT_REQUIRE(t_end >= now_, "horizon in the past");
+  std::uint64_t fired = 0;
+  while (!queue_->empty() && queue_->peek_min().at <= t_end) {
+    fire_one();
+    ++fired;
+  }
+  now_ = t_end;
+  return fired;
+}
+
+std::uint64_t Kernel::run_events(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && !queue_->empty()) {
+    fire_one();
+    ++fired;
+  }
+  return fired;
+}
+
+void Kernel::reset_time() {
+  queue_->clear();
+  now_ = Time::zero();
+}
+
+}  // namespace ringent::sim

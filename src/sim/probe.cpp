@@ -1,0 +1,57 @@
+#include "sim/probe.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::sim {
+
+SignalTrace::SignalTrace(std::string name) : name_(std::move(name)) {}
+
+void SignalTrace::record(Time at, bool value) {
+  RINGENT_REQUIRE(!has_last_ || at >= last_at_,
+                  "transitions must be recorded in time order");
+  last_at_ = at;
+  has_last_ = true;
+  ++total_seen_;
+  if (at < record_from_) return;
+  if (max_records_ != 0 && transitions_.size() >= max_records_) return;
+  transitions_.push_back(Transition{at, value});
+}
+
+std::vector<Time> SignalTrace::rising_edges() const {
+  std::vector<Time> out;
+  out.reserve(transitions_.size() / 2 + 1);
+  for (const auto& tr : transitions_) {
+    if (tr.value) out.push_back(tr.at);
+  }
+  return out;
+}
+
+std::vector<Time> SignalTrace::falling_edges() const {
+  std::vector<Time> out;
+  out.reserve(transitions_.size() / 2 + 1);
+  for (const auto& tr : transitions_) {
+    if (!tr.value) out.push_back(tr.at);
+  }
+  return out;
+}
+
+void SignalTrace::clear() {
+  transitions_.clear();
+  total_seen_ = 0;
+  has_last_ = false;
+  last_at_ = Time::zero();
+}
+
+std::vector<Time> edge_intervals(const std::vector<Time>& edges) {
+  std::vector<Time> out;
+  if (edges.size() < 2) return out;
+  out.reserve(edges.size() - 1);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    out.push_back(edges[i] - edges[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace ringent::sim

@@ -1,0 +1,73 @@
+// Signal probes: record binary-signal transitions produced by ring models.
+//
+// A SignalTrace stores (time, value) transitions. Ring models call record()
+// on every output change; analysis code consumes rising-edge timestamp lists.
+// Long jitter experiments generate millions of transitions, so a trace can be
+// configured to start recording after a warm-up time (letting the ring reach
+// its steady regime first) and to stop after a sample budget.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ringent::sim {
+
+struct Transition {
+  Time at;
+  bool value;
+};
+
+class SignalTrace {
+ public:
+  /// `name` labels the signal in VCD dumps and reports.
+  explicit SignalTrace(std::string name = "sig");
+
+  /// Ignore transitions earlier than `t` (steady-regime warm-up).
+  void set_record_from(Time t) { record_from_ = t; }
+
+  /// Stop storing transitions once this many have been kept (0 = unlimited).
+  /// Transitions beyond the cap are still counted in total_seen().
+  void set_max_records(std::size_t n) { max_records_ = n; }
+
+  const std::string& name() const { return name_; }
+
+  /// Record a transition; calls must have non-decreasing timestamps.
+  void record(Time at, bool value);
+
+  /// All stored transitions in time order.
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Timestamps of stored rising (0->1) edges.
+  std::vector<Time> rising_edges() const;
+
+  /// Timestamps of stored falling (1->0) edges.
+  std::vector<Time> falling_edges() const;
+
+  /// Total transitions offered to the trace, including dropped ones.
+  std::size_t total_seen() const { return total_seen_; }
+
+  /// True once the record cap has been reached.
+  bool full() const {
+    return max_records_ != 0 && transitions_.size() >= max_records_;
+  }
+
+  void clear();
+
+ private:
+  std::string name_;
+  std::vector<Transition> transitions_;
+  Time record_from_ = Time::zero();
+  Time last_at_ = Time::zero();
+  std::size_t max_records_ = 0;
+  std::size_t total_seen_ = 0;
+  bool has_last_ = false;
+};
+
+/// Extract the i-th signal edge period sequence: differences between
+/// successive timestamps. Returns empty if fewer than 2 edges.
+std::vector<Time> edge_intervals(const std::vector<Time>& edges);
+
+}  // namespace ringent::sim

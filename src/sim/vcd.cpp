@@ -1,0 +1,79 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::sim {
+
+namespace {
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(std::string module_name)
+    : module_name_(std::move(module_name)) {}
+
+void VcdWriter::add_signal(const SignalTrace& trace) {
+  traces_.push_back(&trace);
+}
+
+void VcdWriter::write(std::ostream& os) const {
+  os << "$timescale 1fs $end\n";
+  os << "$scope module " << module_name_ << " $end\n";
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    os << "$var wire 1 " << id_code(i) << " " << traces_[i]->name()
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  struct Change {
+    Time at;
+    std::size_t sig;
+    bool value;
+  };
+  std::vector<Change> changes;
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    for (const auto& tr : traces_[i]->transitions()) {
+      changes.push_back(Change{tr.at, i, tr.value});
+    }
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) { return a.at < b.at; });
+
+  os << "$dumpvars\n";
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    os << "x" << id_code(i) << "\n";
+  }
+  os << "$end\n";
+
+  bool have_time = false;
+  Time current = Time::zero();
+  for (const auto& ch : changes) {
+    if (!have_time || ch.at != current) {
+      os << "#" << ch.at.fs() << "\n";
+      current = ch.at;
+      have_time = true;
+    }
+    os << (ch.value ? '1' : '0') << id_code(ch.sig) << "\n";
+  }
+}
+
+void VcdWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  RINGENT_REQUIRE(out.good(), "cannot open VCD output file " + path);
+  write(out);
+  out.flush();
+  if (!out.good()) throw Error("I/O error writing VCD file " + path);
+}
+
+}  // namespace ringent::sim

@@ -1,0 +1,131 @@
+#include "sim/vcd_read.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace ringent::sim {
+
+namespace {
+
+std::int64_t parse_timescale(const std::string& spec) {
+  // Forms: "1fs", "10 ps", "1ns" ...
+  std::size_t pos = 0;
+  while (pos < spec.size() && std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+    ++pos;
+  }
+  RINGENT_REQUIRE(pos > 0, "VCD: bad timescale magnitude: " + spec);
+  const std::int64_t magnitude = std::stoll(spec.substr(0, pos));
+  std::string unit = spec.substr(pos);
+  while (!unit.empty() && unit.front() == ' ') unit.erase(unit.begin());
+  std::int64_t per_unit = 0;
+  if (unit == "fs") per_unit = 1;
+  if (unit == "ps") per_unit = 1'000;
+  if (unit == "ns") per_unit = 1'000'000;
+  if (unit == "us") per_unit = 1'000'000'000;
+  if (unit == "ms") per_unit = 1'000'000'000'000;
+  if (unit == "s") per_unit = 1'000'000'000'000'000;
+  RINGENT_REQUIRE(per_unit != 0, "VCD: unsupported timescale unit: " + unit);
+  return magnitude * per_unit;
+}
+
+/// Read tokens of a "$keyword ... $end" directive body.
+std::vector<std::string> directive_body(std::istream& in) {
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) {
+    if (token == "$end") return tokens;
+    tokens.push_back(token);
+  }
+  throw Error("VCD: unterminated directive");
+}
+
+}  // namespace
+
+VcdDocument read_vcd(std::istream& in) {
+  VcdDocument doc;
+  std::map<std::string, std::size_t> by_code;
+
+  // --- header -------------------------------------------------------------
+  std::string token;
+  bool defs_done = false;
+  while (!defs_done && in >> token) {
+    if (token == "$timescale") {
+      const auto body = directive_body(in);
+      std::string spec;
+      for (const auto& t : body) spec += t;
+      doc.timescale_fs = parse_timescale(spec);
+    } else if (token == "$scope") {
+      const auto body = directive_body(in);
+      if (body.size() >= 2) doc.module_name = body[1];
+    } else if (token == "$var") {
+      const auto body = directive_body(in);
+      RINGENT_REQUIRE(body.size() >= 4, "VCD: malformed $var");
+      RINGENT_REQUIRE(body[1] == "1",
+                      "VCD: only 1-bit wires are supported (got width " +
+                          body[1] + ")");
+      const std::string& code = body[2];
+      const std::string& name = body[3];
+      by_code[code] = doc.signals.size();
+      doc.signals.push_back(VcdSignal{name, SignalTrace(name)});
+    } else if (token == "$enddefinitions") {
+      directive_body(in);
+      defs_done = true;
+    } else if (!token.empty() && token[0] == '$') {
+      directive_body(in);  // skip $date, $version, $comment, $upscope...
+    } else {
+      throw Error("VCD: unexpected token in header: " + token);
+    }
+  }
+  RINGENT_REQUIRE(defs_done, "VCD: missing $enddefinitions");
+
+  // --- value changes --------------------------------------------------------
+  std::int64_t now_units = 0;
+  bool in_dumpvars = false;
+  while (in >> token) {
+    if (token.empty()) continue;
+    if (token[0] == '#') {
+      now_units = std::stoll(token.substr(1));
+      continue;
+    }
+    if (token == "$dumpvars") {
+      in_dumpvars = true;
+      continue;
+    }
+    if (token == "$end") {
+      in_dumpvars = false;
+      continue;
+    }
+    const char value = token[0];
+    if (value == '0' || value == '1' || value == 'x' || value == 'X' ||
+        value == 'z' || value == 'Z') {
+      const std::string code = token.substr(1);
+      const auto it = by_code.find(code);
+      RINGENT_REQUIRE(it != by_code.end(),
+                      "VCD: change for unknown code: " + token);
+      if (value == '0' || value == '1') {
+        doc.signals[it->second].trace.record(
+            Time::from_fs(now_units * doc.timescale_fs), value == '1');
+      }
+      // x/z states are skipped (typically only in $dumpvars).
+      continue;
+    }
+    if (token[0] == 'b' || token[0] == 'r') {
+      throw Error("VCD: vector/real variables are not supported");
+    }
+    if (!in_dumpvars) {
+      throw Error("VCD: unexpected token in change section: " + token);
+    }
+  }
+  return doc;
+}
+
+VcdDocument read_vcd_file(const std::string& path) {
+  std::ifstream in(path);
+  RINGENT_REQUIRE(in.good(), "cannot open VCD file " + path);
+  return read_vcd(in);
+}
+
+}  // namespace ringent::sim

@@ -1,0 +1,36 @@
+// Minimal VCD (IEEE 1364) reader for scalar wires.
+//
+// Round-trips the dumps produced by sim::VcdWriter and reads GTKWave-class
+// files with single-bit variables: enough to re-import recorded waveforms
+// for analysis (periods, mode classification) without keeping the original
+// simulation around. Vector variables and real values are rejected loudly.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sim/probe.hpp"
+
+namespace ringent::sim {
+
+struct VcdSignal {
+  std::string name;
+  SignalTrace trace;  ///< transitions with 'x' states skipped
+};
+
+struct VcdDocument {
+  std::string module_name;
+  /// Timescale in femtoseconds per VCD time unit.
+  std::int64_t timescale_fs = 1;
+  std::vector<VcdSignal> signals;
+};
+
+/// Parse a VCD stream. Throws ringent::Error on malformed input or
+/// unsupported constructs (vector variables, real variables).
+VcdDocument read_vcd(std::istream& in);
+
+/// Convenience: parse a file by path.
+VcdDocument read_vcd_file(const std::string& path);
+
+}  // namespace ringent::sim

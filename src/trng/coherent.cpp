@@ -1,0 +1,57 @@
+#include "trng/coherent.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace ringent::trng {
+
+CoherentResult coherent_sampling_bits(
+    const std::vector<sim::Transition>& sampled,
+    const std::vector<Time>& sampling_clock_rising,
+    const SamplerConfig& sampler_config) {
+  RINGENT_REQUIRE(sampling_clock_rising.size() >= 4,
+                  "need at least 4 sampling edges");
+  DffSampler sampler(sampler_config);
+  const std::vector<std::uint8_t> samples =
+      sampler.sample(sampled, sampling_clock_rising);
+
+  CoherentResult out;
+  // Split the sample stream into runs of identical values. The first and
+  // last runs are truncated by the observation window and are discarded.
+  std::vector<std::size_t> runs;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i] == samples[i - 1]) {
+      ++run;
+    } else {
+      runs.push_back(run);
+      run = 1;
+    }
+  }
+  RINGENT_REQUIRE(runs.size() >= 3,
+                  "observation window too short for coherent sampling");
+  out.run_lengths.assign(runs.begin() + 1, runs.end());
+
+  SampleStats stats;
+  std::vector<double> lengths;
+  lengths.reserve(out.run_lengths.size());
+  for (std::size_t r : out.run_lengths) {
+    out.bits.push_back(static_cast<std::uint8_t>(r & 1u));
+    stats.add(static_cast<double>(r));
+    lengths.push_back(static_cast<double>(r));
+  }
+  out.mean_run_length = stats.mean();
+  out.median_run_length = median(std::move(lengths));
+  return out;
+}
+
+double expected_half_beat_samples(double t0_ps, double t1_ps) {
+  RINGENT_REQUIRE(t0_ps > 0.0 && t1_ps > 0.0, "periods must be positive");
+  const double dt = std::abs(t1_ps - t0_ps);
+  RINGENT_REQUIRE(dt > 0.0, "periods must differ for a beat to exist");
+  return t0_ps / (2.0 * dt);
+}
+
+}  // namespace ringent::trng

@@ -1,0 +1,43 @@
+// Coherent-sampling TRNG (paper ref [7], Valtchanov et al.).
+//
+// Two free-running rings with close periods T0 (sampled) and T1 (sampling)
+// produce a beat: latching ring0 with ring1's rising edges yields a slow
+// square pattern of ~ T0/|T1-T0| samples per half-beat. A counter measures
+// each half-beat length in samples; jitter makes the boundary sample
+// uncertain, so the counter LSB is the random bit. The paper's conclusion
+// highlights this design as the main beneficiary of the STR's low
+// extra-device frequency variance: coherent sampling only works if the two
+// ring frequencies stay within a designed interval on every manufactured
+// device — exactly what Table II shows STRs guarantee better than IROs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/probe.hpp"
+#include "trng/sampler.hpp"
+
+namespace ringent::trng {
+
+struct CoherentResult {
+  std::vector<std::uint8_t> bits;        ///< LSBs of half-beat lengths
+  std::vector<std::size_t> run_lengths;  ///< half-beat lengths in samples
+  double mean_run_length = 0.0;          ///< ~ T0 / |T1 - T0|
+  /// Median run length: robust against the short "blip" runs produced when
+  /// a sample lands inside the jittering beat boundary (the metastable zone
+  /// splits one half-beat into several runs). Use this to read the beat.
+  double median_run_length = 0.0;
+};
+
+/// Latch `sampled` at the rising edges of `sampling_clock` and extract
+/// counter-LSB bits from the run structure. Requires enough overlap for at
+/// least one complete run.
+CoherentResult coherent_sampling_bits(
+    const std::vector<sim::Transition>& sampled,
+    const std::vector<Time>& sampling_clock_rising,
+    const SamplerConfig& sampler = {});
+
+/// Expected samples per half-beat for periods t0 and t1 (t0 != t1).
+double expected_half_beat_samples(double t0_ps, double t1_ps);
+
+}  // namespace ringent::trng

@@ -1,0 +1,33 @@
+#include "trng/elementary.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+std::vector<std::uint8_t> elementary_trng_bits(const sim::SignalTrace& trace,
+                                               const ElementaryTrngConfig& cfg,
+                                               std::size_t count) {
+  RINGENT_REQUIRE(!trace.transitions().empty(), "empty trace");
+  DffSampler sampler(cfg.sampler);
+  const std::vector<Time> instants =
+      periodic_samples(cfg.start, cfg.sampling_period, count);
+  RINGENT_REQUIRE(instants.empty() ||
+                      instants.back() <= trace.transitions().back().at,
+                  "trace too short for the requested bit count");
+  return sampler.sample(trace.transitions(), instants);
+}
+
+double quality_factor(double sigma_p_ps, double ring_period_ps,
+                      Time sampling_period) {
+  RINGENT_REQUIRE(sigma_p_ps >= 0.0, "negative jitter");
+  RINGENT_REQUIRE(ring_period_ps > 0.0, "ring period must be positive");
+  RINGENT_REQUIRE(sampling_period > Time::zero(),
+                  "sampling period must be positive");
+  // White period jitter accumulates linearly in variance: over K ring
+  // periods, var = K * sigma_p^2.
+  const double cycles = sampling_period.ps() / ring_period_ps;
+  const double accumulated_var = cycles * sigma_p_ps * sigma_p_ps;
+  return accumulated_var / (ring_period_ps * ring_period_ps);
+}
+
+}  // namespace ringent::trng

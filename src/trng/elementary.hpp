@@ -1,0 +1,37 @@
+// Elementary ring-oscillator TRNG (paper refs [1][2]).
+//
+// A free-running ring (IRO or STR) is sampled by a slower reference clock.
+// Between samples the ring edge position accumulates jitter; once the
+// accumulated jitter is comparable to the ring period the sampled bit is
+// unpredictable. This is the generator whose robustness the paper's
+// comparison ultimately targets: its bias under supply manipulation is the
+// attack surface of Sec. IV-B, exercised by examples/attack_demo.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/probe.hpp"
+#include "trng/sampler.hpp"
+
+namespace ringent::trng {
+
+struct ElementaryTrngConfig {
+  Time sampling_period = Time::from_ns(10.0);  ///< reference clock period
+  Time start = Time::zero();  ///< first sample instant (after warm-up)
+  SamplerConfig sampler{};
+};
+
+/// Sample `count` bits from a recorded ring trace.
+std::vector<std::uint8_t> elementary_trng_bits(const sim::SignalTrace& trace,
+                                               const ElementaryTrngConfig& cfg,
+                                               std::size_t count);
+
+/// The jitter "quality factor" governing the entropy of one sample: the
+/// variance of the accumulated jitter over one sampling period relative to
+/// the squared ring period (see trng/entropy_model.hpp).
+double quality_factor(double sigma_p_ps, double ring_period_ps,
+                      Time sampling_period);
+
+}  // namespace ringent::trng

@@ -1,0 +1,40 @@
+#include "trng/entropy_model.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "trng/elementary.hpp"
+
+namespace ringent::trng {
+
+double entropy_lower_bound(double quality_factor) {
+  RINGENT_REQUIRE(quality_factor >= 0.0, "negative quality factor");
+  const double h = 1.0 - 4.0 / (M_PI * M_PI * std::log(2.0)) *
+                             std::exp(-4.0 * M_PI * M_PI * quality_factor);
+  return h < 0.0 ? 0.0 : h;
+}
+
+double entropy_lower_bound(double sigma_p_ps, double ring_period_ps,
+                           Time sampling_period) {
+  return entropy_lower_bound(
+      quality_factor(sigma_p_ps, ring_period_ps, sampling_period));
+}
+
+Time required_sampling_period(double target_entropy, double sigma_p_ps,
+                              double ring_period_ps) {
+  RINGENT_REQUIRE(target_entropy > 0.0 && target_entropy < 1.0,
+                  "target entropy must be in (0,1)");
+  RINGENT_REQUIRE(sigma_p_ps > 0.0, "need positive jitter");
+  RINGENT_REQUIRE(ring_period_ps > 0.0, "ring period must be positive");
+  // Invert H(Q): Q = -ln((1-H) pi^2 ln2 / 4) / (4 pi^2),
+  // then T_s = Q T^3 / sigma_p^2 (from Q = (T_s/T) sigma_p^2 / T^2).
+  const double arg = (1.0 - target_entropy) * M_PI * M_PI * std::log(2.0) / 4.0;
+  RINGENT_REQUIRE(arg < 1.0, "target entropy unreachable");
+  const double q = -std::log(arg) / (4.0 * M_PI * M_PI);
+  const double ts_ps =
+      q * ring_period_ps * ring_period_ps * ring_period_ps /
+      (sigma_p_ps * sigma_p_ps);
+  return Time::from_ps(ts_ps);
+}
+
+}  // namespace ringent::trng

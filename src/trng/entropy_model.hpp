@@ -1,0 +1,33 @@
+// Jitter-to-entropy lower bound for elementary ring-oscillator TRNGs.
+//
+// Simplified form of the Baudet et al. (CHES 2011) phase-noise model: for a
+// ring sampled every T_s with accumulated timing variance sigma_acc^2, define
+// the quality factor Q = sigma_acc^2 / T^2 (T the ring period). The Shannon
+// entropy per sampled bit is bounded below by
+//
+//     H >= 1 - (4 / (pi^2 ln 2)) * exp(-4 pi^2 Q).
+//
+// The bound quantifies the security argument behind the paper's comparison:
+// what matters is the *random* (thermal) jitter only — deterministic jitter
+// inflates measured sigma but adds no entropy, which is why the STR's
+// suppression of the deterministic component matters for TRNG design.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace ringent::trng {
+
+/// Entropy lower bound per bit from the quality factor Q.
+double entropy_lower_bound(double quality_factor);
+
+/// Convenience: bound from ring parameters. sigma_p is the white per-period
+/// jitter; variance accumulates linearly over the sampling interval.
+double entropy_lower_bound(double sigma_p_ps, double ring_period_ps,
+                           Time sampling_period);
+
+/// Sampling period needed to reach a target entropy per bit (inverse of the
+/// bound). Returns the minimal T_s.
+Time required_sampling_period(double target_entropy, double sigma_p_ps,
+                              double ring_period_ps);
+
+}  // namespace ringent::trng

@@ -1,0 +1,160 @@
+#include "trng/fips.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+namespace {
+void check_block(std::span<const std::uint8_t> bits) {
+  RINGENT_REQUIRE(bits.size() == fips_block_bits,
+                  "FIPS tests need exactly 20000 bits");
+  for (std::uint8_t b : bits) {
+    RINGENT_REQUIRE(b <= 1, "bits must be 0 or 1");
+  }
+}
+
+std::string format_detail(const char* fmt, double a, double b = 0.0) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+}  // namespace
+
+TestVerdict fips_monobit(std::span<const std::uint8_t> bits) {
+  check_block(bits);
+  std::size_t ones = 0;
+  for (std::uint8_t b : bits) ones += b;
+  TestVerdict v;
+  v.name = "monobit";
+  v.statistic = static_cast<double>(ones);
+  v.pass = ones > 9725 && ones < 10275;
+  v.detail = format_detail("ones=%.0f (pass range 9726..10274)", v.statistic);
+  return v;
+}
+
+TestVerdict fips_poker(std::span<const std::uint8_t> bits) {
+  check_block(bits);
+  std::array<std::size_t, 16> counts{};
+  for (std::size_t i = 0; i + 3 < bits.size(); i += 4) {
+    const unsigned nibble = (bits[i] << 3) | (bits[i + 1] << 2) |
+                            (bits[i + 2] << 1) | bits[i + 3];
+    ++counts[nibble];
+  }
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double x = 16.0 / 5000.0 * sum_sq - 5000.0;
+  TestVerdict v;
+  v.name = "poker";
+  v.statistic = x;
+  v.pass = x > 2.16 && x < 46.17;
+  v.detail = format_detail("X=%.3f (pass range 2.16..46.17)", x);
+  return v;
+}
+
+TestVerdict fips_runs(std::span<const std::uint8_t> bits) {
+  check_block(bits);
+  // Run-length histograms for runs of zeros and of ones; lengths >= 6 share
+  // one bucket. FIPS 140-2 intervals (change notice 1).
+  struct Interval {
+    std::size_t lo, hi;
+  };
+  static constexpr std::array<Interval, 6> intervals{{{2315, 2685},
+                                                      {1114, 1386},
+                                                      {527, 723},
+                                                      {240, 384},
+                                                      {103, 209},
+                                                      {103, 209}}};
+  std::array<std::array<std::size_t, 6>, 2> runs{};  // [value][len bucket]
+
+  std::size_t i = 0;
+  while (i < bits.size()) {
+    const std::uint8_t value = bits[i];
+    std::size_t len = 1;
+    while (i + len < bits.size() && bits[i + len] == value) ++len;
+    const std::size_t bucket = len >= 6 ? 5 : len - 1;
+    ++runs[value][bucket];
+    i += len;
+  }
+
+  TestVerdict v;
+  v.name = "runs";
+  v.pass = true;
+  for (int value = 0; value <= 1; ++value) {
+    for (std::size_t bucket = 0; bucket < 6; ++bucket) {
+      const std::size_t c = runs[value][bucket];
+      if (c < intervals[bucket].lo || c > intervals[bucket].hi) {
+        v.pass = false;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "runs of %d, length %zu%s: %zu outside [%zu, %zu]; ",
+                      value, bucket + 1, bucket == 5 ? "+" : "", c,
+                      intervals[bucket].lo, intervals[bucket].hi);
+        v.detail += buf;
+      }
+    }
+  }
+  if (v.pass) v.detail = "all run-length counts in range";
+  return v;
+}
+
+TestVerdict fips_long_run(std::span<const std::uint8_t> bits) {
+  check_block(bits);
+  std::size_t longest = 0;
+  std::size_t current = 0;
+  std::uint8_t prev = 2;
+  for (std::uint8_t b : bits) {
+    current = (b == prev) ? current + 1 : 1;
+    prev = b;
+    if (current > longest) longest = current;
+  }
+  TestVerdict v;
+  v.name = "long-run";
+  v.statistic = static_cast<double>(longest);
+  v.pass = longest < 26;
+  v.detail = format_detail("longest run=%.0f (must be < 26)", v.statistic);
+  return v;
+}
+
+BatteryResult fips_battery(std::span<const std::uint8_t> bits) {
+  BatteryResult out;
+  out.tests.push_back(fips_monobit(bits));
+  out.tests.push_back(fips_poker(bits));
+  out.tests.push_back(fips_runs(bits));
+  out.tests.push_back(fips_long_run(bits));
+  out.all_pass = true;
+  for (const auto& t : out.tests) out.all_pass = out.all_pass && t.pass;
+  return out;
+}
+
+TestVerdict serial_test(std::span<const std::uint8_t> bits) {
+  RINGENT_REQUIRE(bits.size() >= 1000, "serial test needs >= 1000 bits");
+  std::array<std::size_t, 4> counts{};
+  for (std::size_t i = 0; i + 1 < bits.size(); ++i) {
+    RINGENT_REQUIRE(bits[i] <= 1 && bits[i + 1] <= 1, "bits must be 0 or 1");
+    counts[(bits[i] << 1) | bits[i + 1]]++;
+  }
+  const double n = static_cast<double>(bits.size() - 1);
+  const double expected = n / 4.0;
+  double chi2 = 0.0;
+  for (std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  TestVerdict v;
+  v.name = "serial";
+  v.statistic = chi2;
+  // Approximate: overlapping pairs are not independent, but with a 1%
+  // threshold on chi^2(3) the test is still a useful correlation alarm.
+  const double p = chi_square_sf(chi2, 3.0);
+  v.pass = p > 0.01;
+  v.detail = format_detail("chi2=%.3f p=%.4f", chi2, p);
+  return v;
+}
+
+}  // namespace ringent::trng

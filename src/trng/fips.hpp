@@ -1,0 +1,48 @@
+// FIPS 140-2 statistical tests (single-block battery on 20,000 bits), plus
+// a serial test. These are the acceptance tests a TRNG built on either ring
+// would have to pass; the attack example shows the IRO-based generator
+// failing them under supply modulation while the STR-based one keeps passing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ringent::trng {
+
+inline constexpr std::size_t fips_block_bits = 20000;
+
+struct TestVerdict {
+  std::string name;
+  bool pass = false;
+  double statistic = 0.0;
+  std::string detail;
+};
+
+/// Monobit: 9725 < ones < 10275.
+TestVerdict fips_monobit(std::span<const std::uint8_t> bits);
+
+/// Poker: 4-bit blocks, 2.16 < X < 46.17.
+TestVerdict fips_poker(std::span<const std::uint8_t> bits);
+
+/// Runs: counts of runs of each length 1..6+ within the FIPS intervals.
+TestVerdict fips_runs(std::span<const std::uint8_t> bits);
+
+/// Long run: no run of 26 or more equal bits.
+TestVerdict fips_long_run(std::span<const std::uint8_t> bits);
+
+struct BatteryResult {
+  std::vector<TestVerdict> tests;
+  bool all_pass = false;
+};
+
+/// Run the full battery on exactly fips_block_bits bits.
+BatteryResult fips_battery(std::span<const std::uint8_t> bits);
+
+/// Serial (2-bit overlapping) chi-square test; pass at 1% significance.
+/// Not part of FIPS 140-2 but standard for catching correlations the
+/// monobit test misses. Requires >= 1000 bits.
+TestVerdict serial_test(std::span<const std::uint8_t> bits);
+
+}  // namespace ringent::trng

@@ -1,0 +1,84 @@
+// On-line health tests for an operating entropy source (NIST SP 800-90B
+// §4.4 style): the continuous checks a fielded TRNG runs on every raw bit,
+// as opposed to the off-line batteries in trng/fips.hpp and trng/nist.hpp.
+//
+//  * Repetition Count Test (RCT): alarm when the same value repeats C times,
+//    C chosen from the claimed min-entropy H so that a healthy source
+//    false-alarms with probability ~2^-W per sample window.
+//  * Adaptive Proportion Test (APT): alarm when one value occupies more than
+//    C slots of a W-sample window.
+//
+// Both are cheap enough for per-sample hardware and catch the failure modes
+// the paper's attack discussion worries about: a ring locking to a supply
+// tone (long repeats / skewed proportions) or dying entirely (constant
+// output). examples/attack_demo and the TRNG examples use them as the
+// "would a fielded generator notice?" check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ringent::trng {
+
+/// SP 800-90B cutoff for the repetition count test: the smallest C with
+/// 2^(-H (C-1)) <= 2^-alpha_log2, i.e. C = 1 + ceil(alpha_log2 / H).
+std::uint32_t rct_cutoff(double min_entropy_per_bit, double alpha_log2 = 20.0);
+
+class RepetitionCountTest {
+ public:
+  /// `cutoff` >= 2, e.g. from rct_cutoff().
+  explicit RepetitionCountTest(std::uint32_t cutoff);
+
+  /// Feed one bit; returns false when the alarm fires (and stays latched).
+  bool feed(std::uint8_t bit);
+
+  bool alarmed() const { return alarmed_; }
+  std::uint32_t current_run() const { return run_; }
+  void reset();
+
+ private:
+  std::uint32_t cutoff_;
+  std::uint32_t run_ = 0;
+  std::uint8_t last_ = 2;  // sentinel: no sample yet
+  bool alarmed_ = false;
+};
+
+/// SP 800-90B binary APT cutoff (critical binomial value at 2^-alpha_log2)
+/// computed from the claimed per-bit min-entropy; conservative normal
+/// approximation with continuity correction, clamped to [W/2, W].
+std::uint32_t apt_cutoff(double min_entropy_per_bit, std::size_t window = 1024,
+                         double alpha_log2 = 20.0);
+
+class AdaptiveProportionTest {
+ public:
+  AdaptiveProportionTest(std::uint32_t cutoff, std::size_t window = 1024);
+
+  /// Feed one bit; returns false once alarmed (latched).
+  bool feed(std::uint8_t bit);
+
+  bool alarmed() const { return alarmed_; }
+  void reset();
+
+ private:
+  std::uint32_t cutoff_;
+  std::size_t window_;
+  std::size_t index_ = 0;   // position within the current window
+  std::uint8_t ref_ = 2;    // first sample of the window
+  std::uint32_t count_ = 0;
+  bool alarmed_ = false;
+};
+
+struct HealthReport {
+  bool rct_pass = false;
+  bool apt_pass = false;
+  std::uint32_t rct_cutoff_used = 0;
+  std::uint32_t apt_cutoff_used = 0;
+  bool pass() const { return rct_pass && apt_pass; }
+};
+
+/// Run both tests over a recorded sequence with cutoffs derived from the
+/// claimed min-entropy (the value an entropy-source datasheet would state).
+HealthReport run_health_tests(std::span<const std::uint8_t> bits,
+                              double claimed_min_entropy_per_bit);
+
+}  // namespace ringent::trng

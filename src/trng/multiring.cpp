@@ -1,0 +1,30 @@
+#include "trng/multiring.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+std::vector<std::uint8_t> multi_ring_bits(
+    const std::vector<const sim::SignalTrace*>& rings,
+    const MultiRingConfig& config, std::size_t count) {
+  RINGENT_REQUIRE(!rings.empty(), "need at least one ring");
+  for (const auto* ring : rings) {
+    RINGENT_REQUIRE(ring != nullptr && !ring->transitions().empty(),
+                    "null or empty ring trace");
+  }
+
+  const std::vector<Time> instants =
+      periodic_samples(config.start, config.sampling_period, count);
+  std::vector<std::uint8_t> bits(count, 0);
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    // Each flip-flop has its own aperture-noise stream.
+    SamplerConfig sampler_config = config.sampler;
+    sampler_config.seed = derive_seed(config.sampler.seed, "dff", r);
+    DffSampler sampler(sampler_config);
+    const auto sampled = sampler.sample(rings[r]->transitions(), instants);
+    for (std::size_t i = 0; i < count; ++i) bits[i] ^= sampled[i];
+  }
+  return bits;
+}
+
+}  // namespace ringent::trng

@@ -1,0 +1,339 @@
+#include "trng/nist.hpp"
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "analysis/fft.hpp"
+#include "common/math.hpp"
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+namespace {
+
+void check_bits(std::span<const std::uint8_t> bits, std::size_t min_n) {
+  RINGENT_REQUIRE(bits.size() >= min_n, "bit sequence too short for this test");
+  for (std::uint8_t b : bits) {
+    RINGENT_REQUIRE(b <= 1, "bits must be 0 or 1");
+  }
+}
+
+std::string fmt(const char* f, double a, double b = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), f, a, b);
+  return buf;
+}
+
+NistResult make(const char* name, double p, double alpha, std::string detail) {
+  NistResult r;
+  r.name = name;
+  r.p_value = p;
+  r.pass = p >= alpha;
+  r.detail = std::move(detail);
+  return r;
+}
+
+}  // namespace
+
+NistResult nist_frequency(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 100);
+  long long s = 0;
+  for (std::uint8_t b : bits) s += b ? 1 : -1;
+  const double n = static_cast<double>(bits.size());
+  const double s_obs = std::abs(static_cast<double>(s)) / std::sqrt(n);
+  const double p = std::erfc(s_obs / std::sqrt(2.0));
+  return make("frequency", p, alpha, fmt("S_obs=%.4f", s_obs));
+}
+
+NistResult nist_block_frequency(std::span<const std::uint8_t> bits,
+                                std::size_t block_bits, double alpha) {
+  check_bits(bits, 100);
+  RINGENT_REQUIRE(block_bits >= 8, "block must be >= 8 bits");
+  const std::size_t blocks = bits.size() / block_bits;
+  RINGENT_REQUIRE(blocks >= 4, "need at least 4 blocks");
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < block_bits; ++i) {
+      ones += bits[b * block_bits + i];
+    }
+    const double pi = static_cast<double>(ones) /
+                      static_cast<double>(block_bits);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_bits);
+  const double p = gamma_q(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+  return make("block-frequency", p, alpha,
+              fmt("chi2=%.3f over %.0f blocks", chi2,
+                  static_cast<double>(blocks)));
+}
+
+NistResult nist_runs(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 100);
+  const double n = static_cast<double>(bits.size());
+  std::size_t ones = 0;
+  for (std::uint8_t b : bits) ones += b;
+  const double pi = static_cast<double>(ones) / n;
+  // Prerequisite frequency check from the spec.
+  if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(n)) {
+    return make("runs", 0.0, alpha, "prerequisite frequency check failed");
+  }
+  std::size_t v = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits[i] != bits[i - 1]) ++v;
+  }
+  const double num =
+      std::abs(static_cast<double>(v) - 2.0 * n * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi);
+  const double p = std::erfc(num / den);
+  return make("runs", p, alpha, fmt("V=%.0f pi=%.4f",
+                                    static_cast<double>(v), pi));
+}
+
+NistResult nist_longest_run(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 128);
+  // 8-bit block variant: categories v <= 1, 2, 3, >= 4.
+  static constexpr std::array<double, 4> pi = {0.2148, 0.3672, 0.2305,
+                                               0.1875};
+  const std::size_t blocks = bits.size() / 8;
+  std::array<double, 4> counts{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0, run = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      run = bits[b * 8 + i] ? run + 1 : 0;
+      longest = std::max(longest, run);
+    }
+    const std::size_t category =
+        longest <= 1 ? 0 : (longest >= 4 ? 3 : longest - 1);
+    counts[category] += 1.0;
+  }
+  double chi2 = 0.0;
+  const double nblocks = static_cast<double>(blocks);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double expect = nblocks * pi[k];
+    chi2 += (counts[k] - expect) * (counts[k] - expect) / expect;
+  }
+  const double p = gamma_q(1.5, chi2 / 2.0);  // K = 3 degrees of freedom
+  return make("longest-run", p, alpha, fmt("chi2=%.3f", chi2));
+}
+
+NistResult nist_cusum(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 100);
+  long long s = 0, z = 0;
+  for (std::uint8_t b : bits) {
+    s += b ? 1 : -1;
+    z = std::max(z, std::llabs(s));
+  }
+  const double n = static_cast<double>(bits.size());
+  const double zd = static_cast<double>(z);
+  // SP 800-22 (2.13): two theta-function sums.
+  double sum1 = 0.0, sum2 = 0.0;
+  const long long k_lo1 = static_cast<long long>((-n / zd + 1.0) / 4.0) - 2;
+  const long long k_hi1 = static_cast<long long>((n / zd - 1.0) / 4.0) + 2;
+  for (long long k = k_lo1; k <= k_hi1; ++k) {
+    const double kk = static_cast<double>(k);
+    sum1 += normal_cdf((4.0 * kk + 1.0) * zd / std::sqrt(n)) -
+            normal_cdf((4.0 * kk - 1.0) * zd / std::sqrt(n));
+  }
+  for (long long k = k_lo1; k <= k_hi1; ++k) {
+    const double kk = static_cast<double>(k);
+    sum2 += normal_cdf((4.0 * kk + 3.0) * zd / std::sqrt(n)) -
+            normal_cdf((4.0 * kk + 1.0) * zd / std::sqrt(n));
+  }
+  const double p = clampd(1.0 - sum1 + sum2, 0.0, 1.0);
+  return make("cusum", p, alpha, fmt("z=%.0f", zd));
+}
+
+namespace {
+/// phi(m) for the approximate-entropy statistic: overlapping m-bit pattern
+/// log-probability sum over the cyclically extended sequence.
+double apen_phi(std::span<const std::uint8_t> bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  std::uint32_t window = 0;
+  const std::uint32_t mask = (1u << m) - 1;
+  // Prime the window with the first m-1 bits.
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    window = ((window << 1) | bits[i]) & mask;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = bits[(i + m - 1) % n];  // cyclic extension
+    window = ((window << 1) | b) & mask;
+    ++counts[window];
+  }
+  double phi = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double freq = static_cast<double>(c) / static_cast<double>(n);
+    phi += freq * std::log(freq);
+  }
+  return phi;
+}
+}  // namespace
+
+NistResult nist_approximate_entropy(std::span<const std::uint8_t> bits,
+                                    unsigned m, double alpha) {
+  check_bits(bits, 256);
+  RINGENT_REQUIRE(m >= 1 && m <= 12, "template length out of range");
+  const double n = static_cast<double>(bits.size());
+  const double apen = apen_phi(bits, m) - apen_phi(bits, m + 1);
+  const double chi2 = 2.0 * n * (std::log(2.0) - apen);
+  const double p = gamma_q(std::pow(2.0, static_cast<double>(m) - 1.0),
+                           chi2 / 2.0);
+  return make("approximate-entropy", p, alpha,
+              fmt("ApEn=%.6f chi2=%.3f", apen, chi2));
+}
+
+NistResult nist_dft(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 1000);
+  const std::size_t n = bits.size() & ~std::size_t{1};  // even length
+  std::vector<std::complex<double>> data(next_power_of_two(n), {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {bits[i] ? 1.0 : -1.0, 0.0};
+  }
+  // The spec uses the plain (unpadded) DFT; zero padding changes the peak
+  // statistics, so when n is not a power of two we truncate instead.
+  const std::size_t m = is_power_of_two(n)
+                            ? n
+                            : next_power_of_two(n) / 2;
+  data.resize(m);
+  analysis::fft_inplace(data);
+
+  const double threshold = std::sqrt(std::log(1.0 / 0.05) *
+                                     static_cast<double>(m));
+  std::size_t below = 0;
+  const std::size_t half = m / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (std::abs(data[i]) < threshold) ++below;
+  }
+  const double n0 = 0.95 * static_cast<double>(half);
+  const double d = (static_cast<double>(below) - n0) /
+                   std::sqrt(static_cast<double>(half) * 0.95 * 0.05 / 4.0);
+  const double p = std::erfc(std::abs(d) / std::sqrt(2.0));
+  return make("dft", p, alpha, fmt("d=%.3f", d));
+}
+
+namespace {
+/// psi^2_m statistic for the serial test (cyclic overlapping m-bit counts).
+double psi_squared(std::span<const std::uint8_t> bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  std::uint32_t window = 0;
+  const std::uint32_t mask = (1u << m) - 1;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    window = ((window << 1) | bits[i]) & mask;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = bits[(i + m - 1) % n];
+    window = ((window << 1) | b) & mask;
+    ++counts[window];
+  }
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return sum * std::pow(2.0, static_cast<double>(m)) /
+             static_cast<double>(n) -
+         static_cast<double>(n);
+}
+}  // namespace
+
+NistResult nist_serial(std::span<const std::uint8_t> bits, unsigned m,
+                       double alpha) {
+  check_bits(bits, 256);
+  RINGENT_REQUIRE(m >= 2 && m <= 12, "template length out of range");
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  const double p1 =
+      gamma_q(std::pow(2.0, static_cast<double>(m) - 2.0), d1 / 2.0);
+  const double p2 =
+      gamma_q(std::pow(2.0, static_cast<double>(m) - 3.0), d2 / 2.0);
+  const double p = std::min(p1, p2);
+  return make("serial", p, alpha, fmt("p1=%.4f p2=%.4f", p1, p2));
+}
+
+namespace {
+/// GF(2) rank of a 32x32 bit matrix given as 32 row words.
+unsigned rank32(std::array<std::uint32_t, 32> rows) {
+  unsigned rank = 0;
+  for (int col = 31; col >= 0 && rank < 32; --col) {
+    const std::uint32_t mask = 1u << col;
+    // Find a pivot row at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < 32 && !(rows[pivot] & mask)) ++pivot;
+    if (pivot == 32) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < 32; ++r) {
+      if (r != rank && (rows[r] & mask)) rows[r] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+}  // namespace
+
+NistResult nist_matrix_rank(std::span<const std::uint8_t> bits, double alpha) {
+  check_bits(bits, 38 * 1024);
+  const std::size_t matrices = bits.size() / 1024;
+  // Full-rank / rank-1-deficient probabilities for 32x32 over GF(2).
+  constexpr double p_full = 0.2888, p_minus1 = 0.5776;
+  const double p_rest = 1.0 - p_full - p_minus1;
+
+  double n_full = 0.0, n_minus1 = 0.0, n_rest = 0.0;
+  for (std::size_t m = 0; m < matrices; ++m) {
+    std::array<std::uint32_t, 32> rows{};
+    for (std::size_t r = 0; r < 32; ++r) {
+      std::uint32_t word = 0;
+      for (std::size_t c = 0; c < 32; ++c) {
+        word = (word << 1) | bits[m * 1024 + r * 32 + c];
+      }
+      rows[r] = word;
+    }
+    const unsigned rank = rank32(rows);
+    if (rank == 32) {
+      n_full += 1.0;
+    } else if (rank == 31) {
+      n_minus1 += 1.0;
+    } else {
+      n_rest += 1.0;
+    }
+  }
+  const double n = static_cast<double>(matrices);
+  double chi2 = 0.0;
+  chi2 += (n_full - p_full * n) * (n_full - p_full * n) / (p_full * n);
+  chi2 += (n_minus1 - p_minus1 * n) * (n_minus1 - p_minus1 * n) /
+          (p_minus1 * n);
+  chi2 += (n_rest - p_rest * n) * (n_rest - p_rest * n) / (p_rest * n);
+  const double p = gamma_q(1.0, chi2 / 2.0);  // 2 degrees of freedom
+  return make("matrix-rank", p, alpha,
+              fmt("chi2=%.3f over %.0f matrices", chi2, n));
+}
+
+NistBattery nist_battery(std::span<const std::uint8_t> bits, double alpha) {
+  NistBattery battery;
+  battery.results.push_back(nist_frequency(bits, alpha));
+  battery.results.push_back(nist_block_frequency(bits, 128, alpha));
+  battery.results.push_back(nist_runs(bits, alpha));
+  battery.results.push_back(nist_longest_run(bits, alpha));
+  battery.results.push_back(nist_cusum(bits, alpha));
+  battery.results.push_back(nist_approximate_entropy(bits, 4, alpha));
+  battery.results.push_back(nist_dft(bits, alpha));
+  battery.results.push_back(nist_serial(bits, 3, alpha));
+  if (bits.size() >= 38 * 1024) {
+    battery.results.push_back(nist_matrix_rank(bits, alpha));
+  }
+  battery.all_pass = true;
+  for (const auto& r : battery.results) {
+    battery.all_pass = battery.all_pass && r.pass;
+  }
+  return battery;
+}
+
+}  // namespace ringent::trng

@@ -1,0 +1,73 @@
+// NIST SP 800-22 style statistical tests (a "lite" subset, exact p-values).
+//
+// Complements the FIPS 140-2 pass/fail battery (trng/fips.hpp) with
+// p-value-based tests, which is what an entropy-source characterization
+// actually reports. Implemented tests and their SP 800-22 sections:
+//
+//   frequency (2.1), block frequency (2.2), runs (2.3), longest run of ones
+//   (2.4, 8-bit blocks), cumulative sums (2.13), approximate entropy (2.12),
+//   discrete Fourier transform / spectral (2.6), serial (2.11, m = 3).
+//
+// All tests accept arbitrary lengths above their documented minima; p-values
+// use the library's own erfc / regularized-gamma implementations
+// (common/math.hpp), so results are reproducible bit-for-bit across
+// platforms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ringent::trng {
+
+struct NistResult {
+  std::string name;
+  double p_value = 0.0;
+  bool pass = false;  ///< p_value >= alpha (default alpha = 0.01)
+  std::string detail;
+};
+
+NistResult nist_frequency(std::span<const std::uint8_t> bits,
+                          double alpha = 0.01);
+
+/// Block frequency with M-bit blocks (M >= 20 recommended; n >= 100).
+NistResult nist_block_frequency(std::span<const std::uint8_t> bits,
+                                std::size_t block_bits = 128,
+                                double alpha = 0.01);
+
+NistResult nist_runs(std::span<const std::uint8_t> bits, double alpha = 0.01);
+
+/// Longest run of ones in 8-bit blocks (n >= 128).
+NistResult nist_longest_run(std::span<const std::uint8_t> bits,
+                            double alpha = 0.01);
+
+/// Cumulative sums, forward direction.
+NistResult nist_cusum(std::span<const std::uint8_t> bits, double alpha = 0.01);
+
+/// Approximate entropy with template length m (m + 1 <= log2(n) - 2).
+NistResult nist_approximate_entropy(std::span<const std::uint8_t> bits,
+                                    unsigned m = 4, double alpha = 0.01);
+
+/// Spectral test: fraction of DFT peaks under the 95% threshold.
+NistResult nist_dft(std::span<const std::uint8_t> bits, double alpha = 0.01);
+
+/// Serial test with template length m (returns the min of the two p-values).
+NistResult nist_serial(std::span<const std::uint8_t> bits, unsigned m = 3,
+                       double alpha = 0.01);
+
+/// Binary matrix rank test (2.5): GF(2) rank distribution of 32x32 matrices
+/// carved from the sequence. Requires >= 38 * 1024 bits.
+NistResult nist_matrix_rank(std::span<const std::uint8_t> bits,
+                            double alpha = 0.01);
+
+struct NistBattery {
+  std::vector<NistResult> results;
+  bool all_pass = false;
+};
+
+/// Run the full lite battery (n >= 1024 recommended).
+NistBattery nist_battery(std::span<const std::uint8_t> bits,
+                         double alpha = 0.01);
+
+}  // namespace ringent::trng

@@ -1,0 +1,63 @@
+#include "trng/phase_trng.hpp"
+
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+PhaseSnapshot snapshot_at(const std::vector<sim::SignalTrace>& stage_traces,
+                          Time t) {
+  RINGENT_REQUIRE(stage_traces.size() >= 3, "need at least 3 stage traces");
+  PhaseSnapshot snap;
+  snap.cells.reserve(stage_traces.size());
+  for (const auto& trace : stage_traces) {
+    snap.cells.push_back(value_at(trace.transitions(), t) ? 1 : 0);
+  }
+  const std::size_t n = snap.cells.size();
+  bool found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.xor_bit ^= snap.cells[i];
+    if (snap.cells[i] != snap.cells[(i + n - 1) % n]) {
+      ++snap.token_count;
+      if (!found) {
+        snap.boundary = i;
+        found = true;
+      }
+    }
+  }
+  return snap;
+}
+
+PhaseTrngResult phase_trng_bits(
+    const std::vector<sim::SignalTrace>& stage_traces,
+    const PhaseTrngConfig& config, std::size_t count,
+    double mean_period_ps) {
+  RINGENT_REQUIRE(mean_period_ps > 0.0, "period must be positive");
+  RINGENT_REQUIRE(count >= 1, "need at least one sample");
+  RINGENT_REQUIRE(stage_traces.size() >= 3, "need at least 3 stage traces");
+
+  // Aperture noise: jitter each latch instant (all stages share the clock
+  // path, so one draw per instant, like a real capture register).
+  Xoshiro256 aperture(config.sampler.seed);
+  const std::vector<Time> instants =
+      periodic_samples(config.start, config.sampling_period, count);
+
+  PhaseTrngResult out;
+  out.stages = stage_traces.size();
+  out.phase_resolution_ps =
+      mean_period_ps / (2.0 * static_cast<double>(stage_traces.size()));
+  out.bits.reserve(count);
+  out.boundaries.reserve(count);
+  for (Time t : instants) {
+    Time instant = t;
+    if (config.sampler.aperture_jitter_ps > 0.0) {
+      instant = Time::from_ps(
+          t.ps() + aperture.normal(0.0, config.sampler.aperture_jitter_ps));
+    }
+    const PhaseSnapshot snap = snapshot_at(stage_traces, instant);
+    out.bits.push_back(snap.xor_bit);
+    out.boundaries.push_back(snap.boundary);
+  }
+  return out;
+}
+
+}  // namespace ringent::trng

@@ -1,0 +1,75 @@
+// Multi-phase STR TRNG — the design the paper's conclusion announces as
+// future work ("exploiting the STR properties for designing a robust TRNG",
+// later published by the same group).
+//
+// An L-stage evenly-spaced STR provides 2L equidistant switching events per
+// period: phase resolution dPhi = T/(2L), *independent of L in time* because
+// T stays roughly constant while the ruler gets finer with every added
+// stage. One reference clock latches ALL stage outputs simultaneously; the
+// snapshot is a rotated token pattern whose boundary position digitizes the
+// ring phase to dPhi. Jitter makes the boundary cell uncertain, so
+//
+//   * the XOR of all sampled stages flips with the uncertain boundary cell
+//     (one raw bit per reference edge), and
+//   * the decoded boundary index is a dPhi-resolution phase ruler readout
+//     (useful for diagnostics and multi-bit extraction).
+//
+// The paper's Fig. 12 result is what makes this work: per-stage jitter is
+// length-independent, so adding stages buys resolution without adding noise
+// floor — each stage is "an independent entropy source". The ext_phase_trng
+// bench shows entropy per raw bit rising with L at a fixed sampling rate.
+//
+// PHASE-COVERAGE CONDITION: stage i fires at phase i*NT*T/(2L) mod T/2, so
+// the firing instants cover L distinct equidistant phases iff
+// gcd(L, NT) = 1; with gcd = g only L/g phases exist. In particular the
+// paper's NT = NB initialization (g = NT) collapses to TWO firing instants
+// per half period — the snapshot parity then barely moves and the generator
+// degenerates (the bench demonstrates this failure mode). Real multi-phase
+// STR TRNGs pick L odd and NT even, coprime, near the ideal ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/probe.hpp"
+#include "trng/sampler.hpp"
+
+namespace ringent::trng {
+
+struct PhaseTrngConfig {
+  Time sampling_period = Time::from_ns(250.0);
+  Time start = Time::zero();
+  SamplerConfig sampler{};
+};
+
+struct PhaseSnapshot {
+  std::vector<std::uint8_t> cells;  ///< sampled C_i, one per stage
+  std::uint8_t xor_bit = 0;         ///< parity of the snapshot
+  /// Index of the first token boundary (cell where C_i != C_{i-1},
+  /// cyclically). Note this leading-boundary index only ranges over one
+  /// token spacing (ceil(L/NT) cells) — it digitizes the phase *within* a
+  /// spacing; the XOR bit is the generator's output.
+  std::size_t boundary = 0;
+  std::size_t token_count = 0;  ///< boundaries found (sanity: ring NT)
+};
+
+struct PhaseTrngResult {
+  std::vector<std::uint8_t> bits;         ///< one XOR bit per reference edge
+  std::vector<std::size_t> boundaries;    ///< phase readouts per edge
+  double phase_resolution_ps = 0.0;       ///< T / (2L)
+  std::size_t stages = 0;
+};
+
+/// Latch a single multi-stage snapshot at time t.
+PhaseSnapshot snapshot_at(const std::vector<sim::SignalTrace>& stage_traces,
+                          Time t);
+
+/// Run the generator: `count` reference edges against the recorded stage
+/// traces of an STR built with trace_all_stages. `mean_period_ps` is the
+/// ring's measured output period (for the resolution bookkeeping).
+PhaseTrngResult phase_trng_bits(
+    const std::vector<sim::SignalTrace>& stage_traces,
+    const PhaseTrngConfig& config, std::size_t count, double mean_period_ps);
+
+}  // namespace ringent::trng

@@ -1,0 +1,80 @@
+#include "trng/postproc.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+std::vector<std::uint8_t> von_neumann(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / 4);
+  for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+    RINGENT_REQUIRE(bits[i] <= 1 && bits[i + 1] <= 1, "bits must be 0 or 1");
+    if (bits[i] != bits[i + 1]) out.push_back(bits[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> xor_decimate(std::span<const std::uint8_t> bits,
+                                       std::size_t factor) {
+  RINGENT_REQUIRE(factor >= 1, "decimation factor must be >= 1");
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / factor);
+  std::uint8_t acc = 0;
+  std::size_t in_group = 0;
+  for (std::uint8_t b : bits) {
+    RINGENT_REQUIRE(b <= 1, "bits must be 0 or 1");
+    acc ^= b;
+    if (++in_group == factor) {
+      out.push_back(acc);
+      acc = 0;
+      in_group = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> peres(std::span<const std::uint8_t> bits,
+                                unsigned depth) {
+  RINGENT_REQUIRE(depth >= 1 && depth <= 16, "depth must be in [1,16]");
+  std::vector<std::uint8_t> out;
+  // First pass: the plain von Neumann stream, plus the two side streams the
+  // plain corrector throws away.
+  std::vector<std::uint8_t> xors;    // a XOR b of every pair
+  std::vector<std::uint8_t> equals;  // value of every discarded equal pair
+  xors.reserve(bits.size() / 2);
+  for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+    RINGENT_REQUIRE(bits[i] <= 1 && bits[i + 1] <= 1, "bits must be 0 or 1");
+    const std::uint8_t x = bits[i] ^ bits[i + 1];
+    xors.push_back(x);
+    if (x) {
+      out.push_back(bits[i]);
+    } else {
+      equals.push_back(bits[i]);
+    }
+  }
+  if (depth > 1) {
+    // The XOR stream and the equal-pair stream still carry entropy; extract
+    // it recursively (Peres 1992).
+    const auto from_xors = peres(xors, depth - 1);
+    out.insert(out.end(), from_xors.begin(), from_xors.end());
+    const auto from_equals = peres(equals, depth - 1);
+    out.insert(out.end(), from_equals.begin(), from_equals.end());
+  }
+  return out;
+}
+
+double von_neumann_rate(double p) {
+  RINGENT_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  return p * (1.0 - p);
+}
+
+double xor_bias(double p, std::size_t k) {
+  RINGENT_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  RINGENT_REQUIRE(k >= 1, "k must be >= 1");
+  return 0.5 + std::pow(2.0, static_cast<double>(k) - 1.0) *
+                   std::pow(p - 0.5, static_cast<double>(k));
+}
+
+}  // namespace ringent::trng

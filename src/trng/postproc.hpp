@@ -1,0 +1,36 @@
+// Arithmetic post-processing of raw TRNG bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ringent::trng {
+
+/// Von Neumann corrector: consume disjoint pairs, emit 0 for (0,1) and 1 for
+/// (1,0), drop (0,0)/(1,1). Removes bias at the cost of >= 75% throughput for
+/// an unbiased source (more for biased ones); leaves correlations between
+/// pairs untouched.
+std::vector<std::uint8_t> von_neumann(std::span<const std::uint8_t> bits);
+
+/// XOR decimation: each output bit is the parity of `factor` consecutive
+/// input bits. Reduces bias b to ~ (2b)^factor / 2.
+std::vector<std::uint8_t> xor_decimate(std::span<const std::uint8_t> bits,
+                                       std::size_t factor);
+
+/// Theoretical bias of the XOR of k independent bits with ones-probability p
+/// (piling-up lemma): 1/2 + 2^(k-1) (p - 1/2)^k.
+double xor_bias(double p, std::size_t k);
+
+/// Peres iterated von Neumann extractor: recursively applies the corrector
+/// to the discarded information (the XOR stream and the equal-pair values),
+/// approaching the Shannon-entropy extraction rate instead of von Neumann's
+/// p(1-p). `depth` bounds the recursion (3-8 typical; returns the same bits
+/// as von_neumann at depth 1).
+std::vector<std::uint8_t> peres(std::span<const std::uint8_t> bits,
+                                unsigned depth = 6);
+
+/// Asymptotic output/input rate of the von Neumann corrector: p(1-p).
+double von_neumann_rate(double p);
+
+}  // namespace ringent::trng

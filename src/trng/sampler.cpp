@@ -1,0 +1,52 @@
+#include "trng/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace ringent::trng {
+
+bool value_at(const std::vector<sim::Transition>& transitions, Time t) {
+  // First transition strictly after t; the value at t is the previous one.
+  const auto it = std::upper_bound(
+      transitions.begin(), transitions.end(), t,
+      [](Time lhs, const sim::Transition& tr) { return lhs < tr.at; });
+  if (it == transitions.begin()) return false;
+  return std::prev(it)->value;
+}
+
+std::vector<Time> periodic_samples(Time t0, Time period, std::size_t count) {
+  RINGENT_REQUIRE(period > Time::zero(), "sampling period must be positive");
+  std::vector<Time> out;
+  out.reserve(count);
+  Time t = t0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(t);
+    t += period;
+  }
+  return out;
+}
+
+DffSampler::DffSampler(const SamplerConfig& config)
+    : config_(config), rng_(config.seed) {
+  RINGENT_REQUIRE(config.aperture_jitter_ps >= 0.0,
+                  "aperture jitter cannot be negative");
+}
+
+std::vector<std::uint8_t> DffSampler::sample(
+    const std::vector<sim::Transition>& transitions,
+    const std::vector<Time>& sample_times) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(sample_times.size());
+  for (Time t : sample_times) {
+    Time instant = t;
+    if (config_.aperture_jitter_ps > 0.0) {
+      instant = Time::from_ps(t.ps() +
+                              rng_.normal(0.0, config_.aperture_jitter_ps));
+    }
+    bits.push_back(value_at(transitions, instant) ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace ringent::trng

@@ -1,0 +1,48 @@
+// D-flip-flop sampling of a jittery signal (the basic TRNG extractor).
+//
+// The classic FPGA TRNG (paper refs [1][2]) latches a free-running ring
+// output with a reference clock; randomness comes from sampling near an edge
+// whose position carries accumulated jitter. This module reconstructs the
+// sampled bit stream from a recorded transition list — value-at-time lookup,
+// exactly what a DFF does, including optional setup/hold metastability
+// resolution noise on the sample instant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/probe.hpp"
+
+namespace ringent::trng {
+
+/// Value of the signal described by `transitions` at time t (false before the
+/// first transition).
+bool value_at(const std::vector<sim::Transition>& transitions, Time t);
+
+/// Periodic sample instants: t0, t0+period, ... (count of them).
+std::vector<Time> periodic_samples(Time t0, Time period, std::size_t count);
+
+struct SamplerConfig {
+  /// Gaussian aperture jitter of the sampling flip-flop (its own clock path
+  /// noise), applied to each sample instant.
+  double aperture_jitter_ps = 0.0;
+  std::uint64_t seed = 0xD0FF;
+};
+
+class DffSampler {
+ public:
+  explicit DffSampler(const SamplerConfig& config = {});
+
+  /// Latch the signal at each sample instant; returns one bit per sample.
+  std::vector<std::uint8_t> sample(
+      const std::vector<sim::Transition>& transitions,
+      const std::vector<Time>& sample_times);
+
+ private:
+  SamplerConfig config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ringent::trng

@@ -1,0 +1,494 @@
+// Tests for analysis/: periods, histograms, jitter metrics, normality,
+// regression, autocorrelation, FFT/tone tools, entropy estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "analysis/autocorr.hpp"
+#include "analysis/dual_dirac.hpp"
+#include "analysis/entropy.hpp"
+#include "analysis/fft.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/jitter.hpp"
+#include "analysis/normality.hpp"
+#include "analysis/periods.hpp"
+#include "analysis/regression.hpp"
+#include "analysis/spectrum.hpp"
+#include "common/require.hpp"
+#include "noise/jitter.hpp"
+#include "common/rng.hpp"
+#include "core/experiments.hpp"
+#include "sim/probe.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+
+// --- periods ------------------------------------------------------------------
+
+TEST(Periods, FromTraceAndEdges) {
+  sim::SignalTrace trace;
+  trace.record(0_ps, true);
+  trace.record(500_ps, false);
+  trace.record(1000_ps, true);
+  trace.record(1400_ps, false);
+  trace.record(2100_ps, true);
+  const auto periods = analysis::periods_ps(trace);
+  EXPECT_EQ(periods, (std::vector<double>{1000.0, 1100.0}));
+  const auto halves = analysis::half_periods_ps(trace);
+  EXPECT_EQ(halves, (std::vector<double>{500.0, 500.0, 400.0, 700.0}));
+}
+
+TEST(Periods, DutyCycle) {
+  sim::SignalTrace trace;
+  trace.record(0_ps, true);
+  trace.record(300_ps, false);  // high for 300
+  trace.record(1000_ps, true);  // low for 700
+  trace.record(1300_ps, false);
+  const double duty = analysis::duty_cycle(trace);
+  EXPECT_NEAR(duty, 600.0 / 1300.0, 1e-12);
+  sim::SignalTrace empty;
+  EXPECT_THROW(analysis::duty_cycle(empty), PreconditionError);
+}
+
+TEST(Periods, GroupedSumsAndDropsPartialTail) {
+  const std::vector<double> ps = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(analysis::grouped_periods_ps(ps, 2),
+            (std::vector<double>{3, 7, 11}));
+  EXPECT_EQ(analysis::grouped_periods_ps(ps, 7), (std::vector<double>{28}));
+  EXPECT_TRUE(analysis::grouped_periods_ps(ps, 8).empty());
+  EXPECT_THROW(analysis::grouped_periods_ps(ps, 0), PreconditionError);
+}
+
+TEST(Periods, FirstDifferences) {
+  EXPECT_EQ(analysis::first_differences({5.0, 7.0, 4.0}),
+            (std::vector<double>{2.0, -3.0}));
+  EXPECT_TRUE(analysis::first_differences({1.0}).empty());
+}
+
+// --- histogram ----------------------------------------------------------------
+
+TEST(Histogram, BinningAndCounts) {
+  analysis::Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9, -1.0, 10.0}) h.add(x);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2u);  // 2.5, 2.6
+  EXPECT_EQ(h.count(4), 1u);  // 9.9
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  const auto norm = h.normalized();
+  EXPECT_NEAR(norm[0], 2.0 / 7.0, 1e-12);
+}
+
+TEST(Histogram, AutoBinnedCoversData) {
+  Xoshiro256 rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal(100.0, 5.0));
+  const auto h = analysis::Histogram::auto_binned(xs);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_GE(h.bins(), 8u);
+  EXPECT_LE(h.bins(), 128u);
+}
+
+TEST(Histogram, CsvRendering) {
+  analysis::Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string csv = h.csv();
+  EXPECT_EQ(csv,
+            "bin_center,count,fraction\n"
+            "1,2,0.666666667\n"
+            "3,1,0.333333333\n");
+}
+
+TEST(Histogram, AsciiRenderContainsBars) {
+  analysis::Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.ascii(10, "ps");
+  EXPECT_NE(art.find("##########"), std::string::npos);  // peak bin full width
+  EXPECT_NE(art.find("ps"), std::string::npos);
+  EXPECT_THROW(analysis::Histogram(1.0, 1.0, 4), PreconditionError);
+}
+
+// --- jitter metrics -------------------------------------------------------------
+
+TEST(Jitter, SummaryOfIidGaussianPeriods) {
+  Xoshiro256 rng(11);
+  std::vector<double> periods;
+  for (int i = 0; i < 50000; ++i) periods.push_back(rng.normal(1000.0, 3.0));
+  const auto s = analysis::summarize_jitter(periods);
+  EXPECT_NEAR(s.mean_period_ps, 1000.0, 0.1);
+  EXPECT_NEAR(s.period_jitter_ps, 3.0, 0.05);
+  // i.i.d. periods: sigma_cc = sqrt(2) sigma_p.
+  EXPECT_NEAR(s.cycle_to_cycle_jitter_ps, 3.0 * std::sqrt(2.0), 0.1);
+  EXPECT_EQ(s.samples, 50000u);
+}
+
+TEST(Jitter, AccumulationOfWhiteNoiseGrowsAsSqrtM) {
+  Xoshiro256 rng(13);
+  std::vector<double> periods;
+  for (int i = 0; i < 120000; ++i) periods.push_back(rng.normal(1000.0, 2.0));
+  const double s1 = analysis::accumulated_jitter_ps(periods, 1);
+  const double s16 = analysis::accumulated_jitter_ps(periods, 16);
+  const double s64 = analysis::accumulated_jitter_ps(periods, 64);
+  EXPECT_NEAR(s16 / s1, 4.0, 0.25);
+  EXPECT_NEAR(s64 / s1, 8.0, 0.6);
+}
+
+TEST(Jitter, DecompositionSeparatesRandomFromDeterministic) {
+  // Periods with white sigma 2 ps plus a per-period deterministic drift of
+  // 0.05 ps (slow ramp): sigma_acc^2(m) = 4 m + 0.0025 m^2.
+  Xoshiro256 rng(17);
+  std::vector<double> periods;
+  for (int i = 0; i < 200000; ++i) {
+    // Alternating-block deterministic component: +0.05 for a block, -0.05
+    // for the next, in long blocks; approximated by a slow sine.
+    const double det =
+        3.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 4096.0);
+    periods.push_back(rng.normal(1000.0, 2.0) + det);
+  }
+  const auto curve = analysis::accumulation_curve(
+      periods, {1, 2, 4, 8, 16, 32, 64, 128});
+  const auto decomp = analysis::decompose_accumulation(curve);
+  EXPECT_NEAR(decomp.random_per_period_ps, 2.0, 0.3);
+  EXPECT_GT(decomp.deterministic_per_period_ps, 0.001);
+  EXPECT_GT(decomp.fit_r2, 0.95);
+}
+
+TEST(Jitter, Preconditions) {
+  EXPECT_THROW(analysis::summarize_jitter({1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(analysis::accumulated_jitter_ps({1.0, 2.0, 3.0}, 2),
+               PreconditionError);
+  EXPECT_THROW(analysis::decompose_accumulation({{1, 2.0}}),
+               PreconditionError);
+}
+
+// --- normality ------------------------------------------------------------------
+
+TEST(Normality, AcceptsGaussianRejectsUniform) {
+  Xoshiro256 rng(19);
+  std::vector<double> gauss, uniform;
+  for (int i = 0; i < 20000; ++i) {
+    gauss.push_back(rng.normal(0.0, 1.0));
+    uniform.push_back(rng.uniform01());
+  }
+  EXPECT_TRUE(analysis::chi_square_normality(gauss).gaussian);
+  EXPECT_FALSE(analysis::chi_square_normality(uniform).gaussian);
+  EXPECT_TRUE(analysis::jarque_bera(gauss).gaussian);
+  EXPECT_FALSE(analysis::jarque_bera(uniform).gaussian);
+}
+
+TEST(Normality, RejectsBimodal) {
+  Xoshiro256 rng(23);
+  std::vector<double> bimodal;
+  for (int i = 0; i < 20000; ++i) {
+    bimodal.push_back(rng.normal(i % 2 == 0 ? -3.0 : 3.0, 1.0));
+  }
+  EXPECT_FALSE(analysis::chi_square_normality(bimodal).gaussian);
+  EXPECT_FALSE(analysis::jarque_bera(bimodal).gaussian);
+}
+
+TEST(Normality, PValuesAreProbabilities) {
+  Xoshiro256 rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto r = analysis::chi_square_normality(xs);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+  EXPECT_THROW(analysis::chi_square_normality(std::vector<double>(50, 1.0)),
+               PreconditionError);
+  EXPECT_THROW(analysis::jarque_bera(std::vector<double>(5, 1.0)),
+               PreconditionError);
+}
+
+// --- regression -----------------------------------------------------------------
+
+TEST(Regression, ExactLinearFit) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 2.0);
+  const auto fit = analysis::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, PowerLawRecoversExponent) {
+  const std::vector<double> xs = {1, 2, 4, 8, 16, 32};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * std::pow(x, 0.5));
+  const auto fit = analysis::power_law_fit(xs, ys);
+  EXPECT_NEAR(fit.exponent, 0.5, 1e-10);
+  EXPECT_NEAR(fit.prefactor, 2.5, 1e-9);
+  const std::vector<double> bad_x = {1.0, -2.0};
+  const std::vector<double> bad_y = {1.0, 2.0};
+  EXPECT_THROW(analysis::power_law_fit(bad_x, bad_y), PreconditionError);
+}
+
+TEST(Regression, SqrtLawFit) {
+  const std::vector<double> xs = {2, 8, 18, 50};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 * std::sqrt(x));
+  const auto fit = analysis::sqrt_law_fit(xs, ys);
+  EXPECT_NEAR(fit.coefficient, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisySqrtLawStillCloses) {
+  Xoshiro256 rng(31);
+  std::vector<double> xs, ys;
+  for (double x = 3; x <= 99; x += 4) {
+    xs.push_back(x);
+    ys.push_back(1.5 * std::sqrt(x) + rng.normal(0.0, 0.2));
+  }
+  const auto fit = analysis::sqrt_law_fit(xs, ys);
+  EXPECT_NEAR(fit.coefficient, 1.5, 0.05);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+// --- autocorrelation --------------------------------------------------------------
+
+TEST(Autocorr, WhiteNoiseNearZero) {
+  Xoshiro256 rng(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  EXPECT_LT(std::abs(analysis::autocorrelation(xs, 1)),
+            analysis::white_noise_band(xs.size()));
+  const auto seq = analysis::autocorrelation_sequence(xs, 5);
+  EXPECT_EQ(seq.size(), 5u);
+}
+
+TEST(Autocorr, Ar1SignRecovered) {
+  Xoshiro256 rng(41);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 30000; ++i) {
+    xs.push_back(-0.5 * xs.back() + rng.normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(analysis::autocorrelation(xs, 1), -0.5, 0.03);
+  EXPECT_NEAR(analysis::autocorrelation(xs, 2), 0.25, 0.03);
+  EXPECT_THROW(analysis::autocorrelation(std::vector<double>{1.0, 2.0}, 5),
+               PreconditionError);
+}
+
+// --- FFT / tones -------------------------------------------------------------------
+
+TEST(Fft, MatchesAnalyticTransformOfDelta) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  analysis::fft_inplace(data);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+  std::vector<std::complex<double>> bad(6);
+  EXPECT_THROW(analysis::fft_inplace(bad), PreconditionError);
+}
+
+TEST(Fft, FindsInjectedTone) {
+  std::vector<double> xs;
+  const double freq = 0.04;  // cycles per sample
+  for (int i = 0; i < 4096; ++i) {
+    xs.push_back(10.0 + 2.0 * std::sin(2.0 * M_PI * freq * i));
+  }
+  const auto peak = analysis::find_tone(xs);
+  EXPECT_NEAR(peak.frequency_cycles, freq, 0.002);
+  EXPECT_GT(peak.snr, 50.0);
+}
+
+TEST(Fft, ToneAmplitudeProjection) {
+  Xoshiro256 rng(43);
+  std::vector<double> xs;
+  const double freq = 0.013;
+  for (int i = 0; i < 8192; ++i) {
+    xs.push_back(5.0 + 3.0 * std::cos(2.0 * M_PI * freq * i + 0.7) +
+                 rng.normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(analysis::tone_amplitude(xs, freq), 3.0, 0.1);
+  const auto fit = analysis::fit_tone(xs, freq);
+  EXPECT_NEAR(fit.phase_rad, 0.7, 0.05);
+  // Removing the tone leaves only the white noise.
+  const auto residual = analysis::remove_tone(xs, freq);
+  double var = 0.0;
+  for (double r : residual) var += r * r;
+  var /= static_cast<double>(residual.size());
+  EXPECT_NEAR(std::sqrt(var), 1.0, 0.05);
+}
+
+// --- dual-Dirac RJ/DJ decomposition ------------------------------------------------
+
+TEST(DualDirac, RecoversInjectedComponents) {
+  // Gaussian RJ = 3 ps around two Diracs 40 ps apart (square-wave DJ).
+  Xoshiro256 rng(51);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) {
+    const double mu = (i & 1) ? 20.0 : -20.0;
+    samples.push_back(1000.0 + mu + rng.normal(0.0, 3.0));
+  }
+  const auto fit = analysis::fit_dual_dirac(samples);
+  EXPECT_NEAR(fit.rj_sigma_ps, 3.0, 0.25);
+  EXPECT_NEAR(fit.dj_pp_ps, 40.0, 2.0);
+  EXPECT_NEAR(fit.mu_left_ps, 980.0, 2.0);
+  EXPECT_NEAR(fit.mu_right_ps, 1020.0, 2.0);
+}
+
+TEST(DualDirac, PureGaussianFollowsTheConvention) {
+  // Dual-Dirac convention caveat: single-Gaussian data reads a small
+  // spurious DJ(dd) ~ 0.9 sigma (the 50/50 tail mapping attributes part of
+  // the core to the impulses). RJ must still be recovered well.
+  Xoshiro256 rng(53);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.normal(500.0, 2.5));
+  const auto fit = analysis::fit_dual_dirac(samples);
+  EXPECT_NEAR(fit.rj_sigma_ps, 2.5, 0.25);
+  EXPECT_LT(fit.dj_pp_ps, 2.5 * 1.1);  // bounded by ~sigma
+}
+
+TEST(DualDirac, SinusoidalDjIsBounded) {
+  // A sine DJ of amplitude A has dual-Dirac DJ(dd) close to 2A (the PDF
+  // piles up at the extremes).
+  Xoshiro256 rng(57);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) {
+    samples.push_back(30.0 * std::sin(0.001 * i) + rng.normal(0.0, 2.0));
+  }
+  const auto fit = analysis::fit_dual_dirac(samples);
+  EXPECT_NEAR(fit.dj_pp_ps, 60.0, 6.0);
+  // A sine is not two impulses; its curved tails inflate the RJ readout
+  // slightly (another documented dual-Dirac convention effect).
+  EXPECT_NEAR(fit.rj_sigma_ps, 2.0, 0.9);
+  EXPECT_GT(fit.rj_sigma_ps, 1.5);
+}
+
+TEST(DualDirac, TotalJitterExtrapolation) {
+  analysis::DualDiracFit fit;
+  fit.rj_sigma_ps = 2.0;
+  fit.dj_pp_ps = 10.0;
+  // TJ(1e-12) = DJ + 2 * 7.034 * RJ.
+  EXPECT_NEAR(fit.total_jitter_ps(1e-12), 10.0 + 2.0 * 7.034 * 2.0, 0.1);
+  EXPECT_GT(fit.total_jitter_ps(1e-15), fit.total_jitter_ps(1e-9));
+}
+
+TEST(DualDirac, Preconditions) {
+  std::vector<double> few(100, 1.0);
+  EXPECT_THROW(analysis::fit_dual_dirac(few), PreconditionError);
+  Xoshiro256 rng(1);
+  std::vector<double> ok;
+  for (int i = 0; i < 2000; ++i) ok.push_back(rng.normal(0.0, 1.0));
+  EXPECT_THROW(analysis::fit_dual_dirac(ok, 0.6), PreconditionError);
+}
+
+// --- Welch spectra -----------------------------------------------------------------
+
+TEST(Spectrum, WhiteNoiseIsFlatAndIntegratesToVariance) {
+  Xoshiro256 rng(61);
+  std::vector<double> xs;
+  for (int i = 0; i < 65536; ++i) xs.push_back(rng.normal(0.0, 2.0));
+  const auto psd = analysis::welch_psd(xs);
+  EXPECT_NEAR(analysis::psd_slope(psd), 0.0, 0.15);
+  // Parseval: sum of one-sided PSD bins ~ variance (bin width 1/segment).
+  double integral = 0.0;
+  for (const auto& p : psd) integral += p.psd;
+  EXPECT_NEAR(integral / 1024.0 / 4.0, 1.0, 0.1);  // variance = 4
+}
+
+TEST(Spectrum, FlickerSlopesMinusOne) {
+  noise::FlickerNoise flicker(1.0, 20, 9);
+  std::vector<double> xs;
+  for (int i = 0; i < 65536; ++i) xs.push_back(flicker.sample_ps());
+  const auto psd = analysis::welch_psd(xs);
+  EXPECT_NEAR(analysis::psd_slope(psd, 0.005, 0.3), -1.0, 0.35);
+}
+
+TEST(Spectrum, AnticorrelatedSeriesIsHighPass) {
+  // MA(1) with negative lag-1 correlation, like STR periods.
+  Xoshiro256 rng(63);
+  std::vector<double> xs;
+  double prev = rng.normal(0.0, 1.0);
+  for (int i = 0; i < 65536; ++i) {
+    const double e = rng.normal(0.0, 1.0);
+    xs.push_back(e - 0.6 * prev);
+    prev = e;
+  }
+  const auto psd = analysis::welch_psd(xs);
+  EXPECT_GT(analysis::psd_slope(psd), 0.3);
+}
+
+TEST(Spectrum, StrPeriodsAreHighPassIroFlat) {
+  using namespace ringent::core;
+  ExperimentOptions options;
+  const auto str_periods =
+      collect_periods_ps(RingSpec::str(32), cyclone_iii(), 20000, options);
+  const auto iro_periods =
+      collect_periods_ps(RingSpec::iro(5), cyclone_iii(), 20000, options);
+  const auto str_psd = analysis::fractional_frequency_psd(str_periods);
+  const auto iro_psd = analysis::fractional_frequency_psd(iro_periods);
+  EXPECT_GT(analysis::psd_slope(str_psd), 0.25);
+  EXPECT_NEAR(analysis::psd_slope(iro_psd), 0.0, 0.15);
+}
+
+TEST(Spectrum, Preconditions) {
+  std::vector<double> xs(100, 1.0);
+  analysis::WelchOptions options;
+  options.segment = 100;  // not a power of two
+  EXPECT_THROW(analysis::welch_psd(xs, options), PreconditionError);
+  options.segment = 1024;  // longer than the series
+  EXPECT_THROW(analysis::welch_psd(xs, options), PreconditionError);
+  const auto psd = analysis::welch_psd(std::vector<double>(4096, 0.0),
+                                       analysis::WelchOptions{});
+  EXPECT_THROW(analysis::psd_slope(psd, 0.4, 0.41), PreconditionError);
+}
+
+// --- entropy -------------------------------------------------------------------
+
+TEST(Entropy, BiasAndShannon) {
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 1000; ++i) bits.push_back(i % 4 == 0 ? 1 : 0);
+  EXPECT_NEAR(analysis::bit_bias(bits), 0.25, 1e-12);
+  EXPECT_NEAR(analysis::shannon_entropy_per_bit(bits), 0.811278, 1e-5);
+  EXPECT_NEAR(analysis::min_entropy_per_bit(bits), -std::log2(0.75), 1e-9);
+}
+
+TEST(Entropy, DegenerateSequences) {
+  const std::vector<std::uint8_t> zeros(100, 0);
+  EXPECT_DOUBLE_EQ(analysis::shannon_entropy_per_bit(zeros), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::min_entropy_per_bit(zeros), 0.0);
+  EXPECT_THROW(analysis::bit_bias({}), PreconditionError);
+  EXPECT_THROW(analysis::bit_bias(std::vector<std::uint8_t>{2}),
+               PreconditionError);
+}
+
+TEST(Entropy, BlockEntropyDetectsCorrelation) {
+  Xoshiro256 rng(47);
+  std::vector<std::uint8_t> random, alternating;
+  for (int i = 0; i < 20000; ++i) {
+    random.push_back(static_cast<std::uint8_t>(rng.next() & 1));
+    alternating.push_back(static_cast<std::uint8_t>(i & 1));
+  }
+  EXPECT_GT(analysis::block_entropy_per_bit(random, 8), 0.99);
+  // Alternating bits are perfectly balanced but have (almost) no entropy at
+  // block size 2+.
+  EXPECT_NEAR(analysis::bit_bias(alternating), 0.5, 1e-9);
+  // "0101..." has exactly two 8-bit patterns: H = 1 bit / 8 bits = 0.125.
+  EXPECT_NEAR(analysis::block_entropy_per_bit(alternating, 8), 0.125, 1e-6);
+  EXPECT_LT(analysis::bit_autocorrelation(alternating, 1), -0.99);
+}
+
+TEST(Entropy, PackBits) {
+  const std::vector<std::uint8_t> bits = {1, 0, 0, 0, 0, 0, 0, 0,
+                                          0, 1, 0, 0, 0, 0, 0, 1};
+  const auto bytes = analysis::pack_bits(bits);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x82);
+  EXPECT_THROW(analysis::pack_bits(std::vector<std::uint8_t>(7, 0)),
+               PreconditionError);
+}

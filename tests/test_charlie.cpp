@@ -1,0 +1,136 @@
+// Tests for the Charlie-effect delay model (paper Eq. 3, Sec. II-D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "ring/charlie.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+using ring::CharlieModel;
+using ring::CharlieParams;
+using ring::charlie_delay_ps;
+using ring::DraftingParams;
+
+TEST(CharlieEquation, MinimumAtZeroSeparation) {
+  // charlie(0) = Ds + Dch for the symmetric stage.
+  EXPECT_DOUBLE_EQ(charlie_delay_ps(260.0, 120.0, 0.0), 380.0);
+  EXPECT_GT(charlie_delay_ps(260.0, 120.0, 10.0), 380.0);
+  EXPECT_GT(charlie_delay_ps(260.0, 120.0, -10.0), 380.0);
+}
+
+TEST(CharlieEquation, AsymptotesToStaticPlusSeparation) {
+  // For |s| >> Dch the parabola hugs the lines Ds + |s|.
+  const double d = charlie_delay_ps(260.0, 120.0, 5000.0);
+  EXPECT_NEAR(d, 260.0 + 5000.0, 2.0);
+  const double d2 = charlie_delay_ps(260.0, 120.0, -5000.0);
+  EXPECT_NEAR(d2, 260.0 + 5000.0, 2.0);
+}
+
+TEST(CharlieEquation, SymmetricAboutOffset) {
+  const double s0 = 30.0;
+  EXPECT_DOUBLE_EQ(charlie_delay_ps(260.0, 120.0, s0 + 17.0, s0),
+                   charlie_delay_ps(260.0, 120.0, s0 - 17.0, s0));
+}
+
+TEST(CharlieEquation, DerivativeSmallNearBottom) {
+  // The locking mechanism: d(charlie)/ds ~ 0 near s = 0, ~ 1 far away.
+  const double eps = 1.0;
+  const double slope_near =
+      (charlie_delay_ps(260.0, 120.0, eps) - charlie_delay_ps(260.0, 120.0, 0.0)) /
+      eps;
+  const double slope_far = (charlie_delay_ps(260.0, 120.0, 2000.0 + eps) -
+                            charlie_delay_ps(260.0, 120.0, 2000.0)) /
+                           eps;
+  EXPECT_LT(slope_near, 0.05);
+  EXPECT_GT(slope_far, 0.95);
+}
+
+TEST(CharlieEquation, LargerMagnitudeWidensTheFlatRegion) {
+  const double slope_small_dch =
+      charlie_delay_ps(260.0, 20.0, 20.0) - charlie_delay_ps(260.0, 20.0, 0.0);
+  const double slope_large_dch =
+      charlie_delay_ps(260.0, 200.0, 20.0) - charlie_delay_ps(260.0, 200.0, 0.0);
+  EXPECT_GT(slope_small_dch, slope_large_dch);
+}
+
+TEST(CharlieParams, SymmetricConstructor) {
+  const CharlieParams p = CharlieParams::symmetric(260_ps, 120_ps);
+  EXPECT_EQ(p.d_ff, 260_ps);
+  EXPECT_EQ(p.d_rr, 260_ps);
+  EXPECT_EQ(p.d_mean(), 260_ps);
+  EXPECT_EQ(p.s_offset(), 0_ps);
+}
+
+TEST(CharlieParams, AsymmetricOffset) {
+  const CharlieParams p{200_ps, 300_ps, 100_ps};
+  EXPECT_EQ(p.d_mean(), 250_ps);
+  EXPECT_EQ(p.s_offset(), 50_ps);
+}
+
+TEST(CharlieModel, SimultaneousInputsFireAfterDsPlusDch) {
+  const CharlieModel model(CharlieParams::symmetric(260_ps, 120_ps));
+  const Time t = model.fire_time(1_ns, 1_ns, 0_fs, 0.0);
+  EXPECT_EQ(t, 1_ns + 380_ps);
+}
+
+TEST(CharlieModel, LateForwardInputDominatesWithDff) {
+  // Token arrives long after the bubble: output ~ tf + Dff.
+  const CharlieModel model(CharlieParams{200_ps, 300_ps, 50_ps});
+  const Time t = model.fire_time(100_ns, 1_ns, 0_fs, 0.0);
+  EXPECT_NEAR(t.ps(), (100_ns + 200_ps).ps(), 1.0);
+}
+
+TEST(CharlieModel, LateReverseInputDominatesWithDrr) {
+  const CharlieModel model(CharlieParams{200_ps, 300_ps, 50_ps});
+  const Time t = model.fire_time(1_ns, 100_ns, 0_fs, 0.0);
+  EXPECT_NEAR(t.ps(), (100_ns + 300_ps).ps(), 1.0);
+}
+
+TEST(CharlieModel, ExtraDelayAddsLinearly) {
+  const CharlieModel model(CharlieParams::symmetric(260_ps, 120_ps));
+  const Time base = model.fire_time(1_ns, 1_ns, 0_fs, 0.0);
+  const Time shifted = model.fire_time(1_ns, 1_ns, 0_fs, 7.5);
+  EXPECT_NEAR((shifted - base).ps(), 7.5, 1e-9);
+}
+
+TEST(CharlieModel, ScalesApplyToStaticAndCharlieIndependently) {
+  const CharlieModel model(CharlieParams::symmetric(260_ps, 120_ps));
+  const Time t = model.fire_time(0_fs, 0_fs, 0_fs, 0.0, 2.0, 0.5);
+  EXPECT_NEAR(t.ps(), 260.0 * 2.0 + 120.0 * 0.5, 1e-6);
+}
+
+TEST(CharlieModel, CausalityFloorUnderLargeNegativeNoise) {
+  const CharlieModel model(CharlieParams::symmetric(260_ps, 120_ps));
+  // Noise draw of -10 ns would fire before the enabling input; the model
+  // clamps to just after the latest input.
+  const Time t = model.fire_time(5_ns, 4_ns, 0_fs, -10000.0);
+  EXPECT_GT(t, 5_ns);
+  EXPECT_LE(t, 5_ns + 2_ps);
+}
+
+TEST(CharlieModel, DraftingShortensDelayAfterRecentOutput) {
+  const CharlieModel plain(CharlieParams::symmetric(260_ps, 120_ps));
+  const CharlieModel drafting(CharlieParams::symmetric(260_ps, 120_ps),
+                              DraftingParams::asic(40.0, 200.0));
+  // Previous output just fired at t = 1 ns; inputs arrive right after.
+  const Time tp = plain.fire_time(1_ns, 1_ns, 1_ns, 0.0);
+  const Time td = drafting.fire_time(1_ns, 1_ns, 1_ns, 0.0);
+  EXPECT_LT(td, tp);
+  EXPECT_GT((tp - td).ps(), 1.0);
+  // Long after the previous output, drafting has decayed away.
+  const Time tp2 = plain.fire_time(1_ns, 1_ns, 0_fs, 0.0);
+  const Time td2 = drafting.fire_time(1_ns, 1_ns, 0_fs, 0.0);
+  EXPECT_NEAR((tp2 - td2).ps(), 0.0, 0.5);
+}
+
+TEST(CharlieModel, Preconditions) {
+  EXPECT_THROW(CharlieModel(CharlieParams{0_ps, 260_ps, 50_ps}),
+               PreconditionError);
+  EXPECT_THROW(CharlieModel(CharlieParams{260_ps, 260_ps, -1_ps}),
+               PreconditionError);
+  EXPECT_THROW(DraftingParams::asic(-1.0, 10.0), PreconditionError);
+  const CharlieModel model(CharlieParams::symmetric(260_ps, 120_ps));
+  EXPECT_THROW(model.fire_time(0_fs, 0_fs, 0_fs, 0.0, 0.0), PreconditionError);
+}

@@ -1,0 +1,255 @@
+// Unit tests for common/: time, rng, stats, math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+
+// --- Time -------------------------------------------------------------------
+
+TEST(Time, LiteralsAndConversions) {
+  EXPECT_EQ((1_ps).fs(), 1000);
+  EXPECT_EQ((1_ns).fs(), 1'000'000);
+  EXPECT_EQ((1_us).fs(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ((250_ps).ps(), 250.0);
+  EXPECT_DOUBLE_EQ((3_ns).ns(), 3.0);
+  EXPECT_DOUBLE_EQ(Time::from_seconds(1e-9).ns(), 1.0);
+}
+
+TEST(Time, RoundsToNearestFemtosecond) {
+  EXPECT_EQ(Time::from_ps(0.0004).fs(), 0);
+  EXPECT_EQ(Time::from_ps(0.0006).fs(), 1);
+  EXPECT_EQ(Time::from_ps(-0.0006).fs(), -1);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = 10_ps;
+  const Time b = 4_ps;
+  EXPECT_EQ((a + b).fs(), 14000);
+  EXPECT_EQ((a - b).fs(), 6000);
+  EXPECT_EQ((-b).fs(), -4000);
+  EXPECT_EQ((a * 3).fs(), 30000);
+  EXPECT_EQ((a / 2).fs(), 5000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ(a.scaled(0.5).fs(), 5000);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE((0_fs).is_zero());
+  EXPECT_TRUE((a - a - b).is_negative());
+}
+
+TEST(Time, StreamFormatting) {
+  std::ostringstream os;
+  os << 2_ns << " " << 250_ps << " " << 1_fs;
+  EXPECT_EQ(os.str(), "2ns 250ps 1fs");
+}
+
+TEST(Time, FrequencyConversions) {
+  EXPECT_NEAR(period_to_mhz(Time::from_ps(1529.9)), 653.6, 0.1);
+  EXPECT_NEAR(mhz_to_period(320.0).ps(), 3125.0, 0.1);
+  EXPECT_DOUBLE_EQ(period_to_mhz(Time::zero()), 0.0);
+  EXPECT_THROW(mhz_to_period(0.0), PreconditionError);
+  EXPECT_THROW(mhz_to_period(-5.0), PreconditionError);
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(Rng, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 10; ++i) differs = differs || (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Uniform01InRangeAndRoughlyUniform) {
+  Xoshiro256 rng(123);
+  const int buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    ++counts[static_cast<int>(u * buckets)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / buckets, 5 * std::sqrt(n / buckets));
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 rng(99);
+  SampleStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.02);
+  EXPECT_NEAR(stats.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(stats.excess_kurtosis(), 0.0, 0.06);
+}
+
+TEST(Rng, BelowIsUnbiasedAndBounded) {
+  Xoshiro256 rng(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, JumpProducesDecorrelatedStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DerivedSeedsAreLabelAndIndexSensitive) {
+  const std::uint64_t master = 20120312;
+  EXPECT_EQ(derive_seed(master, "a"), derive_seed(master, "a"));
+  EXPECT_NE(derive_seed(master, "a"), derive_seed(master, "b"));
+  EXPECT_NE(derive_seed(master, "a", 0), derive_seed(master, "a", 1));
+  EXPECT_NE(derive_seed(master, "a"), derive_seed(master + 1, "a"));
+  // Label/index pairs should not collide with sibling labels.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(derive_seed(master, "lut", i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// --- SampleStats ------------------------------------------------------------
+
+TEST(SampleStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SampleStats s = describe(xs);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleStats, MergeEqualsSinglePass) {
+  Xoshiro256 rng(17);
+  SampleStats whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(1.0, 3.0) + (i % 7) * 0.1;
+    whole.add(x);
+    (i < 2000 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(left.skewness(), whole.skewness(), 1e-8);
+  EXPECT_NEAR(left.excess_kurtosis(), whole.excess_kurtosis(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(SampleStats, SkewAndKurtosisOfKnownShapes) {
+  // Exponential distribution: skewness 2, excess kurtosis 6.
+  Xoshiro256 rng(8);
+  SampleStats s;
+  for (int i = 0; i < 300000; ++i) s.add(-std::log(1.0 - rng.uniform01()));
+  EXPECT_NEAR(s.skewness(), 2.0, 0.1);
+  EXPECT_NEAR(s.excess_kurtosis(), 6.0, 0.5);
+}
+
+TEST(SampleStats, PreconditionsThrow) {
+  SampleStats s;
+  EXPECT_THROW(s.mean(), PreconditionError);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), PreconditionError);
+  EXPECT_THROW(describe(std::vector<double>{}).mean(), PreconditionError);
+}
+
+TEST(SampleStats, RelativeStddev) {
+  SampleStats s;
+  s.add(99.0);
+  s.add(101.0);
+  EXPECT_NEAR(s.relative_stddev(), std::sqrt(2.0) / 100.0, 1e-12);
+}
+
+TEST(Percentile, MedianAndInterpolation) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 100.0), 3.0);
+  EXPECT_THROW(percentile({}, 50.0), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 101.0), PreconditionError);
+}
+
+// --- math -------------------------------------------------------------------
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(48, 96), 48);
+  EXPECT_THROW(gcd64(0, 3), PreconditionError);
+}
+
+TEST(MathUtil, PowersOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(24));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(log2_exact(256), 8u);
+  EXPECT_THROW(log2_exact(24), PreconditionError);
+}
+
+TEST(MathUtil, NormalCdf) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(MathUtil, ChiSquareSurvival) {
+  // Known quantiles: chi2(1) at 3.841 -> p = 0.05; chi2(2) at 5.991 -> 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(chi_square_sf(5.991, 2.0), 0.05, 1e-3);
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 5.0), 1.0);
+  EXPECT_NEAR(chi_square_sf(1000.0, 2.0), 0.0, 1e-12);
+  EXPECT_THROW(chi_square_sf(1.0, 0.0), PreconditionError);
+}
+
+TEST(MathUtil, GammaQBoundaries) {
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(gamma_q(1.0, 2.5), std::exp(-2.5), 1e-10);
+  EXPECT_NEAR(gamma_q(1.0, 0.3), std::exp(-0.3), 1e-10);
+  EXPECT_THROW(gamma_q(-1.0, 1.0), PreconditionError);
+  EXPECT_THROW(gamma_q(1.0, -1.0), PreconditionError);
+}
+
+TEST(MathUtil, MeanOfSpan) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+}

@@ -1,0 +1,161 @@
+// Tests for the pluggable event queues: correctness of each implementation,
+// pop-sequence equivalence between them, and bit-identical ring simulations
+// through the kernel regardless of the queue choice.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/periods.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "ring/str.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+using sim::BinaryHeapQueue;
+using sim::CalendarQueue;
+using sim::QueuedEvent;
+
+namespace {
+
+QueuedEvent ev(std::int64_t fs, std::uint64_t seq) {
+  return QueuedEvent{Time::from_fs(fs), seq, 0, 0};
+}
+
+void basic_order_check(sim::EventQueueBase& queue) {
+  queue.push(ev(300, 0));
+  queue.push(ev(100, 1));
+  queue.push(ev(200, 2));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.peek_min().at.fs(), 100);
+  EXPECT_EQ(queue.pop_min().at.fs(), 100);
+  EXPECT_EQ(queue.pop_min().at.fs(), 200);
+  EXPECT_EQ(queue.pop_min().at.fs(), 300);
+  EXPECT_TRUE(queue.empty());
+}
+
+void tie_break_check(sim::EventQueueBase& queue) {
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    queue.push(ev(5000, 19 - seq));
+  }
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    EXPECT_EQ(queue.pop_min().seq, seq);
+  }
+}
+
+}  // namespace
+
+TEST(BinaryHeapQueue, OrderAndTieBreak) {
+  BinaryHeapQueue queue;
+  basic_order_check(queue);
+  tie_break_check(queue);
+  EXPECT_THROW(queue.pop_min(), PreconditionError);
+}
+
+TEST(CalendarQueue, OrderAndTieBreak) {
+  CalendarQueue queue;
+  basic_order_check(queue);
+  tie_break_check(queue);
+  EXPECT_THROW(queue.pop_min(), PreconditionError);
+}
+
+TEST(CalendarQueue, SurvivesResizeCycles) {
+  CalendarQueue queue(Time::from_ps(10.0));
+  Xoshiro256 rng(3);
+  // Grow to 10k events (multiple doublings), then drain (shrinks).
+  std::vector<std::int64_t> times;
+  for (int i = 0; i < 10000; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.below(100000000));
+    times.push_back(t);
+    queue.push(ev(t, static_cast<std::uint64_t>(i)));
+  }
+  std::sort(times.begin(), times.end());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_EQ(queue.pop_min().at.fs(), times[i]) << i;
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, SparseFarFutureEventsUseTheFallbackScan) {
+  CalendarQueue queue(Time::from_ps(1.0));
+  queue.push(ev(5, 0));
+  queue.push(ev(50'000'000'000, 1));  // 50 us away: far outside the year
+  EXPECT_EQ(queue.pop_min().at.fs(), 5);
+  EXPECT_EQ(queue.pop_min().at.fs(), 50'000'000'000);
+}
+
+TEST(CalendarQueue, InterleavedPushPopStaysOrdered) {
+  CalendarQueue queue;
+  Xoshiro256 rng(9);
+  std::int64_t watermark = 0;  // pops must be monotone when pushes are >= pop
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.below(4));
+    for (int p = 0; p < pushes; ++p) {
+      queue.push(ev(watermark + static_cast<std::int64_t>(rng.below(500000)),
+                    seq++));
+    }
+    const QueuedEvent out = queue.pop_min();
+    ASSERT_GE(out.at.fs(), watermark);
+    watermark = out.at.fs();
+  }
+}
+
+TEST(EventQueues, PopSequencesAreIdentical) {
+  BinaryHeapQueue heap;
+  CalendarQueue calendar;
+  Xoshiro256 rng(17);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Clustered times force tie-breaks to matter.
+    const auto t = static_cast<std::int64_t>(rng.below(5000) * 100);
+    const QueuedEvent event = ev(t, seq++);
+    heap.push(event);
+    calendar.push(event);
+  }
+  while (!heap.empty()) {
+    const QueuedEvent a = heap.pop_min();
+    const QueuedEvent b = calendar.pop_min();
+    ASSERT_EQ(a.at.fs(), b.at.fs());
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(EventQueues, KernelSimulationIsQueueInvariant) {
+  // The determinism contract across implementations: the same STR produces
+  // the same femtosecond-exact edges on either queue.
+  const auto run = [](sim::QueueKind kind) {
+    sim::Kernel kernel(kind);
+    ring::StrConfig config;
+    config.stages = 24;
+    config.charlie = ring::CharlieParams::symmetric(260_ps, 123_ps);
+    std::vector<std::unique_ptr<noise::NoiseSource>> noise;
+    for (std::size_t i = 0; i < 24; ++i) {
+      noise.push_back(std::make_unique<noise::GaussianNoise>(
+          2.0, derive_seed(7, "q", i)));
+    }
+    ring::Str str(kernel, config,
+                  ring::make_initial_state(24, 12,
+                                           ring::TokenPlacement::evenly_spread),
+                  std::move(noise));
+    str.start();
+    kernel.run_until(Time::from_us(10.0));
+    return str.output().rising_edges();
+  };
+  const auto heap_edges = run(sim::QueueKind::binary_heap);
+  const auto calendar_edges = run(sim::QueueKind::calendar);
+  ASSERT_EQ(heap_edges.size(), calendar_edges.size());
+  ASSERT_GT(heap_edges.size(), 3000u);
+  for (std::size_t i = 0; i < heap_edges.size(); ++i) {
+    ASSERT_EQ(heap_edges[i].fs(), calendar_edges[i].fs()) << i;
+  }
+}
+
+TEST(EventQueues, Factory) {
+  EXPECT_NE(sim::make_event_queue(sim::QueueKind::binary_heap), nullptr);
+  EXPECT_NE(sim::make_event_queue(sim::QueueKind::calendar), nullptr);
+}

@@ -1,0 +1,256 @@
+// Unit tests for fpga/: delay laws, supply, device population, routing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "fpga/delay_model.hpp"
+#include "fpga/device.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/supply.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+using fpga::Board;
+using fpga::DelayVoltageLaw;
+using fpga::Modulation;
+using fpga::OperatingPoint;
+using fpga::RoutingModel;
+using fpga::Supply;
+
+// --- DelayVoltageLaw ---------------------------------------------------------
+
+TEST(DelayVoltageLaw, UnityAtNominal) {
+  const DelayVoltageLaw law(0.385, 1.2);
+  EXPECT_DOUBLE_EQ(law.scale({1.2, 25.0}), 1.0);
+}
+
+TEST(DelayVoltageLaw, FrequencyIsLinearInVoltage) {
+  const DelayVoltageLaw law(0.385, 1.2);
+  // F ~ 1/scale must be linear in V: check three collinear points.
+  const double f10 = 1.0 / law.scale({1.0, 25.0});
+  const double f12 = 1.0 / law.scale({1.2, 25.0});
+  const double f14 = 1.0 / law.scale({1.4, 25.0});
+  EXPECT_NEAR(f12 - f10, f14 - f12, 1e-12);
+}
+
+TEST(DelayVoltageLaw, PredictedExcursionMatchesDirectComputation) {
+  const DelayVoltageLaw law(0.385, 1.2);
+  const double f_lo = 1.0 / law.scale({1.0, 25.0});
+  const double f_hi = 1.0 / law.scale({1.4, 25.0});
+  EXPECT_NEAR(law.predicted_excursion(1.0, 1.4), f_hi - f_lo, 1e-12);
+  EXPECT_NEAR(law.predicted_excursion(1.0, 1.4), 0.4 / (1.2 - 0.385), 1e-12);
+}
+
+TEST(DelayVoltageLaw, LowerPivotMeansLowerSensitivity) {
+  const DelayVoltageLaw lut(0.385, 1.2);
+  const DelayVoltageLaw routing(-0.40, 1.2);
+  EXPECT_GT(lut.predicted_excursion(1.0, 1.4),
+            routing.predicted_excursion(1.0, 1.4));
+}
+
+TEST(DelayVoltageLaw, TemperatureDerating) {
+  const DelayVoltageLaw law(0.385, 1.2, 0.001);
+  EXPECT_DOUBLE_EQ(law.scale({1.2, 25.0}), 1.0);
+  EXPECT_NEAR(law.scale({1.2, 85.0}), 1.06, 1e-12);
+}
+
+TEST(DelayVoltageLaw, Preconditions) {
+  EXPECT_THROW(DelayVoltageLaw(1.3, 1.2), PreconditionError);
+  const DelayVoltageLaw law(0.385, 1.2);
+  EXPECT_THROW(law.scale({0.3, 25.0}), PreconditionError);
+  EXPECT_THROW(law.predicted_excursion(1.4, 1.0), PreconditionError);
+}
+
+// --- Supply -----------------------------------------------------------------
+
+TEST(Supply, StaticLevel) {
+  Supply supply(1.2);
+  EXPECT_DOUBLE_EQ(supply.voltage_at(0_fs), 1.2);
+  supply.set_level(1.0);
+  EXPECT_DOUBLE_EQ(supply.voltage_at(1_ns), 1.0);
+  EXPECT_THROW(supply.set_level(0.0), PreconditionError);
+}
+
+TEST(Supply, SineModulation) {
+  Supply supply(1.2);
+  supply.set_modulation(Modulation::sine(0.05, 1e6));  // 1 MHz, 50 mV
+  EXPECT_NEAR(supply.voltage_at(Time::zero()), 1.2, 1e-12);
+  // Quarter period of 1 MHz = 250 ns -> peak.
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(250.0)), 1.25, 1e-9);
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(750.0)), 1.15, 1e-9);
+}
+
+TEST(Supply, SquareAndRampModulation) {
+  Supply supply(1.2);
+  supply.set_modulation(Modulation::square(0.1, 1e6));
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(100.0)), 1.3, 1e-12);
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(600.0)), 1.1, 1e-12);
+
+  supply.set_modulation(Modulation::ramp(0.2, Time::from_us(1.0)));
+  EXPECT_NEAR(supply.voltage_at(Time::zero()), 1.0, 1e-12);
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(500.0)), 1.2, 1e-12);
+  EXPECT_NEAR(supply.voltage_at(Time::from_us(2.0)), 1.4, 1e-12);  // clamped
+}
+
+TEST(Supply, RegulatorAttenuatesModulation) {
+  Supply supply(1.2);
+  supply.set_modulation(Modulation::sine(0.1, 1e6));
+  fpga::Regulator reg;
+  reg.ac_attenuation = 0.1;
+  supply.set_regulator(reg);
+  EXPECT_NEAR(supply.voltage_at(Time::from_ns(250.0)), 1.21, 1e-9);
+}
+
+TEST(Supply, RegulatorRipple) {
+  Supply supply(1.2);
+  fpga::Regulator reg;
+  reg.ripple_v = 0.01;
+  reg.ripple_frequency_hz = 1e5;
+  supply.set_regulator(reg);
+  // Quarter of 100 kHz = 2.5 us.
+  EXPECT_NEAR(supply.voltage_at(Time::from_us(2.5)), 1.21, 1e-9);
+}
+
+TEST(Supply, OperatingPointCarriesTemperature) {
+  Supply supply(1.2);
+  supply.set_temperature_c(60.0);
+  const OperatingPoint op = supply.operating_point_at(0_fs);
+  EXPECT_DOUBLE_EQ(op.voltage_v, 1.2);
+  EXPECT_DOUBLE_EQ(op.temperature_c, 60.0);
+}
+
+TEST(Modulation, Preconditions) {
+  EXPECT_THROW(Modulation::sine(-0.1, 1e6), PreconditionError);
+  EXPECT_THROW(Modulation::sine(0.1, 0.0), PreconditionError);
+  EXPECT_THROW(Modulation::ramp(0.1, 0_fs), PreconditionError);
+}
+
+// --- Board / process population ----------------------------------------------
+
+TEST(Board, DeterministicSilicon) {
+  const fpga::ProcessParams params{0.001, 0.0135};
+  const Board a(42, 0, params);
+  const Board b(42, 0, params);
+  EXPECT_DOUBLE_EQ(a.global_factor(), b.global_factor());
+  for (std::size_t lut = 0; lut < 20; ++lut) {
+    EXPECT_DOUBLE_EQ(a.lut_factor(lut), b.lut_factor(lut));
+    EXPECT_EQ(a.noise_seed(lut), b.noise_seed(lut));
+  }
+}
+
+TEST(Board, DistinctBoardsAndLutsDiffer) {
+  const fpga::ProcessParams params{0.001, 0.0135};
+  const Board a(42, 0, params);
+  const Board b(42, 1, params);
+  EXPECT_NE(a.global_factor(), b.global_factor());
+  EXPECT_NE(a.lut_factor(0), a.lut_factor(1));
+  EXPECT_NE(a.noise_seed(3), a.noise_seed(4));
+  EXPECT_NE(a.noise_seed(3), b.noise_seed(3));
+}
+
+TEST(Board, MismatchPopulationMatchesSigma) {
+  const fpga::ProcessParams params{0.0, 0.0135};
+  const Board board(7, 0, params);
+  SampleStats stats;
+  for (std::size_t lut = 0; lut < 20000; ++lut) {
+    stats.add(board.lut_factor(lut));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 3e-4);
+  EXPECT_NEAR(stats.stddev(), 0.0135, 5e-4);
+}
+
+TEST(Board, GlobalPopulationMatchesSigma) {
+  const fpga::ProcessParams params{0.01, 0.0};
+  SampleStats stats;
+  for (unsigned b = 0; b < 2000; ++b) {
+    stats.add(Board(7, b, params).global_factor());
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 1e-3);
+  EXPECT_NEAR(stats.stddev(), 0.01, 1e-3);
+  // Mismatch-free boards have uniform LUTs.
+  EXPECT_DOUBLE_EQ(Board(7, 0, params).lut_factor(0),
+                   Board(7, 0, params).lut_factor(99));
+}
+
+TEST(Board, RejectsNegativeSigmas) {
+  EXPECT_THROW(Board(1, 0, fpga::ProcessParams{-0.1, 0.0}), PreconditionError);
+}
+
+// --- Placement / routing -----------------------------------------------------
+
+TEST(Placement, LabsUsed) {
+  EXPECT_EQ(fpga::labs_used(1), 1u);
+  EXPECT_EQ(fpga::labs_used(16), 1u);
+  EXPECT_EQ(fpga::labs_used(17), 2u);
+  EXPECT_EQ(fpga::labs_used(96), 6u);
+  EXPECT_THROW(fpga::labs_used(0), PreconditionError);
+}
+
+TEST(RoutingModel, InterpolatesBetweenCalibrationPoints) {
+  const RoutingModel model({{4, 0_ps}, {24, 200_ps}, {96, 380_ps}});
+  EXPECT_EQ(model.per_hop_delay(4), 0_ps);
+  EXPECT_EQ(model.per_hop_delay(24), 200_ps);
+  EXPECT_EQ(model.per_hop_delay(14), 100_ps);
+  EXPECT_EQ(model.per_hop_delay(60), 290_ps);
+  EXPECT_EQ(model.per_hop_delay(96), 380_ps);
+}
+
+TEST(RoutingModel, ClampsBelowAndExtrapolatesAbove) {
+  const RoutingModel model({{4, 10_ps}, {8, 30_ps}});
+  EXPECT_EQ(model.per_hop_delay(3), 10_ps);
+  EXPECT_EQ(model.per_hop_delay(12), 50_ps);  // slope 5 ps/stage continued
+  const RoutingModel falling({{4, 30_ps}, {8, 2_ps}});
+  EXPECT_EQ(falling.per_hop_delay(16), 0_ps);  // never negative
+}
+
+TEST(RoutingModel, SinglePointIsConstant) {
+  const RoutingModel model({{5, 12_ps}});
+  EXPECT_EQ(model.per_hop_delay(1), 12_ps);
+  EXPECT_EQ(model.per_hop_delay(500), 12_ps);
+}
+
+TEST(DistributeRouting, PreservesTheMeanExactly) {
+  for (std::size_t stages : {4u, 24u, 96u}) {
+    const auto delays = fpga::distribute_routing(100_ps, stages, 3.0);
+    ASSERT_EQ(delays.size(), stages);
+    double sum = 0.0;
+    for (Time d : delays) sum += d.ps();
+    EXPECT_NEAR(sum / static_cast<double>(stages), 100.0, 0.01)
+        << "stages=" << stages;
+  }
+}
+
+TEST(DistributeRouting, CrossingHopsCostMore) {
+  const auto delays = fpga::distribute_routing(100_ps, 48, 4.0);
+  // Hops 15 and 31 cross LAB boundaries; hop 47 is the wrap.
+  EXPECT_GT(delays[15], delays[0]);
+  EXPECT_NEAR(delays[15].ps() / delays[0].ps(), 4.0, 1e-4);
+  EXPECT_NEAR(delays[31].ps() / delays[0].ps(), 4.0, 1e-4);
+  EXPECT_NEAR(delays[47].ps() / delays[0].ps(), 4.0, 1e-4);
+  EXPECT_EQ(delays[1], delays[14]);
+}
+
+TEST(DistributeRouting, SingleLabRingIsFlat) {
+  const auto delays = fpga::distribute_routing(50_ps, 12, 4.0);
+  for (Time d : delays) EXPECT_EQ(d, 50_ps);
+}
+
+TEST(DistributeRouting, UnitWeightIsFlat) {
+  const auto delays = fpga::distribute_routing(77_ps, 96, 1.0);
+  for (Time d : delays) EXPECT_EQ(d, 77_ps);
+}
+
+TEST(DistributeRouting, Preconditions) {
+  EXPECT_THROW(fpga::distribute_routing(-1_ps, 8, 2.0), PreconditionError);
+  EXPECT_THROW(fpga::distribute_routing(10_ps, 0, 2.0), PreconditionError);
+  EXPECT_THROW(fpga::distribute_routing(10_ps, 8, 0.5), PreconditionError);
+}
+
+TEST(RoutingModel, Preconditions) {
+  EXPECT_THROW(RoutingModel({}), PreconditionError);
+  EXPECT_THROW(RoutingModel({{4, 1_ps}, {4, 2_ps}}), PreconditionError);
+  EXPECT_THROW(RoutingModel({{8, 1_ps}, {4, 2_ps}}), PreconditionError);
+  EXPECT_THROW(RoutingModel({{4, -1_ps}}), PreconditionError);
+}

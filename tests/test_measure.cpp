@@ -1,0 +1,186 @@
+// Tests for measure/: frequency counters, divider, oscilloscope model, and
+// the paper's Eq. 6 jitter measurement method.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "measure/divider.hpp"
+#include "measure/frequency.hpp"
+#include "measure/method.hpp"
+#include "measure/oscilloscope.hpp"
+#include "sim/probe.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+
+namespace {
+
+/// Synthetic oscillator edges: t_{k+1} = t_k + N(T, sigma^2) — i.i.d. period
+/// jitter with known ground truth.
+std::vector<Time> synthetic_edges(double period_ps, double sigma_ps,
+                                  std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Time> edges;
+  edges.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(Time::from_ps(t));
+    t += rng.normal(period_ps, sigma_ps);
+  }
+  return edges;
+}
+
+}  // namespace
+
+// --- frequency ----------------------------------------------------------------
+
+TEST(Frequency, MeanFrequencyFromEdges) {
+  const auto edges = synthetic_edges(2000.0, 0.0, 101, 1);
+  EXPECT_NEAR(measure::mean_frequency_mhz(edges), 500.0, 1e-9);
+  EXPECT_THROW(measure::mean_frequency_mhz(std::vector<Time>{1_ps}),
+               PreconditionError);
+}
+
+TEST(Frequency, FromTrace) {
+  sim::SignalTrace trace;
+  trace.record(0_ps, true);
+  trace.record(500_ps, false);
+  trace.record(1000_ps, true);
+  trace.record(1500_ps, false);
+  trace.record(2000_ps, true);
+  EXPECT_NEAR(measure::mean_frequency_mhz(trace), 1000.0, 1e-6);  // 1 GHz
+}
+
+TEST(Frequency, GatedCounter) {
+  const auto edges = synthetic_edges(1000.0, 0.0, 1000, 2);
+  const double f = measure::gated_frequency_mhz(edges, Time::from_ns(100.0),
+                                                Time::from_ns(500.0));
+  EXPECT_NEAR(f, 1000.0, 3.0);  // 1 GHz within one-count quantization
+  EXPECT_THROW(measure::gated_frequency_mhz(edges, 0_fs, 0_fs),
+               PreconditionError);
+}
+
+// --- divider -------------------------------------------------------------------
+
+TEST(Divider, KeepsEvery2ToNthEdge) {
+  const auto edges = synthetic_edges(1000.0, 0.0, 40, 3);
+  measure::DividerConfig config;
+  config.n = 3;  // divide by 8
+  const auto divided = measure::divide_rising_edges(edges, config);
+  ASSERT_EQ(divided.size(), 5u);
+  EXPECT_EQ(divided[0], edges[7]);
+  EXPECT_EQ(divided[1], edges[15]);
+  EXPECT_EQ(divided[4], edges[39]);
+}
+
+TEST(Divider, TapDelayShiftsUniformly) {
+  const auto edges = synthetic_edges(1000.0, 0.0, 20, 4);
+  measure::DividerConfig config;
+  config.n = 2;
+  config.tap_delay = 35_ps;
+  const auto divided = measure::divide_rising_edges(edges, config);
+  EXPECT_EQ(divided[0], edges[3] + 35_ps);
+  // A constant tap delay cancels in the periods.
+  const auto periods = measure::divided_periods_ps(edges, config);
+  ASSERT_EQ(periods.size(), divided.size() - 1);
+  EXPECT_NEAR(periods[0], 4000.0, 1e-9);
+}
+
+TEST(Divider, Preconditions) {
+  const auto edges = synthetic_edges(1000.0, 0.0, 20, 5);
+  measure::DividerConfig config;
+  config.n = 0;
+  EXPECT_THROW(measure::divide_rising_edges(edges, config), PreconditionError);
+  config.n = 31;
+  EXPECT_THROW(measure::divide_rising_edges(edges, config), PreconditionError);
+}
+
+// --- oscilloscope ----------------------------------------------------------------
+
+TEST(Oscilloscope, NoiseFreeConfigIsTransparent) {
+  measure::OscilloscopeConfig config;
+  config.noise_floor_ps = 0.0;
+  config.sample_period = 0_ps;
+  measure::Oscilloscope scope(config);
+  const auto edges = synthetic_edges(1000.0, 5.0, 200, 6);
+  EXPECT_EQ(scope.measure_edges(edges), edges);
+}
+
+TEST(Oscilloscope, QuantizesToSampleGrid) {
+  measure::OscilloscopeConfig config;
+  config.noise_floor_ps = 0.0;
+  config.sample_period = 25_ps;
+  measure::Oscilloscope scope(config);
+  const std::vector<Time> edges = {Time::from_ps(101.0), Time::from_ps(237.0)};
+  const auto measured = scope.measure_edges(edges);
+  EXPECT_EQ(measured[0], 100_ps);
+  EXPECT_EQ(measured[1], 225_ps);
+}
+
+TEST(Oscilloscope, DirectLowJitterMeasurementIsBiased) {
+  // The paper's motivation for the divided-clock method: measuring a 2.8 ps
+  // jitter through a noisy instrument inflates it far above truth, while a
+  // large jitter passes almost unaffected.
+  measure::Oscilloscope scope({});  // default: 2.5 ps floor + 25 ps sampling
+  const double truth_small = 2.83;
+  const auto small = synthetic_edges(3000.0, truth_small, 20000, 7);
+  const double measured_small = scope.period_jitter_ps(small);
+  EXPECT_GT(measured_small, 2.5 * truth_small);
+
+  const double truth_large = 200.0;
+  const auto large = synthetic_edges(300000.0, truth_large, 20000, 8);
+  const double measured_large = scope.period_jitter_ps(large);
+  EXPECT_NEAR(measured_large, truth_large, truth_large * 0.05);
+}
+
+// --- the Eq. 6 method ------------------------------------------------------------
+
+TEST(Method, RecoversKnownIidSigmaThroughNoisyInstrument) {
+  const double sigma_truth = 2.83;
+  const double period = 3000.0;
+  const unsigned n = 8;  // divide by 256
+  const auto edges =
+      synthetic_edges(period, sigma_truth, (1u << n) * 300 + 2, 9);
+  measure::Oscilloscope scope({});
+  const auto result = measure::measure_sigma_p(edges, n, scope);
+  EXPECT_NEAR(result.sigma_p_ps, sigma_truth, sigma_truth * 0.15);
+  EXPECT_NEAR(result.mean_period_ps, period, 1.0);
+  EXPECT_EQ(result.n, n);
+  EXPECT_GE(result.mes_periods, 290u);
+  // Hypothesis self-check: the cycle-to-cycle deltas must look Gaussian.
+  EXPECT_TRUE(result.hypothesis.gaussian);
+}
+
+TEST(Method, LargerNSuppressesInstrumentFloorBetter) {
+  const double sigma_truth = 1.0;  // well below the scope floor
+  const auto edges = synthetic_edges(2000.0, sigma_truth, (1u << 10) * 80, 10);
+  measure::Oscilloscope scope_a({});
+  measure::Oscilloscope scope_b({});
+  const auto coarse = measure::measure_sigma_p(edges, 4, scope_a);
+  const auto fine = measure::measure_sigma_p(edges, 10, scope_b);
+  const double err_coarse = std::abs(coarse.sigma_p_ps - sigma_truth);
+  const double err_fine = std::abs(fine.sigma_p_ps - sigma_truth);
+  EXPECT_LT(err_fine, err_coarse);
+  EXPECT_NEAR(fine.sigma_p_ps, sigma_truth, 0.2);
+}
+
+TEST(Method, RequiresEnoughEdges) {
+  const auto edges = synthetic_edges(1000.0, 1.0, 100, 11);
+  measure::Oscilloscope scope({});
+  EXPECT_THROW(measure::measure_sigma_p(edges, 8, scope), PreconditionError);
+}
+
+TEST(Method, SigmaGEquations) {
+  // Eq. 7 and Eq. 4 are inverses.
+  EXPECT_NEAR(measure::iro_sigma_g_ps(6.32, 5), 2.0, 0.01);
+  EXPECT_NEAR(measure::iro_sigma_p_ps(2.0, 5), 6.32, 0.01);
+  EXPECT_NEAR(measure::iro_sigma_g_ps(measure::iro_sigma_p_ps(1.7, 42), 42),
+              1.7, 1e-12);
+  EXPECT_NEAR(measure::str_sigma_p_ps(2.0), 2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_THROW(measure::iro_sigma_g_ps(-1.0, 5), PreconditionError);
+  EXPECT_THROW(measure::iro_sigma_p_ps(1.0, 0), PreconditionError);
+}

@@ -1,0 +1,134 @@
+// Tests for the oscillation-mode classifier.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "ring/mode.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+using ring::classify_mode;
+using ring::ModeAnalysis;
+using ring::OscillationMode;
+
+namespace {
+
+std::vector<Time> times_from_intervals_ps(const std::vector<double>& gaps) {
+  std::vector<Time> out;
+  double t = 0.0;
+  out.push_back(Time::zero());
+  for (double g : gaps) {
+    t += g;
+    out.push_back(Time::from_ps(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ModeClassifier, UniformIntervalsAreEvenlySpaced) {
+  std::vector<double> gaps(200, 750.0);
+  const ModeAnalysis result = classify_mode(times_from_intervals_ps(gaps));
+  EXPECT_EQ(result.mode, OscillationMode::evenly_spaced);
+  EXPECT_NEAR(result.interval_cv, 0.0, 1e-9);
+  EXPECT_NEAR(result.mean_interval_ps, 750.0, 1e-9);
+  EXPECT_EQ(result.intervals, 200u);
+}
+
+TEST(ModeClassifier, SmallJitterStaysEvenlySpaced) {
+  Xoshiro256 rng(5);
+  std::vector<double> gaps;
+  for (int i = 0; i < 500; ++i) gaps.push_back(rng.normal(750.0, 4.0));
+  const ModeAnalysis result = classify_mode(times_from_intervals_ps(gaps));
+  EXPECT_EQ(result.mode, OscillationMode::evenly_spaced);
+  EXPECT_LT(result.interval_cv, 0.01);
+}
+
+TEST(ModeClassifier, BurstPatternDetected) {
+  // A 4-token cluster: three fast intervals then one long silence.
+  std::vector<double> gaps;
+  for (int burst = 0; burst < 50; ++burst) {
+    gaps.insert(gaps.end(), {260.0, 260.0, 260.0, 3000.0});
+  }
+  const ModeAnalysis result = classify_mode(times_from_intervals_ps(gaps));
+  EXPECT_EQ(result.mode, OscillationMode::burst);
+  EXPECT_GT(result.interval_cv, 0.4);
+  EXPECT_GT(result.spread_ratio, 3.0);
+}
+
+TEST(ModeClassifier, ModeratelyRaggedIsIrregular) {
+  // CV between the two thresholds.
+  Xoshiro256 rng(7);
+  std::vector<double> gaps;
+  for (int i = 0; i < 400; ++i) gaps.push_back(rng.normal(750.0, 200.0));
+  const ModeAnalysis result = classify_mode(times_from_intervals_ps(gaps));
+  EXPECT_EQ(result.mode, OscillationMode::irregular);
+}
+
+TEST(ModeClassifier, TooFewSamplesIsIrregular) {
+  const ModeAnalysis r0 = classify_mode({});
+  EXPECT_EQ(r0.mode, OscillationMode::irregular);
+  EXPECT_EQ(r0.intervals, 0u);
+  const ModeAnalysis r1 =
+      classify_mode(times_from_intervals_ps({750.0, 750.0, 750.0}));
+  EXPECT_EQ(r1.mode, OscillationMode::irregular);
+  EXPECT_EQ(r1.intervals, 3u);
+}
+
+TEST(ModeClassifier, CustomThresholds) {
+  Xoshiro256 rng(9);
+  std::vector<double> gaps;
+  for (int i = 0; i < 300; ++i) gaps.push_back(rng.normal(750.0, 80.0));
+  ring::ModeThresholds strict;
+  strict.evenly_spaced_cv = 0.02;
+  ring::ModeThresholds lax;
+  lax.evenly_spaced_cv = 0.5;
+  EXPECT_EQ(classify_mode(times_from_intervals_ps(gaps), strict).mode,
+            OscillationMode::irregular);
+  EXPECT_EQ(classify_mode(times_from_intervals_ps(gaps), lax).mode,
+            OscillationMode::evenly_spaced);
+}
+
+TEST(TimeToLock, FindsTheTransitionFromRaggedToUniform) {
+  // 200 ragged intervals followed by uniform ones.
+  Xoshiro256 rng(11);
+  std::vector<double> gaps;
+  for (int i = 0; i < 200; ++i) gaps.push_back(rng.uniform(100.0, 1500.0));
+  for (int i = 0; i < 400; ++i) gaps.push_back(750.0);
+  const auto times = times_from_intervals_ps(gaps);
+  const auto result = ring::time_to_lock(times, 48, 0.05);
+  ASSERT_TRUE(result.locked);
+  // The first clean window starts at or shortly before interval 200.
+  EXPECT_GE(result.lock_interval, 150u);
+  EXPECT_LE(result.lock_interval, 210u);
+  EXPECT_EQ(result.lock_time, times[result.lock_interval]);
+}
+
+TEST(TimeToLock, ImmediateLockAndNeverLock) {
+  std::vector<double> uniform(300, 500.0);
+  const auto locked = ring::time_to_lock(times_from_intervals_ps(uniform));
+  ASSERT_TRUE(locked.locked);
+  EXPECT_EQ(locked.lock_interval, 0u);
+
+  Xoshiro256 rng(13);
+  std::vector<double> ragged;
+  for (int i = 0; i < 500; ++i) ragged.push_back(rng.uniform(100.0, 2000.0));
+  EXPECT_FALSE(ring::time_to_lock(times_from_intervals_ps(ragged)).locked);
+}
+
+TEST(TimeToLock, ShortSeriesAndPreconditions) {
+  std::vector<double> few(10, 500.0);
+  EXPECT_FALSE(ring::time_to_lock(times_from_intervals_ps(few), 64).locked);
+  EXPECT_THROW(ring::time_to_lock({}, 4), PreconditionError);
+  EXPECT_THROW(ring::time_to_lock({}, 64, 0.0), PreconditionError);
+}
+
+TEST(ModeClassifier, ToStringNames) {
+  EXPECT_STREQ(ring::to_string(OscillationMode::evenly_spaced),
+               "evenly-spaced");
+  EXPECT_STREQ(ring::to_string(OscillationMode::burst), "burst");
+  EXPECT_STREQ(ring::to_string(OscillationMode::irregular), "irregular");
+}

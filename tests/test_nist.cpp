@@ -1,0 +1,219 @@
+// Tests for the NIST SP 800-22-lite battery and the multi-ring XOR TRNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/entropy.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/oscillator.hpp"
+#include "trng/multiring.hpp"
+#include "trng/nist.hpp"
+
+using namespace ringent;
+using namespace ringent::trng;
+
+namespace {
+
+std::vector<std::uint8_t> rng_bits(std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(count);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return bits;
+}
+
+std::vector<std::uint8_t> biased_bits(std::size_t count, double p,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(count);
+  for (auto& b : bits) b = rng.uniform01() < p ? 1 : 0;
+  return bits;
+}
+
+}  // namespace
+
+TEST(Nist, GoodRngPassesEveryTest) {
+  const auto bits = rng_bits(100000, 11);
+  const auto battery = nist_battery(bits);
+  EXPECT_EQ(battery.results.size(), 9u);  // incl. matrix rank at this length
+  for (const auto& r : battery.results) {
+    EXPECT_TRUE(r.pass) << r.name << " p=" << r.p_value << " " << r.detail;
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+  }
+  EXPECT_TRUE(battery.all_pass);
+}
+
+TEST(Nist, PValuesAreUniformishForGoodRng) {
+  // The frequency test p-value over independent good sequences should not
+  // cluster near 0 or 1: crude check on quartile occupancy.
+  int low = 0, high = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double p = nist_frequency(rng_bits(4096, 1000 + i)).p_value;
+    if (p < 0.25) ++low;
+    if (p > 0.75) ++high;
+  }
+  EXPECT_NEAR(low, 50, 25);
+  EXPECT_NEAR(high, 50, 25);
+}
+
+TEST(Nist, FrequencyCatchesBias) {
+  EXPECT_FALSE(nist_frequency(biased_bits(20000, 0.53, 3)).pass);
+  EXPECT_TRUE(nist_frequency(biased_bits(20000, 0.501, 3)).pass);
+}
+
+TEST(Nist, BlockFrequencyCatchesDriftingBias) {
+  // Globally balanced but locally biased: first half mostly ones, second
+  // half mostly zeros.
+  Xoshiro256 rng(5);
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = i < 10000 ? 0.6 : 0.4;
+    bits.push_back(rng.uniform01() < p ? 1 : 0);
+  }
+  EXPECT_TRUE(nist_frequency(bits).pass);  // global balance hides it
+  EXPECT_FALSE(nist_block_frequency(bits).pass);
+}
+
+TEST(Nist, RunsCatchesCorrelation) {
+  Xoshiro256 rng(7);
+  std::vector<std::uint8_t> sticky;
+  std::uint8_t prev = 0;
+  for (int i = 0; i < 20000; ++i) {
+    prev = rng.uniform01() < 0.7 ? prev : static_cast<std::uint8_t>(1 - prev);
+    sticky.push_back(prev);
+  }
+  EXPECT_FALSE(nist_runs(sticky).pass);
+  EXPECT_TRUE(nist_runs(rng_bits(20000, 8)).pass);
+}
+
+TEST(Nist, LongestRunCatchesClumps) {
+  auto bits = rng_bits(20000, 9);
+  // Replace every 8-bit block's middle with a 6-run periodically.
+  for (std::size_t b = 0; b + 8 <= bits.size(); b += 16) {
+    for (int i = 1; i < 7; ++i) bits[b + i] = 1;
+  }
+  EXPECT_FALSE(nist_longest_run(bits).pass);
+}
+
+TEST(Nist, CusumCatchesDrift) {
+  EXPECT_TRUE(nist_cusum(rng_bits(20000, 10)).pass);
+  EXPECT_FALSE(nist_cusum(biased_bits(20000, 0.53, 10)).pass);
+}
+
+TEST(Nist, ApproximateEntropyCatchesPeriodicity) {
+  std::vector<std::uint8_t> periodic(20000);
+  for (std::size_t i = 0; i < periodic.size(); ++i) {
+    periodic[i] = (i % 5 == 0 || i % 5 == 2) ? 1 : 0;
+  }
+  EXPECT_FALSE(nist_approximate_entropy(periodic).pass);
+  EXPECT_TRUE(nist_approximate_entropy(rng_bits(20000, 12)).pass);
+}
+
+TEST(Nist, DftCatchesPeriodicTone) {
+  Xoshiro256 rng(13);
+  std::vector<std::uint8_t> toned(16384);
+  for (std::size_t i = 0; i < toned.size(); ++i) {
+    // Strong 100-sample periodic component on top of noise.
+    const double p = 0.5 + 0.35 * std::sin(2.0 * M_PI * i / 100.0);
+    toned[i] = rng.uniform01() < p ? 1 : 0;
+  }
+  EXPECT_FALSE(nist_dft(toned).pass);
+  EXPECT_TRUE(nist_dft(rng_bits(16384, 14)).pass);
+}
+
+TEST(Nist, SerialCatchesPairStructure) {
+  std::vector<std::uint8_t> alternating(20000);
+  for (std::size_t i = 0; i < alternating.size(); ++i) alternating[i] = i & 1;
+  EXPECT_FALSE(nist_serial(alternating).pass);
+  EXPECT_TRUE(nist_serial(rng_bits(20000, 15)).pass);
+}
+
+TEST(Nist, MatrixRankPassesGoodRngFailsLowRankStructure) {
+  EXPECT_TRUE(nist_matrix_rank(rng_bits(40960, 91)).pass);
+  // Low-rank structure: every 32-bit row repeated twice -> rank <= 16.
+  std::vector<std::uint8_t> structured;
+  Xoshiro256 rng(93);
+  while (structured.size() < 40960) {
+    std::vector<std::uint8_t> row(32);
+    for (auto& b : row) b = static_cast<std::uint8_t>(rng.next() & 1);
+    for (int rep = 0; rep < 2; ++rep) {
+      structured.insert(structured.end(), row.begin(), row.end());
+    }
+  }
+  structured.resize(40960);
+  EXPECT_FALSE(nist_matrix_rank(structured).pass);
+  EXPECT_THROW(nist_matrix_rank(rng_bits(1000, 1)), PreconditionError);
+}
+
+TEST(Nist, Preconditions) {
+  EXPECT_THROW(nist_frequency(rng_bits(50, 1)), PreconditionError);
+  EXPECT_THROW(nist_approximate_entropy(rng_bits(2000, 1), 0),
+               PreconditionError);
+  EXPECT_THROW(nist_serial(rng_bits(2000, 1), 1), PreconditionError);
+  std::vector<std::uint8_t> bad(2000, 2);
+  EXPECT_THROW(nist_frequency(bad), PreconditionError);
+}
+
+// --- multi-ring XOR TRNG -------------------------------------------------------
+
+TEST(MultiRing, XorOfIndependentRingsImprovesEntropy) {
+  const auto& cal = core::cyclone_iii();
+  const Time fs = Time::from_ns(250.0);
+  const std::size_t bits_wanted = 4096;
+
+  // Distinct silicon per ring (board mismatch) detunes the bank members —
+  // without it, equal-frequency rings keep correlated sampling patterns and
+  // the XOR gains much less.
+  const fpga::Board board(99, 0, cal.process);
+  std::vector<core::Oscillator> rings;
+  for (std::size_t r = 0; r < 4; ++r) {
+    core::BuildOptions build;
+    build.board = &board;
+    build.lut_base = r * 64;
+    rings.push_back(
+        core::Oscillator::build(core::RingSpec::iro(5), cal, build));
+    rings.back().run_periods(static_cast<std::size_t>(
+        fs.ps() / rings.back().nominal_period().ps() * (bits_wanted + 2.0) +
+        64));
+  }
+
+  MultiRingConfig config;
+  config.sampling_period = fs;
+  config.start = Time::from_us(1.0);
+
+  const auto one = multi_ring_bits({&rings[0].output()}, config, bits_wanted);
+  const auto four = multi_ring_bits({&rings[0].output(), &rings[1].output(),
+                                     &rings[2].output(), &rings[3].output()},
+                                    config, bits_wanted);
+  ASSERT_EQ(one.size(), bits_wanted);
+  ASSERT_EQ(four.size(), bits_wanted);
+
+  const double h_one = analysis::block_entropy_per_bit(one, 8);
+  const double h_four = analysis::block_entropy_per_bit(four, 8);
+  EXPECT_GT(h_four, h_one + 0.1);
+  EXPECT_GT(h_four, 0.9);
+}
+
+TEST(MultiRing, XorIdentityAndPreconditions) {
+  const auto& cal = core::cyclone_iii();
+  core::Oscillator osc =
+      core::Oscillator::build(core::RingSpec::iro(5), cal, {});
+  osc.run_periods(2000);
+
+  MultiRingConfig config;
+  config.sampling_period = Time::from_ns(100.0);
+  config.start = Time::from_ns(500.0);
+
+  // XOR of the same trace twice is all zeros (same instants, no aperture
+  // noise differences matter because seeds differ... so force no aperture).
+  config.sampler.aperture_jitter_ps = 0.0;
+  const auto twice = multi_ring_bits({&osc.output(), &osc.output()}, config,
+                                     1000);
+  for (std::uint8_t b : twice) EXPECT_EQ(b, 0);
+
+  EXPECT_THROW(multi_ring_bits({}, config, 100), PreconditionError);
+  sim::SignalTrace empty;
+  EXPECT_THROW(multi_ring_bits({&empty}, config, 100), PreconditionError);
+}

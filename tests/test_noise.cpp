@@ -1,0 +1,115 @@
+// Unit tests for noise/: jitter sources and deterministic delay modulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "noise/jitter.hpp"
+#include "noise/modulation.hpp"
+
+using namespace ringent;
+using namespace ringent::literals;
+using noise::CompositeNoise;
+using noise::FlickerNoise;
+using noise::GaussianNoise;
+using noise::NoNoise;
+using noise::SineDelayModulation;
+using noise::StepDelayModulation;
+
+TEST(GaussianNoise, MatchesRequestedSigma) {
+  GaussianNoise source(2.0, 42);
+  SampleStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(source.sample_ps());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.03);
+}
+
+TEST(GaussianNoise, DeterministicPerSeed) {
+  GaussianNoise a(1.5, 7), b(1.5, 7), c(1.5, 8);
+  bool all_equal = true;
+  bool any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.sample_ps();
+    all_equal = all_equal && (va == b.sample_ps());
+    any_differs = any_differs || (va != c.sample_ps());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(GaussianNoise, ZeroSigmaIsSilent) {
+  GaussianNoise source(0.0, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(source.sample_ps(), 0.0);
+  EXPECT_THROW(GaussianNoise(-1.0, 1), PreconditionError);
+}
+
+TEST(FlickerNoise, AmplitudeMatches) {
+  FlickerNoise source(3.0, 16, 11);
+  SampleStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(source.sample_ps());
+  // Row refresh cadence makes the per-sample sigma approximate.
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.5);
+}
+
+TEST(FlickerNoise, IsLongCorrelatedUnlikeWhite) {
+  // Compare lag-1000 sample autocorrelation of flicker vs white noise.
+  const auto lag_corr = [](noise::NoiseSource& s, std::size_t n,
+                           std::size_t lag) {
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = s.sample_ps();
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(n);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      den += (xs[i] - mean) * (xs[i] - mean);
+      if (i + lag < n) num += (xs[i] - mean) * (xs[i + lag] - mean);
+    }
+    return num / den;
+  };
+  FlickerNoise flicker(1.0, 20, 5);
+  GaussianNoise white(1.0, 5);
+  EXPECT_GT(lag_corr(flicker, 100000, 1000), 0.2);
+  EXPECT_LT(std::abs(lag_corr(white, 100000, 1000)), 0.05);
+}
+
+TEST(FlickerNoise, Preconditions) {
+  EXPECT_THROW(FlickerNoise(1.0, 0, 1), PreconditionError);
+  EXPECT_THROW(FlickerNoise(1.0, 33, 1), PreconditionError);
+  EXPECT_THROW(FlickerNoise(-1.0, 8, 1), PreconditionError);
+}
+
+TEST(CompositeNoise, SumsVariances) {
+  CompositeNoise comp;
+  comp.add(std::make_unique<GaussianNoise>(3.0, 1));
+  comp.add(std::make_unique<GaussianNoise>(4.0, 2));
+  EXPECT_EQ(comp.size(), 2u);
+  SampleStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(comp.sample_ps());
+  EXPECT_NEAR(stats.stddev(), 5.0, 0.1);  // sqrt(9 + 16)
+  EXPECT_THROW(comp.add(nullptr), PreconditionError);
+}
+
+TEST(NoNoise, AlwaysZero) {
+  NoNoise none;
+  EXPECT_DOUBLE_EQ(none.sample_ps(), 0.0);
+}
+
+TEST(SineDelayModulation, WaveformValues) {
+  SineDelayModulation mod(10.0, 1e6);  // 10 ps at 1 MHz
+  EXPECT_NEAR(mod.offset_ps(Time::zero()), 0.0, 1e-9);
+  EXPECT_NEAR(mod.offset_ps(Time::from_ns(250.0)), 10.0, 1e-6);
+  EXPECT_NEAR(mod.offset_ps(Time::from_ns(750.0)), -10.0, 1e-6);
+  EXPECT_THROW(SineDelayModulation(-1.0, 1e6), PreconditionError);
+  EXPECT_THROW(SineDelayModulation(1.0, 0.0), PreconditionError);
+}
+
+TEST(StepDelayModulation, StepsAtInstant) {
+  StepDelayModulation mod(5.0, 100_ps);
+  EXPECT_DOUBLE_EQ(mod.offset_ps(99_ps), 0.0);
+  EXPECT_DOUBLE_EQ(mod.offset_ps(100_ps), 5.0);
+  EXPECT_DOUBLE_EQ(mod.offset_ps(1_ns), 5.0);
+}

@@ -1,0 +1,19 @@
+// Compile-and-smoke test of the umbrella header: every public module must
+// be includable together and the one-screen quickstart must work as
+// documented in the README.
+#include "ringent.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ringent;
+
+TEST(Umbrella, ReadmeQuickstartWorks) {
+  auto osc = core::Oscillator::build(core::RingSpec::str(96),
+                                     core::cyclone_iii(), {});
+  osc.run_periods(2000);
+  const auto periods = analysis::periods_ps(osc.output());
+  const auto jitter = analysis::summarize_jitter(periods);
+  EXPECT_NEAR(1e6 / jitter.mean_period_ps, 320.0, 3.0);
+  EXPECT_GT(jitter.period_jitter_ps, 2.0);
+  EXPECT_LT(jitter.period_jitter_ps, 5.0);
+}
