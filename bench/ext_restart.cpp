@@ -19,20 +19,25 @@
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
 
-int main() {
+int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
-  std::printf("# Extension: restart technique, 64 restarts x 256 edges\n\n");
+  ExperimentOptions options;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
+  std::printf("# Extension: restart technique, 64 restarts x 256 edges\n");
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
+              sim::resolve_jobs(options.jobs));
 
   Table table({"Ring", "control (same seed)", "spread@k=1", "spread@k=64",
                "spread@k=249", "diffusion/edge", "R^2 of sqrt fit"});
   for (const RingSpec& spec :
        {RingSpec::iro(5), RingSpec::iro(25), RingSpec::str(24),
         RingSpec::str(96)}) {
-    const auto r = run_restart_experiment(spec, cal, 64, 256);
+    const auto r = run_restart_experiment(spec, cal, 64, 256, options);
     const auto at = [&](std::size_t edge) {
       for (const auto& p : r.points) {
         if (p.edge == edge) return p.spread_ps;

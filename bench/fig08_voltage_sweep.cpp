@@ -10,12 +10,15 @@
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
 
-int main() {
+int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  ExperimentOptions options;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
   std::vector<double> volts;
   for (double v = 1.0; v <= 1.4 + 1e-9; v += 0.05) volts.push_back(v);
 
@@ -24,12 +27,14 @@ int main() {
 
   std::printf("# Fig. 8 reproduction: normalized frequency vs core voltage\n");
   std::printf("# Fn = F / F(1.2 V); paper shape: all series linear, STR 96C "
-              "flattest\n\n");
+              "flattest\n");
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
+              sim::resolve_jobs(options.jobs));
 
   std::vector<std::string> header = {"V (V)"};
   std::vector<VoltageSweepResult> sweeps;
   for (const auto& spec : specs) {
-    sweeps.push_back(run_voltage_sweep(spec, cal, volts));
+    sweeps.push_back(run_voltage_sweep(spec, cal, volts, options));
     header.push_back(spec.name() + "  Fn");
   }
 

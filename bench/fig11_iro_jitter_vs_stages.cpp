@@ -12,22 +12,26 @@
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "measure/method.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
 
-int main() {
+int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> stages = {3, 5, 9, 15, 25, 40, 60, 80};
 
   ExperimentOptions options;
   options.board_index = 0;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
   JitterVsStagesConfig config;
   config.mes_periods = 220;
 
   std::printf("# Fig. 11 reproduction: IRO period jitter vs number of "
               "stages\n");
-  std::printf("# expected: sigma_p = sqrt(2k) sigma_g with sigma_g ~ 2 ps\n\n");
+  std::printf("# expected: sigma_p = sqrt(2k) sigma_g with sigma_g ~ 2 ps\n");
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
+              sim::resolve_jobs(options.jobs));
 
   const auto points =
       run_jitter_vs_stages(RingKind::iro, stages, cal, options, config);

@@ -7,12 +7,14 @@
 
 #include "common/rng.hpp"
 #include "core/calibration.hpp"
+#include "core/experiments.hpp"
 #include "core/oscillator.hpp"
 #include "noise/jitter.hpp"
 #include "ring/charlie.hpp"
 #include "ring/iro.hpp"
 #include "ring/str.hpp"
 #include "sim/kernel.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::literals;
@@ -30,6 +32,7 @@ class Ticker final : public sim::Process {
 
 void BM_KernelEventThroughput(benchmark::State& state) {
   sim::Kernel kernel;
+  kernel.reserve_events(static_cast<std::size_t>(state.range(0)));
   std::vector<std::unique_ptr<Ticker>> tickers;
   for (int i = 0; i < state.range(0); ++i) {
     tickers.push_back(std::make_unique<Ticker>());
@@ -135,6 +138,53 @@ void BM_StrSimulationCalendarQueue(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_StrSimulationCalendarQueue);
+
+/// The parallel sweep engine on a real experiment driver: the full Fig. 11
+/// IRO stage list through run_jitter_vs_stages at 1/2/4/8 jobs. Tasks are
+/// independent simulations sharded by index, so the result is bit-identical
+/// at every arg; only the wall clock should move (UseRealTime).
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto& cal = core::cyclone_iii();
+  const std::vector<std::size_t> stages = {3, 5, 9, 15, 25, 40, 60, 80};
+  core::ExperimentOptions options;
+  options.board_index = 0;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto points =
+        core::run_jitter_vs_stages(core::RingKind::iro, stages, cal, options);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stages.size()));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Same engine on the restart-technique population (64 restarts + control).
+void BM_ParallelRestart(benchmark::State& state) {
+  const auto& cal = core::cyclone_iii();
+  const core::RingSpec spec = core::RingSpec::iro(9);
+  core::ExperimentOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result =
+        core::run_restart_experiment(spec, cal, 64, 256, options);
+    benchmark::DoNotOptimize(result.points.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelRestart)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_GaussianNoise(benchmark::State& state) {
   noise::GaussianNoise source(2.0, 42);

@@ -12,14 +12,19 @@
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "ring/analytic.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
 
-int main() {
+int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  ExperimentOptions options;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
 
-  std::printf("# Sec. V-A reproduction: evenly-spaced locking map\n\n");
+  std::printf("# Sec. V-A reproduction: evenly-spaced locking map\n");
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
+              sim::resolve_jobs(options.jobs));
 
   std::printf("claim 1: NT = NB locks for every ring length (clustered "
               "start):\n");
@@ -27,7 +32,7 @@ int main() {
   for (std::size_t stages : {4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u}) {
     std::size_t tokens = stages / 2;
     if (tokens % 2 == 1) --tokens;
-    const auto map = run_mode_map(stages, {tokens}, cal);
+    const auto map = run_mode_map(stages, {tokens}, cal, options);
     by_length.add_row({std::to_string(stages), std::to_string(tokens),
                        ring::to_string(map[0].mode),
                        fmt_double(map[0].interval_cv, 4),
@@ -39,7 +44,7 @@ int main() {
   std::printf("claim 2: 32-stage ring, NT sweep (paper verified 10..20):\n");
   std::vector<std::size_t> token_counts;
   for (std::size_t nt = 2; nt <= 30; nt += 2) token_counts.push_back(nt);
-  const auto map = run_mode_map(32, token_counts, cal);
+  const auto map = run_mode_map(32, token_counts, cal, options);
   const ring::CharlieParams charlie =
       ring::CharlieParams::symmetric(cal.str_d_static, cal.str_d_charlie);
   const Time routing = cal.str_routing.per_hop_delay(32);

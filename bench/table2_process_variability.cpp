@@ -9,6 +9,7 @@
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
+#include "sim/parallel.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
@@ -27,8 +28,10 @@ double expected_sigma_rel(const Calibration& cal, std::size_t stages) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  ExperimentOptions options;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
   const std::vector<PaperRow> rows = {
       {RingSpec::iro(3), 0.0079},
       {RingSpec::iro(5), 0.0062},
@@ -37,12 +40,14 @@ int main() {
   };
 
   std::printf("# Table II reproduction: relative stddev of frequency across "
-              "devices\n\n");
+              "devices\n");
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
+              sim::resolve_jobs(options.jobs));
   Table table({"Ring", "b1 (MHz)", "b2", "b3", "b4", "b5", "sigma_rel (5b)",
                "sigma_rel (25b)", "model expect", "paper"});
   for (const auto& row : rows) {
-    const auto five = run_process_variability(row.spec, cal, 5);
-    const auto many = run_process_variability(row.spec, cal, 25);
+    const auto five = run_process_variability(row.spec, cal, 5, options);
+    const auto many = run_process_variability(row.spec, cal, 25, options);
     std::vector<std::string> cells = {row.spec.name()};
     for (const auto& b : five.boards) {
       cells.push_back(fmt_double(b.frequency_mhz, 2));

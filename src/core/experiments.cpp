@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "measure/frequency.hpp"
 #include "measure/method.hpp"
+#include "sim/parallel.hpp"
 #include "trng/coherent.hpp"
 #include "analysis/entropy.hpp"
 
@@ -40,7 +41,7 @@ VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
   VoltageSweepResult out;
   out.spec = spec;
 
-  for (double v : voltages) {
+  out.points = sim::parallel_map(voltages, options.jobs, [&](double v) {
     fpga::Supply supply(calibration.nominal_voltage);
     supply.set_level(v);
 
@@ -52,8 +53,10 @@ VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
     VoltageSweepPoint point;
     point.voltage_v = v;
     point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    out.points.push_back(point);
-    if (std::abs(v - calibration.nominal_voltage) < 1e-9) {
+    return point;
+  });
+  for (const auto& point : out.points) {
+    if (std::abs(point.voltage_v - calibration.nominal_voltage) < 1e-9) {
       out.f_nominal_mhz = point.frequency_mhz;
     }
   }
@@ -79,7 +82,7 @@ TemperatureSweepResult run_temperature_sweep(
   TemperatureSweepResult out;
   out.spec = spec;
 
-  for (double t : temperatures) {
+  out.points = sim::parallel_map(temperatures, options.jobs, [&](double t) {
     fpga::Supply supply(calibration.nominal_voltage);
     supply.set_temperature_c(t);
 
@@ -91,8 +94,12 @@ TemperatureSweepResult run_temperature_sweep(
     TemperatureSweepPoint point;
     point.temperature_c = t;
     point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    out.points.push_back(point);
-    if (std::abs(t - 25.0) < 1e-9) out.f_nominal_mhz = point.frequency_mhz;
+    return point;
+  });
+  for (const auto& point : out.points) {
+    if (std::abs(point.temperature_c - 25.0) < 1e-9) {
+      out.f_nominal_mhz = point.frequency_mhz;
+    }
   }
   RINGENT_REQUIRE(out.f_nominal_mhz > 0.0, "sweep must include 25 C");
 
@@ -115,20 +122,22 @@ ProcessVariabilityResult run_process_variability(
   ProcessVariabilityResult out;
   out.spec = spec;
 
-  SampleStats stats;
-  for (unsigned b = 0; b < board_count; ++b) {
-    const fpga::Board board(options.seed, b, calibration.process);
-    BuildOptions build = base_build_options(options);
-    build.board = &board;
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(periods);
+  out.boards =
+      sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+        const fpga::Board board(options.seed, static_cast<unsigned>(b),
+                                calibration.process);
+        BuildOptions build = base_build_options(options);
+        build.board = &board;
+        Oscillator osc = Oscillator::build(spec, calibration, build);
+        osc.run_periods(periods);
 
-    BoardFrequency bf;
-    bf.board = b;
-    bf.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    out.boards.push_back(bf);
-    stats.add(bf.frequency_mhz);
-  }
+        BoardFrequency bf;
+        bf.board = static_cast<unsigned>(b);
+        bf.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+        return bf;
+      });
+  SampleStats stats;
+  for (const auto& bf : out.boards) stats.add(bf.frequency_mhz);
   out.mean_mhz = stats.mean();
   out.sigma_rel = stats.relative_stddev();
   return out;
@@ -156,13 +165,10 @@ std::vector<JitterPoint> run_jitter_vs_stages(
     RingKind kind, const std::vector<std::size_t>& stage_counts,
     const Calibration& calibration, const ExperimentOptions& options,
     const JitterVsStagesConfig& config) {
-  std::vector<JitterPoint> out;
-  out.reserve(stage_counts.size());
-
   const std::size_t ring_periods =
       (std::size_t{1} << config.divider_n) * (config.mes_periods + 1) + 2;
 
-  for (std::size_t stages : stage_counts) {
+  return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
     const RingSpec spec = spec_for(kind, stages);
     BuildOptions build = base_build_options(options);
     build.noise_seed = derive_seed(options.seed, "jitter-vs-stages", stages);
@@ -190,9 +196,8 @@ std::vector<JitterPoint> run_jitter_vs_stages(
     point.sigma_g_ps = measure::iro_sigma_g_ps(method.sigma_p_ps, stages);
     point.sigma_direct_ps =
         describe(analysis::periods_ps(edges)).stddev();
-    out.push_back(point);
-  }
-  return out;
+    return point;
+  });
 }
 
 std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
@@ -211,9 +216,7 @@ std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
     scaled.str_d_charlie = Time::from_ps(1e-3);
   }
 
-  std::vector<ModeMapEntry> out;
-  out.reserve(token_counts.size());
-  for (std::size_t tokens : token_counts) {
+  return sim::parallel_map(token_counts, options.jobs, [&](std::size_t tokens) {
     const RingSpec spec = RingSpec::str(stages, tokens, placement);
     BuildOptions build = base_build_options(options);
     build.noise_seed = derive_seed(options.seed, "mode-map", tokens);
@@ -232,9 +235,8 @@ std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
     entry.mode = analysis.mode;
     entry.interval_cv = analysis.interval_cv;
     entry.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    out.push_back(entry);
-  }
-  return out;
+    return entry;
+  });
 }
 
 RestartResult run_restart_experiment(const RingSpec& spec,
@@ -257,19 +259,16 @@ RestartResult run_restart_experiment(const RingSpec& spec,
     return out_edges;
   };
 
-  // Control: identical seeds must collapse to zero divergence.
-  {
-    const auto a = run_edges(derive_seed(options.seed, "restart", 0));
-    const auto b = run_edges(derive_seed(options.seed, "restart", 0));
-    out.control_identical = a == b;
-  }
-
-  // t_k across restarts with independent noise streams.
-  std::vector<std::vector<Time>> runs;
-  runs.reserve(restarts);
-  for (unsigned r = 0; r < restarts; ++r) {
-    runs.push_back(run_edges(derive_seed(options.seed, "restart", r)));
-  }
+  // t_k across restarts with independent noise streams, plus one extra task
+  // that re-runs restart 0's seed: the control — identical seeds must
+  // collapse to zero divergence.
+  std::vector<std::vector<Time>> runs =
+      sim::parallel_index_map(restarts + 1, options.jobs, [&](std::size_t r) {
+        const std::uint64_t index = r < restarts ? r : 0;
+        return run_edges(derive_seed(options.seed, "restart", index));
+      });
+  out.control_identical = runs.front() == runs.back();
+  runs.pop_back();
 
   std::vector<double> ks, spreads;
   for (std::size_t k = 0; k < edges; k += std::max<std::size_t>(1, edges / 32)) {
@@ -301,36 +300,40 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
   out.spec = spec;
   out.design_detune = design_detune;
 
+  out.boards =
+      sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+        const fpga::Board board(options.seed, static_cast<unsigned>(b),
+                                calibration.process);
+
+        BuildOptions b0 = base_build_options(options);
+        b0.board = &board;
+        b0.lut_base = 0;
+        Oscillator osc0 = Oscillator::build(spec, calibration, b0);
+
+        BuildOptions b1 = base_build_options(options);
+        b1.board = &board;
+        b1.lut_base = 128;
+        b1.delay_scale = 1.0 + design_detune;
+        Oscillator osc1 = Oscillator::build(spec, calibration, b1);
+
+        osc0.run_periods(periods);
+        osc1.run_periods(periods);
+
+        const auto result = trng::coherent_sampling_bits(
+            osc0.output().transitions(), osc1.output().rising_edges());
+
+        CoherentBoardResult row;
+        row.board = static_cast<unsigned>(b);
+        row.half_beat_samples = result.median_run_length;
+        row.implied_detune = 1.0 / (2.0 * result.median_run_length);
+        row.bits = result.bits.size();
+        if (result.bits.size() >= 100) {
+          row.lsb_bias = analysis::bit_bias(result.bits);
+        }
+        return row;
+      });
   SampleStats detunes;
-  for (unsigned b = 0; b < board_count; ++b) {
-    const fpga::Board board(options.seed, b, calibration.process);
-
-    BuildOptions b0 = base_build_options(options);
-    b0.board = &board;
-    b0.lut_base = 0;
-    Oscillator osc0 = Oscillator::build(spec, calibration, b0);
-
-    BuildOptions b1 = base_build_options(options);
-    b1.board = &board;
-    b1.lut_base = 128;
-    b1.delay_scale = 1.0 + design_detune;
-    Oscillator osc1 = Oscillator::build(spec, calibration, b1);
-
-    osc0.run_periods(periods);
-    osc1.run_periods(periods);
-
-    const auto result = trng::coherent_sampling_bits(
-        osc0.output().transitions(), osc1.output().rising_edges());
-
-    CoherentBoardResult row;
-    row.board = b;
-    row.half_beat_samples = result.median_run_length;
-    row.implied_detune = 1.0 / (2.0 * result.median_run_length);
-    row.bits = result.bits.size();
-    if (result.bits.size() >= 100) {
-      row.lsb_bias = analysis::bit_bias(result.bits);
-    }
-    out.boards.push_back(row);
+  for (const auto& row : out.boards) {
     detunes.add(row.implied_detune);
     out.worst_deviation = std::max(
         out.worst_deviation, std::abs(row.implied_detune - design_detune));
@@ -344,10 +347,7 @@ std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     RingKind kind, const std::vector<std::size_t>& stage_counts,
     const Calibration& calibration, const DeterministicJitterConfig& config,
     const ExperimentOptions& options) {
-  std::vector<DeterministicJitterPoint> out;
-  out.reserve(stage_counts.size());
-
-  for (std::size_t stages : stage_counts) {
+  return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
     const RingSpec spec = spec_for(kind, stages);
 
     fpga::Supply supply(calibration.nominal_voltage);
@@ -380,9 +380,8 @@ std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     const analysis::JitterSummary summary =
         analysis::summarize_jitter(residual);
     point.random_ps = summary.cycle_to_cycle_jitter_ps / std::sqrt(2.0);
-    out.push_back(point);
-  }
-  return out;
+    return point;
+  });
 }
 
 }  // namespace ringent::core

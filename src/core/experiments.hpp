@@ -22,6 +22,14 @@ struct ExperimentOptions {
   bool with_noise = true;         ///< dynamic Gaussian noise on/off
   std::size_t warmup_periods = 64;
 
+  /// Worker threads for the independent axes of a sweep (supply levels,
+  /// boards, stage counts, token counts, restarts). 0 = default: the
+  /// RINGENT_JOBS environment variable, else hardware_concurrency().
+  /// Every driver shards by task index and derives per-task RNG streams
+  /// hierarchically, so results are bit-identical for any value — including
+  /// 1 (see sim/parallel.hpp and docs/architecture.md).
+  std::size_t jobs = 0;
+
   /// Which simulated board carries the ring: >= 0 selects a die from the
   /// process population (with per-LUT mismatch), -1 an ideal mismatch-free
   /// device. Jitter measurements default to board 0, like the paper's

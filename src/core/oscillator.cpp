@@ -57,6 +57,9 @@ Oscillator Oscillator::build(const RingSpec& spec,
   Oscillator osc;
   osc.spec_ = spec;
   osc.kernel_ = std::make_unique<sim::Kernel>();
+  // Steady state keeps at most ~1 pending event per stage (each stage has
+  // one firing in flight; tokens never exceed the stage count).
+  osc.kernel_->reserve_events(spec.stages + 8);
 
   const double sigma_g_ps =
       options.sigma_g_ps < 0.0 ? calibration.sigma_g_ps : options.sigma_g_ps;

@@ -169,6 +169,14 @@ void CalendarQueue::resize(std::size_t new_bucket_count) {
   }
 }
 
+void CalendarQueue::reserve(std::size_t expected_events) {
+  // push() grows the year when the population exceeds 2 events per day;
+  // size the year for that load factor up front.
+  std::size_t want = buckets_.size();
+  while (want * 2 < expected_events) want *= 2;
+  if (want > buckets_.size()) resize(want);
+}
+
 void CalendarQueue::clear() {
   for (auto& bucket : buckets_) bucket.clear();
   size_ = 0;

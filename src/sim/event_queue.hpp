@@ -48,6 +48,10 @@ class EventQueueBase {
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
   virtual void clear() = 0;
+  /// Pre-size internal storage for an expected steady pending-event
+  /// population so the hot loop never reallocates. A hint only — queues
+  /// grow past it transparently.
+  virtual void reserve(std::size_t expected_events) = 0;
 };
 
 class BinaryHeapQueue final : public EventQueueBase {
@@ -58,6 +62,9 @@ class BinaryHeapQueue final : public EventQueueBase {
   bool empty() const override { return heap_.empty(); }
   std::size_t size() const override { return heap_.size(); }
   void clear() override { heap_.clear(); }
+  void reserve(std::size_t expected_events) override {
+    heap_.reserve(expected_events);
+  }
 
  private:
   std::vector<QueuedEvent> heap_;  // std::*_heap with `later` comparator
@@ -76,6 +83,7 @@ class CalendarQueue final : public EventQueueBase {
   bool empty() const override { return size_ == 0; }
   std::size_t size() const override { return size_; }
   void clear() override;
+  void reserve(std::size_t expected_events) override;
 
  private:
   std::size_t bucket_of(Time t) const;

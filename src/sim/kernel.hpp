@@ -85,6 +85,12 @@ class Kernel {
   /// processes stay registered.
   void reset_time();
 
+  /// Pre-size the pending-event set for an expected steady population
+  /// (e.g. ~1 event per ring stage) so the hot loop never reallocates.
+  void reserve_events(std::size_t expected_events) {
+    queue_->reserve(expected_events);
+  }
+
  private:
   void fire_one();
 

@@ -1,0 +1,170 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace ringent::sim {
+
+namespace {
+
+std::size_t parse_positive(const char* text) {
+  if (text == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::size_t default_jobs() {
+  if (const std::size_t env = parse_positive(std::getenv("RINGENT_JOBS"))) {
+    return env;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs == 0 ? default_jobs() : jobs;
+}
+
+std::size_t parse_jobs_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--jobs" && i + 1 < argc) {
+      return parse_positive(argv[i + 1]);
+    }
+    constexpr std::string_view prefix = "--jobs=";
+    if (arg.substr(0, prefix.size()) == prefix) {
+      return parse_positive(argv[i] + prefix.size());
+    }
+  }
+  return 0;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  bool stop = false;
+
+  // Current batch; all fields written under `mutex` before the generation
+  // bump that releases the workers.
+  std::uint64_t generation = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t busy = 0;  ///< workers still draining the current batch
+
+  // First (lowest-index) exception of the batch.
+  std::size_t error_index = 0;
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  /// Claim and run tasks until the cursor passes `count`. Indices are
+  /// claimed in increasing order, so every index below the first throwing
+  /// one is guaranteed to have been claimed (and run to completion) — which
+  /// is what makes "rethrow the lowest-index exception" deterministic.
+  void drain(const std::function<void(std::size_t)>& task) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error == nullptr || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
+        // Fail fast: park the cursor past the end so unclaimed tasks are
+        // skipped. In-flight tasks still finish (no cancellation).
+        next.store(count, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        task = fn;
+      }
+      drain(*task);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--busy == 0) work_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ < 2) return;
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(jobs_ - 1);
+  // The calling thread participates in every batch, so jobs_ workers means
+  // jobs_ - 1 spawned threads.
+  for (std::size_t i = 0; i + 1 < jobs_; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_ == nullptr || count == 1) {
+    // Inline path: a plain sequential loop (first exception propagates).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Impl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.count = count;
+    impl.fn = &fn;
+    impl.next.store(0, std::memory_order_relaxed);
+    impl.error = nullptr;
+    impl.error_index = 0;
+    impl.busy = impl.workers.size();
+    ++impl.generation;
+  }
+  impl.work_ready.notify_all();
+
+  impl.drain(fn);  // the calling thread is worker number jobs_
+
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  impl.work_done.wait(lock, [&] { return impl.busy == 0; });
+  if (impl.error != nullptr) {
+    const std::exception_ptr error = impl.error;
+    impl.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ringent::sim

@@ -104,6 +104,36 @@ TEST(CalendarQueue, InterleavedPushPopStaysOrdered) {
   }
 }
 
+TEST(EventQueues, ReserveDoesNotChangePopOrder) {
+  // reserve() is a capacity hint only: a reserved queue must pop the exact
+  // same (time, seq) sequence as an unreserved one.
+  BinaryHeapQueue plain_heap, reserved_heap;
+  CalendarQueue plain_calendar, reserved_calendar;
+  reserved_heap.reserve(4096);
+  reserved_calendar.reserve(4096);
+  Xoshiro256 rng(23);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const QueuedEvent event =
+        ev(static_cast<std::int64_t>(rng.below(100000) * 50), seq++);
+    plain_heap.push(event);
+    reserved_heap.push(event);
+    plain_calendar.push(event);
+    reserved_calendar.push(event);
+  }
+  while (!plain_heap.empty()) {
+    const QueuedEvent expected = plain_heap.pop_min();
+    const QueuedEvent h = reserved_heap.pop_min();
+    const QueuedEvent c = plain_calendar.pop_min();
+    const QueuedEvent r = reserved_calendar.pop_min();
+    ASSERT_EQ(h.seq, expected.seq);
+    ASSERT_EQ(c.seq, expected.seq);
+    ASSERT_EQ(r.seq, expected.seq);
+  }
+  EXPECT_TRUE(reserved_heap.empty());
+  EXPECT_TRUE(reserved_calendar.empty());
+}
+
 TEST(EventQueues, PopSequencesAreIdentical) {
   BinaryHeapQueue heap;
   CalendarQueue calendar;
