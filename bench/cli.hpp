@@ -1,0 +1,114 @@
+// Shared command-line handling for the sweep bench binaries.
+//
+// Every sweep bench accepts the same three observability knobs:
+//
+//   --jobs N | --jobs=N      worker threads (0/absent = RINGENT_JOBS or cores)
+//   --metrics                enable kernel counters + run manifests
+//                            (equivalent to RINGENT_METRICS=1)
+//   --trace FILE|--trace=FILE  write a Chrome-trace JSON of driver/axis/pool
+//                            spans to FILE (equivalent to RINGENT_TRACE=FILE)
+//
+// Usage pattern (see any bench/fig*.cpp):
+//
+//   const bench::CliOptions cli = bench::parse_cli(argc, argv);
+//   const bench::Session session(cli, "fig08_voltage_sweep");
+//   options.jobs = cli.jobs;
+//
+// Session is RAII: it applies the flags (falling back to the environment
+// variables when a flag is absent), opens a whole-binary "bench" trace span,
+// and on destruction closes the span and flushes the trace file — so the
+// trace is written even though benches return from main() normally rather
+// than calling exit handlers in a guaranteed order.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
+#include "sim/trace.hpp"
+
+namespace ringent::bench {
+
+struct CliOptions {
+  std::size_t jobs = 0;    ///< 0 = resolve via RINGENT_JOBS / hardware
+  bool metrics = false;    ///< --metrics given
+  std::string trace_path;  ///< empty = no --trace flag
+};
+
+/// Scan argv for the shared flags. Unknown arguments are ignored (the
+/// benches historically tolerate stray args), malformed values fall back to
+/// the defaults, matching sim::parse_jobs_arg.
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  options.jobs = sim::parse_jobs_arg(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0) {
+      options.metrics = true;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace=", 8) == 0 && arg[8] != '\0') {
+      options.trace_path = arg + 8;
+    }
+  }
+  return options;
+}
+
+/// Applies the observability flags for the lifetime of a bench run.
+class Session {
+ public:
+  Session(const CliOptions& options, std::string name)
+      : owns_trace_(false) {
+    if (options.metrics) {
+      sim::metrics::set_enabled(true);
+    } else {
+      sim::metrics::init_from_env();
+    }
+    if (!options.trace_path.empty()) {
+      if (!sim::trace::enabled()) {
+        sim::trace::start(options.trace_path);
+        owns_trace_ = true;
+      }
+    } else {
+      sim::trace::init_from_env();
+    }
+    if (sim::trace::enabled()) span_.emplace(std::move(name), "bench");
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    span_.reset();  // close the bench span before serializing
+    if (owns_trace_) sim::trace::stop();
+  }
+
+ private:
+  bool owns_trace_;
+  std::optional<sim::trace::Span> span_;
+};
+
+/// Directory where run manifests land (RINGENT_OUT_DIR or the cwd).
+inline const char* manifest_dir_hint() {
+  const char* dir = std::getenv("RINGENT_OUT_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+}
+
+/// The standard bench banner line for the resolved observability state.
+inline void print_banner(const CliOptions& options) {
+  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n",
+              sim::resolve_jobs(options.jobs));
+  if (sim::metrics::enabled()) {
+    std::printf("# metrics: on (run manifests in %s)\n", manifest_dir_hint());
+  }
+  if (sim::trace::enabled()) {
+    std::printf("# trace: %s (open in chrome://tracing or Perfetto)\n",
+                sim::trace::current_path().c_str());
+  }
+}
+
+}  // namespace ringent::bench

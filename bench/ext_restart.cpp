@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -26,11 +27,13 @@ using namespace ringent::core;
 
 int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "ext_restart");
   ExperimentOptions options;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
   std::printf("# Extension: restart technique, 64 restarts x 256 edges\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
+  std::printf("\n");
 
   Table table({"Ring", "control (same seed)", "spread@k=1", "spread@k=64",
                "spread@k=249", "diffusion/edge", "R^2 of sqrt fit"});

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/regression.hpp"
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -17,8 +18,10 @@ using namespace ringent::core;
 
 int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "fig08_voltage_sweep");
   ExperimentOptions options;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
   std::vector<double> volts;
   for (double v = 1.0; v <= 1.4 + 1e-9; v += 0.05) volts.push_back(v);
 
@@ -28,8 +31,8 @@ int main(int argc, char** argv) {
   std::printf("# Fig. 8 reproduction: normalized frequency vs core voltage\n");
   std::printf("# Fn = F / F(1.2 V); paper shape: all series linear, STR 96C "
               "flattest\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
+  std::printf("\n");
 
   std::vector<std::string> header = {"V (V)"};
   std::vector<VoltageSweepResult> sweeps;

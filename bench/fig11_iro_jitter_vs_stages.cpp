@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/regression.hpp"
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -21,17 +22,19 @@ int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> stages = {3, 5, 9, 15, 25, 40, 60, 80};
 
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "fig11_iro_jitter_vs_stages");
   ExperimentOptions options;
   options.board_index = 0;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
   JitterVsStagesConfig config;
   config.mes_periods = 220;
 
   std::printf("# Fig. 11 reproduction: IRO period jitter vs number of "
               "stages\n");
   std::printf("# expected: sigma_p = sqrt(2k) sigma_g with sigma_g ~ 2 ps\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
+  std::printf("\n");
 
   const auto points =
       run_jitter_vs_stages(RingKind::iro, stages, cal, options, config);

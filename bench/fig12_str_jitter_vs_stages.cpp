@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/regression.hpp"
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -25,16 +26,17 @@ int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> stages = {4, 8, 16, 24, 32, 48, 64, 96};
 
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "fig12_str_jitter_vs_stages");
   ExperimentOptions options;
   options.board_index = 0;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
   JitterVsStagesConfig config;
   config.mes_periods = 220;
 
   std::printf("# Fig. 12 reproduction: STR period jitter vs number of "
               "stages\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
   std::printf("# expected: flat in L (paper band 2-4 ps), vs sqrt(2L)*2ps for "
               "an IRO\n# sqrt(2) sigma_g = %s\n\n",
               fmt_ps(measure::str_sigma_p_ps(cal.sigma_g_ps)).c_str());

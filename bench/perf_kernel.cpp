@@ -14,6 +14,7 @@
 #include "ring/iro.hpp"
 #include "ring/str.hpp"
 #include "sim/kernel.hpp"
+#include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
 
 using namespace ringent;
@@ -45,6 +46,31 @@ void BM_KernelEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_KernelEventThroughput)->Arg(1)->Arg(16)->Arg(256);
+
+/// The same workload with metrics collection live: the delta vs
+/// BM_KernelEventThroughput is the whole price of the observability layer
+/// on the hottest path (per event: one counter bump in schedule_at, one in
+/// fire_one, one per queue push/pop — all relaxed fetch_adds on a
+/// thread-local cache line). With collection off the probes cost a single
+/// predicted-not-taken branch; BM_ParallelSweep guards that case.
+void BM_KernelEventThroughputMetrics(benchmark::State& state) {
+  sim::metrics::set_enabled(true);
+  sim::Kernel kernel;
+  kernel.reserve_events(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::unique_ptr<Ticker>> tickers;
+  for (int i = 0; i < state.range(0); ++i) {
+    tickers.push_back(std::make_unique<Ticker>());
+    tickers.back()->self = kernel.add_process(tickers.back().get());
+    kernel.schedule_in(1_ps, tickers.back()->self, 0);
+  }
+  for (auto _ : state) {
+    kernel.run_events(10000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  sim::metrics::set_enabled(false);
+  sim::metrics::reset();
+}
+BENCHMARK(BM_KernelEventThroughputMetrics)->Arg(1)->Arg(16)->Arg(256);
 
 void BM_CharlieFireTime(benchmark::State& state) {
   const ring::CharlieModel model(
@@ -161,6 +187,33 @@ BENCHMARK(BM_ParallelSweep)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// BM_ParallelSweep with full metrics collection (counters live on every
+/// worker + a run manifest written per iteration). Compare against
+/// BM_ParallelSweep at the same arg to price the enabled observability
+/// layer on a real driver.
+void BM_ParallelSweepMetrics(benchmark::State& state) {
+  sim::metrics::set_enabled(true);
+  const auto& cal = core::cyclone_iii();
+  const std::vector<std::size_t> stages = {3, 5, 9, 15, 25, 40, 60, 80};
+  core::ExperimentOptions options;
+  options.board_index = 0;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto points =
+        core::run_jitter_vs_stages(core::RingKind::iro, stages, cal, options);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stages.size()));
+  sim::metrics::set_enabled(false);
+  sim::metrics::reset();
+}
+BENCHMARK(BM_ParallelSweepMetrics)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

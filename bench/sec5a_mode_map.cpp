@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -19,12 +20,14 @@ using namespace ringent::core;
 
 int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "sec5a_mode_map");
   ExperimentOptions options;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
 
   std::printf("# Sec. V-A reproduction: evenly-spaced locking map\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
+  std::printf("\n");
 
   std::printf("claim 1: NT = NB locks for every ring length (clustered "
               "start):\n");

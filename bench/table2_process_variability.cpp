@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cli.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
@@ -30,8 +31,10 @@ double expected_sigma_rel(const Calibration& cal, std::size_t stages) {
 
 int main(int argc, char** argv) {
   const auto& cal = cyclone_iii();
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::Session session(cli, "table2_process_variability");
   ExperimentOptions options;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  options.jobs = cli.jobs;
   const std::vector<PaperRow> rows = {
       {RingSpec::iro(3), 0.0079},
       {RingSpec::iro(5), 0.0062},
@@ -41,8 +44,8 @@ int main(int argc, char** argv) {
 
   std::printf("# Table II reproduction: relative stddev of frequency across "
               "devices\n");
-  std::printf("# jobs: %zu (override with --jobs N or RINGENT_JOBS)\n\n",
-              sim::resolve_jobs(options.jobs));
+  bench::print_banner(cli);
+  std::printf("\n");
   Table table({"Ring", "b1 (MHz)", "b2", "b3", "b4", "b5", "sigma_rel (5b)",
                "sigma_rel (25b)", "model expect", "paper"});
   for (const auto& row : rows) {

@@ -1,0 +1,374 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace ringent {
+
+Json::Json(std::uint64_t v) : kind_(Kind::number) {
+  RINGENT_REQUIRE(
+      v <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+      "counter value exceeds the exact integer range of Json");
+  integer_ = static_cast<std::int64_t>(v);
+  number_ = static_cast<double>(v);
+  is_integer_ = true;
+}
+
+bool Json::as_boolean() const {
+  RINGENT_REQUIRE(is_boolean(), "Json value is not a boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  RINGENT_REQUIRE(is_number(), "Json value is not a number");
+  return number_;
+}
+
+std::int64_t Json::as_integer() const {
+  RINGENT_REQUIRE(is_number() && is_integer_, "Json value is not an integer");
+  return integer_;
+}
+
+const std::string& Json::as_string() const {
+  RINGENT_REQUIRE(is_string(), "Json value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return elements_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  RINGENT_REQUIRE(is_array(), "Json value is not an array");
+  RINGENT_REQUIRE(index < elements_.size(), "Json array index out of range");
+  return elements_[index];
+}
+
+void Json::push_back(Json value) {
+  RINGENT_REQUIRE(is_array(), "Json value is not an array");
+  elements_.push_back(std::move(value));
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* value = find(key);
+  RINGENT_REQUIRE(value != nullptr,
+                  "Json object has no key '" + std::string(key) + "'");
+  return *value;
+}
+
+void Json::set(std::string key, Json value) {
+  RINGENT_REQUIRE(is_object(), "Json value is not an object");
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::null:
+      out += "null";
+      return;
+    case Kind::boolean:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::number: {
+      char buf[32];
+      if (is_integer_) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(integer_));
+      } else {
+        RINGENT_REQUIRE(std::isfinite(number_),
+                        "JSON cannot represent NaN or infinity");
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      out += buf;
+      return;
+    }
+    case Kind::string:
+      dump_string(string_, out);
+      return;
+    case Kind::array: {
+      if (elements_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        elements_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::object: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        dump_string(members_[i].first, out);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), "trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                what);
+  }
+  void require(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_literal(std::string_view word) {
+    require(text_.substr(pos_, word.size()) == word, "invalid literal");
+    pos_ += word.size();
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json out = Json::object();
+    skip_whitespace();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect('}');
+      return out;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json out = Json::array();
+    skip_whitespace();
+    if (consume(']')) return out;
+    for (;;) {
+      out.push_back(parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect(']');
+      return out;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      require(pos_ < text_.size(), "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "unescaped control character in string");
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid hex digit in \\u escape");
+          }
+          // Surrogate pairs are not decoded (the library never emits them);
+          // lone surrogates map to the replacement character.
+          if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    require(pos_ > start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // Integer fast path keeps 64-bit counters exact through a round-trip.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      char* end = nullptr;
+      errno = 0;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<std::int64_t>(v));
+      }
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    require(end == token.c_str() + token.size(), "malformed number");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace ringent

@@ -1,0 +1,103 @@
+// A minimal JSON value: build, serialize, parse.
+//
+// Used by the observability layer (run manifests, Chrome-trace files) and by
+// the tests that schema-check those artifacts. Deliberately small: objects
+// preserve insertion order (manifests diff cleanly), numbers are doubles
+// with an integer fast path for exact 64-bit counters, and parse() accepts
+// exactly what dump() emits plus standard JSON. Not a general-purpose
+// library — no comments, no NaN/Inf, no streaming.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ringent {
+
+class Json {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  Json() = default;  ///< null
+  Json(bool b) : kind_(Kind::boolean), bool_(b) {}
+  Json(double v) : kind_(Kind::number), number_(v) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v) : kind_(Kind::number), number_(static_cast<double>(v)) {
+    integer_ = v;
+    is_integer_ = true;
+  }
+  Json(unsigned v) : Json(static_cast<std::int64_t>(v)) {}
+  /// Same type as std::size_t on LP64, so this also covers container sizes.
+  /// Values above int64 max are rejected (JSON interop stays exact).
+  Json(std::uint64_t v);
+  Json(std::string s) : kind_(Kind::string), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+  bool is_boolean() const { return kind_ == Kind::boolean; }
+  bool is_number() const { return kind_ == Kind::number; }
+  bool is_string() const { return kind_ == Kind::string; }
+  bool is_array() const { return kind_ == Kind::array; }
+  bool is_object() const { return kind_ == Kind::object; }
+
+  bool as_boolean() const;
+  double as_number() const;
+  /// Exact integer value; requires the number to have been stored or parsed
+  /// as an integer (no fractional part, within int64 range).
+  std::int64_t as_integer() const;
+  const std::string& as_string() const;
+
+  /// Array/object element count; 0 for scalars.
+  std::size_t size() const;
+
+  /// Array element (precondition: is_array() and index < size()).
+  const Json& at(std::size_t index) const;
+  void push_back(Json value);
+
+  /// Object lookup; null pointer when the key is absent.
+  const Json* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Object lookup; throws ringent::Error when the key is absent.
+  const Json& at(std::string_view key) const;
+  /// Insert or replace a key (insertion order preserved on first insert).
+  void set(std::string key, Json value);
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return members_;
+  }
+
+  /// Serialize. indent < 0: compact one-liner; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws ringent::Error with a byte
+  /// offset on malformed input (including trailing garbage).
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  bool is_integer_ = false;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ringent

@@ -1,16 +1,22 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <exception>
 #include <optional>
+#include <string>
 
 #include "analysis/fft.hpp"
 #include "analysis/regression.hpp"
 #include "analysis/periods.hpp"
 #include "common/require.hpp"
 #include "common/stats.hpp"
+#include "core/export.hpp"
 #include "measure/frequency.hpp"
 #include "measure/method.hpp"
+#include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
+#include "sim/trace.hpp"
 #include "trng/coherent.hpp"
 #include "analysis/entropy.hpp"
 
@@ -30,6 +36,65 @@ RingSpec spec_for(RingKind kind, std::size_t stages) {
   return kind == RingKind::iro ? RingSpec::iro(stages) : RingSpec::str(stages);
 }
 
+/// Observability bracket around one driver invocation: a "driver" trace span
+/// for the whole call and, when metrics collection is on, a run manifest
+/// carrying the counter/phase delta attributable to this run (written from
+/// the destructor, i.e. after the result is complete).
+class DriverScope {
+ public:
+  DriverScope(std::string experiment, std::string spec,
+              const ExperimentOptions& options, std::size_t tasks)
+      : span_(experiment, "driver"), active_(sim::metrics::enabled()) {
+    if (!active_) return;
+    manifest_.experiment = std::move(experiment);
+    manifest_.spec = std::move(spec);
+    manifest_.seed = options.seed;
+    manifest_.jobs = sim::resolve_jobs(options.jobs);
+    manifest_.tasks = tasks;
+    before_ = sim::metrics::snapshot();
+    wall_start_ = sim::metrics::wall_seconds();
+    cpu_start_ = sim::metrics::process_cpu_seconds();
+  }
+
+  DriverScope(const DriverScope&) = delete;
+  DriverScope& operator=(const DriverScope&) = delete;
+
+  ~DriverScope() {
+    if (!active_) return;
+    manifest_.wall_ms = (sim::metrics::wall_seconds() - wall_start_) * 1e3;
+    manifest_.cpu_ms =
+        (sim::metrics::process_cpu_seconds() - cpu_start_) * 1e3;
+    manifest_.metrics = sim::metrics::snapshot().delta_since(before_);
+    manifest_.version = std::string(version_string());
+    try {
+      write_run_manifest(manifest_);
+    } catch (const std::exception& error) {
+      // A destructor must not throw; a manifest that cannot be written is
+      // diagnostic output lost, not a failed experiment.
+      std::fprintf(stderr, "ringent: dropping run manifest: %s\n",
+                   error.what());
+    }
+  }
+
+ private:
+  sim::trace::Span span_;
+  bool active_ = false;
+  RunManifest manifest_;
+  sim::metrics::Snapshot before_;
+  double wall_start_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+std::string stage_sweep_label(RingKind kind,
+                              const std::vector<std::size_t>& stage_counts) {
+  std::string label = kind == RingKind::iro ? "IRO" : "STR";
+  label += " stages";
+  for (std::size_t stages : stage_counts) {
+    label += ' ' + std::to_string(stages);
+  }
+  return label;
+}
+
 }  // namespace
 
 VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
@@ -38,10 +103,13 @@ VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
                                      const ExperimentOptions& options,
                                      std::size_t periods) {
   RINGENT_REQUIRE(!voltages.empty(), "need at least one voltage");
+  const DriverScope driver_scope("voltage_sweep", spec.name(), options,
+                          voltages.size());
   VoltageSweepResult out;
   out.spec = spec;
 
   out.points = sim::parallel_map(voltages, options.jobs, [&](double v) {
+    const sim::trace::Span span("V=" + std::to_string(v), "axis");
     fpga::Supply supply(calibration.nominal_voltage);
     supply.set_level(v);
 
@@ -55,6 +123,7 @@ VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
     point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
     return point;
   });
+  const sim::metrics::ScopedPhase analyze("analyze");
   for (const auto& point : out.points) {
     if (std::abs(point.voltage_v - calibration.nominal_voltage) < 1e-9) {
       out.f_nominal_mhz = point.frequency_mhz;
@@ -79,10 +148,13 @@ TemperatureSweepResult run_temperature_sweep(
     const std::vector<double>& temperatures, const ExperimentOptions& options,
     std::size_t periods) {
   RINGENT_REQUIRE(!temperatures.empty(), "need at least one temperature");
+  const DriverScope driver_scope("temperature_sweep", spec.name(), options,
+                          temperatures.size());
   TemperatureSweepResult out;
   out.spec = spec;
 
   out.points = sim::parallel_map(temperatures, options.jobs, [&](double t) {
+    const sim::trace::Span span("T=" + std::to_string(t), "axis");
     fpga::Supply supply(calibration.nominal_voltage);
     supply.set_temperature_c(t);
 
@@ -96,6 +168,7 @@ TemperatureSweepResult run_temperature_sweep(
     point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
     return point;
   });
+  const sim::metrics::ScopedPhase analyze("analyze");
   for (const auto& point : out.points) {
     if (std::abs(point.temperature_c - 25.0) < 1e-9) {
       out.f_nominal_mhz = point.frequency_mhz;
@@ -119,11 +192,14 @@ ProcessVariabilityResult run_process_variability(
     unsigned board_count, const ExperimentOptions& options,
     std::size_t periods) {
   RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
+  const DriverScope driver_scope("process_variability", spec.name(), options,
+                          board_count);
   ProcessVariabilityResult out;
   out.spec = spec;
 
   out.boards =
       sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+        const sim::trace::Span span("board " + std::to_string(b), "axis");
         const fpga::Board board(options.seed, static_cast<unsigned>(b),
                                 calibration.process);
         BuildOptions build = base_build_options(options);
@@ -136,6 +212,7 @@ ProcessVariabilityResult run_process_variability(
         bf.frequency_mhz = measure::mean_frequency_mhz(osc.output());
         return bf;
       });
+  const sim::metrics::ScopedPhase analyze("analyze");
   SampleStats stats;
   for (const auto& bf : out.boards) stats.add(bf.frequency_mhz);
   out.mean_mhz = stats.mean();
@@ -167,8 +244,12 @@ std::vector<JitterPoint> run_jitter_vs_stages(
     const JitterVsStagesConfig& config) {
   const std::size_t ring_periods =
       (std::size_t{1} << config.divider_n) * (config.mes_periods + 1) + 2;
+  const DriverScope driver_scope(
+      kind == RingKind::iro ? "jitter_vs_stages_iro" : "jitter_vs_stages_str",
+      stage_sweep_label(kind, stage_counts), options, stage_counts.size());
 
   return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
+    const sim::trace::Span span("k=" + std::to_string(stages), "axis");
     const RingSpec spec = spec_for(kind, stages);
     BuildOptions build = base_build_options(options);
     build.noise_seed = derive_seed(options.seed, "jitter-vs-stages", stages);
@@ -183,6 +264,7 @@ std::vector<JitterPoint> run_jitter_vs_stages(
 
     const std::vector<Time> edges = osc.output().rising_edges();
 
+    const sim::metrics::ScopedPhase analyze("analyze");
     measure::OscilloscopeConfig scope_config = calibration.scope;
     scope_config.seed = derive_seed(options.seed, "scope", stages);
     measure::Oscilloscope scope(scope_config);
@@ -216,13 +298,18 @@ std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
     scaled.str_d_charlie = Time::from_ps(1e-3);
   }
 
+  const DriverScope driver_scope(
+      "mode_map", "STR " + std::to_string(stages) + " stages", options,
+      token_counts.size());
   return sim::parallel_map(token_counts, options.jobs, [&](std::size_t tokens) {
+    const sim::trace::Span span("NT=" + std::to_string(tokens), "axis");
     const RingSpec spec = RingSpec::str(stages, tokens, placement);
     BuildOptions build = base_build_options(options);
     build.noise_seed = derive_seed(options.seed, "mode-map", tokens);
     Oscillator osc = Oscillator::build(spec, scaled, build);
     osc.run_periods(periods);
 
+    const sim::metrics::ScopedPhase analyze("analyze");
     std::vector<Time> transition_times;
     transition_times.reserve(osc.output().transitions().size());
     for (const auto& tr : osc.output().transitions()) {
@@ -245,6 +332,8 @@ RestartResult run_restart_experiment(const RingSpec& spec,
                                      const ExperimentOptions& options) {
   RINGENT_REQUIRE(restarts >= 8, "need at least 8 restarts");
   RINGENT_REQUIRE(edges >= 8, "need at least 8 edges");
+  const DriverScope driver_scope("restart", spec.name(), options,
+                                 restarts + 1);
   RestartResult out;
   out.spec = spec;
 
@@ -264,9 +353,11 @@ RestartResult run_restart_experiment(const RingSpec& spec,
   // collapse to zero divergence.
   std::vector<std::vector<Time>> runs =
       sim::parallel_index_map(restarts + 1, options.jobs, [&](std::size_t r) {
+        const sim::trace::Span span("restart " + std::to_string(r), "axis");
         const std::uint64_t index = r < restarts ? r : 0;
         return run_edges(derive_seed(options.seed, "restart", index));
       });
+  const sim::metrics::ScopedPhase analyze("analyze");
   out.control_identical = runs.front() == runs.back();
   runs.pop_back();
 
@@ -296,12 +387,15 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
   RINGENT_REQUIRE(design_detune > 0.0 && design_detune < 0.2,
                   "design detune out of (0, 0.2)");
   RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
+  const DriverScope driver_scope("coherent_boards", spec.name(), options,
+                                 board_count);
   CoherentSweepResult out;
   out.spec = spec;
   out.design_detune = design_detune;
 
   out.boards =
       sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+        const sim::trace::Span span("board " + std::to_string(b), "axis");
         const fpga::Board board(options.seed, static_cast<unsigned>(b),
                                 calibration.process);
 
@@ -319,6 +413,7 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
         osc0.run_periods(periods);
         osc1.run_periods(periods);
 
+        const sim::metrics::ScopedPhase analyze("analyze");
         const auto result = trng::coherent_sampling_bits(
             osc0.output().transitions(), osc1.output().rising_edges());
 
@@ -347,7 +442,13 @@ std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     RingKind kind, const std::vector<std::size_t>& stage_counts,
     const Calibration& calibration, const DeterministicJitterConfig& config,
     const ExperimentOptions& options) {
+  const DriverScope driver_scope(kind == RingKind::iro
+                                     ? "deterministic_jitter_iro"
+                                     : "deterministic_jitter_str",
+                                 stage_sweep_label(kind, stage_counts), options,
+                                 stage_counts.size());
   return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
+    const sim::trace::Span span("k=" + std::to_string(stages), "axis");
     const RingSpec spec = spec_for(kind, stages);
 
     fpga::Supply supply(calibration.nominal_voltage);
@@ -360,6 +461,7 @@ std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     Oscillator osc = Oscillator::build(spec, calibration, build);
     osc.run_periods(config.periods);
 
+    const sim::metrics::ScopedPhase analyze("analyze");
     std::vector<double> periods = analysis::periods_ps(osc.output());
     if (periods.size() > config.periods) periods.resize(config.periods);
 

@@ -3,8 +3,13 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 
 #include "common/require.hpp"
+
+#ifndef RINGENT_GIT_DESCRIBE
+#define RINGENT_GIT_DESCRIBE "unknown"
+#endif
 
 namespace ringent::core {
 
@@ -34,6 +39,111 @@ bool write_artifact(const std::string& experiment_id, const Table& table,
   out.flush();
   if (!out.good()) throw Error("I/O error writing artifact " + path);
   return true;
+}
+
+std::string_view version_string() { return RINGENT_GIT_DESCRIBE; }
+
+Json RunManifest::to_json() const {
+  Json root = Json::object();
+  root.set("schema", std::string(schema));
+  root.set("experiment", experiment);
+  root.set("spec", spec);
+  root.set("seed", seed);
+  root.set("jobs", jobs);
+  root.set("tasks", tasks);
+  root.set("wall_ms", wall_ms);
+  root.set("cpu_ms", cpu_ms);
+  root.set("version", version);
+
+  Json counters = Json::object();
+  for (std::size_t i = 0; i < sim::metrics::counter_count; ++i) {
+    const auto counter = static_cast<sim::metrics::Counter>(i);
+    counters.set(std::string(sim::metrics::counter_name(counter)),
+                 metrics.counters[i]);
+  }
+  root.set("counters", std::move(counters));
+
+  Json phases = Json::array();
+  for (const auto& phase : metrics.phases) {
+    Json entry = Json::object();
+    entry.set("name", phase.name);
+    entry.set("wall_ms", phase.wall_ms);
+    entry.set("cpu_ms", phase.cpu_ms);
+    entry.set("calls", phase.calls);
+    phases.push_back(std::move(entry));
+  }
+  root.set("phases", std::move(phases));
+  return root;
+}
+
+RunManifest RunManifest::from_json(const Json& json) {
+  RINGENT_REQUIRE(json.is_object(), "manifest must be a JSON object");
+  RINGENT_REQUIRE(json.at("schema").as_string() == schema,
+                  "unknown manifest schema");
+  RunManifest m;
+  m.experiment = json.at("experiment").as_string();
+  m.spec = json.at("spec").as_string();
+  m.seed = static_cast<std::uint64_t>(json.at("seed").as_integer());
+  m.jobs = static_cast<std::size_t>(json.at("jobs").as_integer());
+  m.tasks = static_cast<std::size_t>(json.at("tasks").as_integer());
+  m.wall_ms = json.at("wall_ms").as_number();
+  m.cpu_ms = json.at("cpu_ms").as_number();
+  m.version = json.at("version").as_string();
+
+  const Json& counters = json.at("counters");
+  RINGENT_REQUIRE(counters.is_object(), "manifest counters must be an object");
+  for (std::size_t i = 0; i < sim::metrics::counter_count; ++i) {
+    const auto counter = static_cast<sim::metrics::Counter>(i);
+    m.metrics.counters[i] = static_cast<std::uint64_t>(
+        counters.at(sim::metrics::counter_name(counter)).as_integer());
+  }
+
+  const Json& phases = json.at("phases");
+  RINGENT_REQUIRE(phases.is_array(), "manifest phases must be an array");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Json& entry = phases.at(i);
+    sim::metrics::PhaseStat stat;
+    stat.name = entry.at("name").as_string();
+    stat.wall_ms = entry.at("wall_ms").as_number();
+    stat.cpu_ms = entry.at("cpu_ms").as_number();
+    stat.calls = static_cast<std::uint64_t>(entry.at("calls").as_integer());
+    m.metrics.phases.push_back(std::move(stat));
+  }
+  return m;
+}
+
+namespace {
+std::mutex last_manifest_mutex;
+std::optional<RunManifest>& last_manifest_slot() {
+  static std::optional<RunManifest>* slot = new std::optional<RunManifest>();
+  return *slot;
+}
+}  // namespace
+
+std::string write_run_manifest(const RunManifest& manifest) {
+  RINGENT_REQUIRE(!manifest.experiment.empty(), "empty experiment id");
+  for (char c : manifest.experiment) {
+    RINGENT_REQUIRE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                        c == '_',
+                    "experiment id must be a filesystem-safe slug");
+  }
+  const std::string dir = artifact_dir().value_or(".");
+  const std::string path = dir + "/" + manifest.experiment + ".manifest.json";
+  std::ofstream out(path);
+  RINGENT_REQUIRE(out.good(), "cannot open manifest file " + path);
+  out << manifest.to_json().dump(2) << "\n";
+  out.flush();
+  if (!out.good()) throw Error("I/O error writing manifest " + path);
+  {
+    std::lock_guard<std::mutex> lock(last_manifest_mutex);
+    last_manifest_slot() = manifest;
+  }
+  return path;
+}
+
+std::optional<RunManifest> last_run_manifest() {
+  std::lock_guard<std::mutex> lock(last_manifest_mutex);
+  return last_manifest_slot();
 }
 
 }  // namespace ringent::core

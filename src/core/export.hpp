@@ -1,4 +1,4 @@
-// Machine-readable experiment artifacts.
+// Machine-readable experiment artifacts: CSV tables and JSON run manifests.
 //
 // Every bench prints the paper-shaped table to stdout; when the environment
 // variable RINGENT_OUT_DIR names a writable directory, benches additionally
@@ -6,12 +6,21 @@
 // without scraping stdout. The export layer is deliberately dumb: benches
 // build core::Table objects anyway, and artifact() writes table.csv() plus a
 // provenance header (experiment id, seed, library version).
+//
+// Run manifests are the observability companion: when metrics collection is
+// on (sim/metrics.hpp), every experiment driver emits one RunManifest —
+// spec, master seed, resolved jobs, wall/CPU totals, per-phase timers and
+// the counter delta attributable to that run — serialized as
+// <dir>/<experiment>.manifest.json. The schema is versioned
+// ("ringent.run-manifest/1") and round-trip checked by the test suite.
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "common/json.hpp"
 #include "core/report.hpp"
+#include "sim/metrics.hpp"
 
 namespace ringent::core {
 
@@ -24,5 +33,40 @@ std::optional<std::string> artifact_dir();
 /// filesystem-safe slug (letters, digits, '-', '_').
 bool write_artifact(const std::string& experiment_id, const Table& table,
                     const std::string& notes = "");
+
+/// Library build provenance: `git describe --always --dirty` captured at
+/// configure time, or "unknown" outside a git checkout.
+std::string_view version_string();
+
+/// One observable experiment run, emitted by every driver in
+/// core/experiments.cpp when sim::metrics::enabled().
+struct RunManifest {
+  static constexpr std::string_view schema = "ringent.run-manifest/1";
+
+  std::string experiment;  ///< filesystem-safe driver slug
+  std::string spec;        ///< human-readable ring/sweep description
+  std::uint64_t seed = 0;  ///< ExperimentOptions master seed
+  std::size_t jobs = 0;    ///< resolved worker count
+  std::size_t tasks = 0;   ///< independent sweep axes executed
+  double wall_ms = 0.0;    ///< driver wall-clock
+  double cpu_ms = 0.0;     ///< process CPU over the driver (> wall when parallel)
+  sim::metrics::Snapshot metrics;  ///< counter/phase delta for this run
+  std::string version;     ///< version_string() at emission
+
+  Json to_json() const;
+  /// Inverse of to_json(); throws ringent::Error when `json` does not
+  /// satisfy the schema (missing key, wrong type, unknown schema id).
+  static RunManifest from_json(const Json& json);
+};
+
+/// Serialize `manifest` to <dir>/<experiment>.manifest.json, where <dir> is
+/// RINGENT_OUT_DIR or "." when unset. Returns the path written. Also
+/// records the manifest for last_run_manifest(). Throws on I/O failure.
+std::string write_run_manifest(const RunManifest& manifest);
+
+/// The most recently written manifest of this process (empty before the
+/// first write). Lets tests and callers validate a driver's event counts
+/// without re-reading the file.
+std::optional<RunManifest> last_run_manifest();
 
 }  // namespace ringent::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "sim/metrics.hpp"
 
 namespace ringent::core {
 
@@ -53,6 +54,7 @@ std::vector<std::unique_ptr<noise::NoiseSource>> make_noise(
 Oscillator Oscillator::build(const RingSpec& spec,
                              const Calibration& calibration,
                              const BuildOptions& options) {
+  const sim::metrics::ScopedPhase phase("build");
   spec.validate();
   Oscillator osc;
   osc.spec_ = spec;
@@ -153,6 +155,7 @@ Oscillator Oscillator::build(const RingSpec& spec,
 }
 
 void Oscillator::run_periods(std::size_t n) {
+  const sim::metrics::ScopedPhase phase("run");
   RINGENT_REQUIRE(started_, "oscillator not started");
   RINGENT_REQUIRE(n >= 1, "need at least one period");
   // A period is two transitions of the observed signal; aim past the warm-up
@@ -172,6 +175,7 @@ void Oscillator::run_periods(std::size_t n) {
 }
 
 void Oscillator::run_for(Time span) {
+  const sim::metrics::ScopedPhase phase("run");
   RINGENT_REQUIRE(started_, "oscillator not started");
   kernel_->run_until(kernel_->now() + span);
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "sim/metrics.hpp"
 
 namespace ringent::ring {
 
@@ -64,6 +65,9 @@ bool Str::enabled(std::size_t i) const {
 }
 
 void Str::try_schedule(std::size_t i, Time now) {
+  // Each eligibility check asks "does stage i hold a token facing a
+  // bubble?" — the token-collision query of the handshake protocol.
+  sim::metrics::bump(sim::metrics::Counter::token_collision_checks);
   if (scheduled_[i] || !enabled(i)) return;
 
   const Time tf = last_change_[prev(i)];  // token-side enabling event
@@ -99,6 +103,7 @@ void Str::try_schedule(std::size_t i, Time now) {
     extra_ps += config_.modulation->offset_ps(now);
   }
 
+  sim::metrics::bump(sim::metrics::Counter::charlie_evaluations);
   const Time fire_at = charlie_model_.fire_time(
       tf, tr, last_change_[i], extra_ps, static_scale, charlie_scale);
   kernel_.schedule_at(fire_at, node_, static_cast<std::uint32_t>(i));

@@ -1,6 +1,7 @@
 #include "sim/kernel.hpp"
 
 #include "common/require.hpp"
+#include "sim/metrics.hpp"
 
 namespace ringent::sim {
 
@@ -20,6 +21,7 @@ void Kernel::schedule_in(Time delay, NodeId node, std::uint32_t tag) {
 void Kernel::schedule_at(Time at, NodeId node, std::uint32_t tag) {
   RINGENT_REQUIRE(node < processes_.size(), "unknown node id");
   RINGENT_REQUIRE(at >= now_, "cannot schedule in the past");
+  metrics::bump(metrics::Counter::events_scheduled);
   queue_->push(QueuedEvent{at, next_seq_++, node, tag});
 }
 
@@ -27,6 +29,7 @@ void Kernel::fire_one() {
   const QueuedEvent ev = queue_->pop_min();
   now_ = ev.at;
   ++events_fired_;
+  metrics::bump(metrics::Counter::events_fired);
   processes_[ev.node]->fire(*this, ev.tag);
 }
 
@@ -51,6 +54,7 @@ std::uint64_t Kernel::run_events(std::uint64_t max_events) {
 }
 
 void Kernel::reset_time() {
+  metrics::bump(metrics::Counter::events_cancelled, queue_->size());
   queue_->clear();
   now_ = Time::zero();
 }

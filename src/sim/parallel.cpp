@@ -6,8 +6,12 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <thread>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace ringent::sim {
 
@@ -77,8 +81,14 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      metrics::bump(metrics::Counter::pool_tasks);
       try {
-        task(i);
+        if (trace::enabled()) {
+          trace::Span span("task " + std::to_string(i), "pool");
+          task(i);
+        } else {
+          task(i);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (error == nullptr || i < error_index) {
@@ -138,7 +148,15 @@ void ThreadPool::for_each_index(std::size_t count,
   if (count == 0) return;
   if (impl_ == nullptr || count == 1) {
     // Inline path: a plain sequential loop (first exception propagates).
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      metrics::bump(metrics::Counter::pool_tasks);
+      if (trace::enabled()) {
+        trace::Span span("task " + std::to_string(i), "pool");
+        fn(i);
+      } else {
+        fn(i);
+      }
+    }
     return;
   }
 

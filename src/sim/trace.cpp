@@ -1,0 +1,202 @@
+#include "sim/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+
+namespace ringent::sim::trace {
+
+namespace {
+
+struct Event {
+  std::string name;
+  std::string category;
+  char phase = 'B';  // 'B' begin / 'E' end
+  double ts_us = 0.0;
+  int tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::atomic<bool> active{false};
+  std::uint64_t session = 0;  ///< bumped on every start(); stale spans no-op
+  std::string path;
+  std::chrono::steady_clock::time_point t0;
+  std::vector<Event> events;
+  std::vector<std::thread::id> tids;  ///< index = stable small tid
+
+  int tid_of(std::thread::id id) {
+    for (std::size_t i = 0; i < tids.size(); ++i) {
+      if (tids[i] == id) return static_cast<int>(i);
+    }
+    tids.push_back(id);
+    return static_cast<int>(tids.size() - 1);
+  }
+};
+
+Collector& collector() {
+  static Collector* instance = new Collector();  // leaked: atexit-safe
+  return *instance;
+}
+
+double elapsed_us(const Collector& c) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - c.t0)
+      .count();
+}
+
+/// Drop events that would leave a thread's B/E spans unbalanced (spans still
+/// open when the session stops). Walk each thread's events in order keeping
+/// a depth stack; unmatched 'B's at the end are removed.
+std::vector<Event> balanced(std::vector<Event> events) {
+  std::vector<std::size_t> drop;
+  std::vector<int> seen_tids;
+  for (const Event& e : events) {
+    bool known = false;
+    for (int t : seen_tids) known = known || t == e.tid;
+    if (!known) seen_tids.push_back(e.tid);
+  }
+  for (int tid : seen_tids) {
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].tid != tid) continue;
+      if (events[i].phase == 'B') {
+        open.push_back(i);
+      } else if (!open.empty()) {
+        open.pop_back();
+      } else {
+        drop.push_back(i);  // stray 'E' (cannot happen; defensive)
+      }
+    }
+    drop.insert(drop.end(), open.begin(), open.end());
+  }
+  if (drop.empty()) return events;
+  std::vector<Event> out;
+  out.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    bool dropped = false;
+    for (std::size_t d : drop) dropped = dropped || d == i;
+    if (!dropped) out.push_back(std::move(events[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() {
+  return collector().active.load(std::memory_order_relaxed);
+}
+
+void start(const std::string& path) {
+  RINGENT_REQUIRE(!path.empty(), "trace path must not be empty");
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  RINGENT_REQUIRE(!c.active.load(std::memory_order_relaxed),
+                  "a trace session is already active");
+  c.path = path;
+  c.t0 = std::chrono::steady_clock::now();
+  c.events.clear();
+  c.tids.clear();
+  ++c.session;
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit([] { stop(); });
+  }
+  c.active.store(true, std::memory_order_relaxed);
+}
+
+void stop() {
+  Collector& c = collector();
+  std::string path;
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (!c.active.load(std::memory_order_relaxed)) return;
+    c.active.store(false, std::memory_order_relaxed);
+    path = c.path;
+    events = balanced(std::move(c.events));
+    c.events.clear();
+    c.path.clear();
+  }
+
+  Json root = Json::object();
+  Json trace_events = Json::array();
+  for (const Event& e : events) {
+    Json event = Json::object();
+    event.set("name", e.name);
+    event.set("cat", e.category);
+    event.set("ph", std::string(1, e.phase));
+    event.set("ts", e.ts_us);
+    event.set("pid", 1);
+    event.set("tid", e.tid);
+    trace_events.push_back(std::move(event));
+  }
+  root.set("traceEvents", std::move(trace_events));
+  root.set("displayTimeUnit", "ms");
+
+  std::ofstream out(path);
+  RINGENT_REQUIRE(out.good(), "cannot open trace file " + path);
+  out << root.dump(1) << "\n";
+  out.flush();
+  if (!out.good()) throw Error("I/O error writing trace file " + path);
+}
+
+std::string current_path() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.active.load(std::memory_order_relaxed) ? c.path : std::string();
+}
+
+bool init_from_env() {
+  const char* path = std::getenv("RINGENT_TRACE");
+  if (path != nullptr && path[0] != '\0' && !enabled()) {
+    start(path);
+  }
+  return enabled();
+}
+
+Span::Span(std::string_view name, std::string_view category) {
+  Collector& c = collector();
+  if (!c.active.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (!c.active.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  session_ = c.session;
+  name_ = name;
+  category_ = category;
+  Event e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = 'B';
+  e.ts_us = elapsed_us(c);
+  e.tid = c.tid_of(std::this_thread::get_id());
+  c.events.push_back(std::move(e));
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  // The session that recorded our 'B' must still be collecting; otherwise
+  // the unmatched 'B' was (or will be) dropped by balanced().
+  if (!c.active.load(std::memory_order_relaxed) || c.session != session_) {
+    return;
+  }
+  Event e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = 'E';
+  e.ts_us = elapsed_us(c);
+  e.tid = c.tid_of(std::this_thread::get_id());
+  c.events.push_back(std::move(e));
+}
+
+}  // namespace ringent::sim::trace

@@ -1,0 +1,67 @@
+// Optional Chrome-trace span collection for whole-run timelines.
+//
+// When a trace session is active, Span objects record begin/end ("B"/"E")
+// events into an in-memory buffer that stop() serializes as Chrome trace
+// JSON — load the file in chrome://tracing or https://ui.perfetto.dev to see
+// driver phases, experiment axes and parallel-pool tasks laid out per
+// thread. The span vocabulary, coarse by design (spans bracket whole
+// simulations, never kernel events):
+//
+//   cat "driver" — one span per experiment-driver invocation
+//   cat "axis"   — one span per sweep point (the body of a pool task)
+//   cat "pool"   — one span per ThreadPool task slot
+//   cat "bench"  — whole-binary spans opened by bench/cli.hpp
+//
+// Like the metrics layer, collection is off by default and every probe
+// starts with one relaxed atomic load. Unlike counters, span recording
+// takes a mutex — acceptable at span granularity.
+//
+// Activate with start(path), the RINGENT_TRACE=<file> environment variable
+// (init_from_env), or the --trace <file> flag of the sweep benches. stop()
+// writes the file; it is also registered with atexit so benches cannot
+// forget to flush.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ringent::sim::trace {
+
+/// True while a session is collecting spans.
+bool enabled();
+
+/// Begin collecting; spans buffer in memory until stop(). Starting while a
+/// session is active throws (one file per run).
+void start(const std::string& path);
+
+/// Serialize all collected spans to the session's path and end the session.
+/// No-op when no session is active. Throws ringent::Error on I/O failure.
+void stop();
+
+/// Path of the active session ("" when none).
+std::string current_path();
+
+/// Start a session when RINGENT_TRACE names a file and no session is
+/// active. Returns the resulting enabled state.
+bool init_from_env();
+
+/// RAII span: records a "B" event on construction and the matching "E" on
+/// destruction, tagged with the calling thread. Free (one relaxed load)
+/// when no session is active; spans whose session stops mid-life are
+/// dropped rather than left unbalanced.
+class Span {
+ public:
+  Span(std::string_view name, std::string_view category);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t session_ = 0;
+  std::string name_;
+  std::string category_;
+};
+
+}  // namespace ringent::sim::trace

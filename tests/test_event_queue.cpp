@@ -155,6 +155,103 @@ TEST(EventQueues, PopSequencesAreIdentical) {
   EXPECT_TRUE(calendar.empty());
 }
 
+TEST(EventQueues, RandomizedWorkloadEquivalence) {
+  // Property test: under an arbitrary interleaving of push / pop / clear /
+  // reserve (the full EventQueueBase surface the kernel exercises), the two
+  // implementations are observationally identical — same pop sequence, same
+  // sizes, same emptiness. Fixed seeds keep the workloads reproducible.
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    BinaryHeapQueue heap;
+    CalendarQueue calendar;
+    Xoshiro256 rng(seed);
+    std::uint64_t seq = 0;
+    std::int64_t watermark = 0;  // kernel contract: never push before "now"
+    for (int op = 0; op < 30000; ++op) {
+      const std::uint64_t pick = rng.below(100);
+      if (pick < 55) {
+        // Push. Mostly clustered times (ties force the seq tie-break),
+        // occasionally far ahead (exercises the calendar's fallback scan).
+        const std::int64_t ahead =
+            rng.below(10) == 0
+                ? static_cast<std::int64_t>(rng.below(50'000'000))
+                : static_cast<std::int64_t>(rng.below(500) * 100);
+        const QueuedEvent event = ev(watermark + ahead, seq++);
+        heap.push(event);
+        calendar.push(event);
+      } else if (pick < 90) {
+        ASSERT_EQ(heap.empty(), calendar.empty());
+        if (heap.empty()) continue;
+        const QueuedEvent expected_peek = heap.peek_min();
+        ASSERT_EQ(calendar.peek_min().at.fs(), expected_peek.at.fs());
+        ASSERT_EQ(calendar.peek_min().seq, expected_peek.seq);
+        const QueuedEvent a = heap.pop_min();
+        const QueuedEvent b = calendar.pop_min();
+        ASSERT_EQ(a.at.fs(), b.at.fs()) << "seed " << seed << " op " << op;
+        ASSERT_EQ(a.seq, b.seq) << "seed " << seed << " op " << op;
+        watermark = a.at.fs();
+      } else if (pick < 96) {
+        // Capacity hint mid-stream: must not disturb relative order.
+        const std::size_t hint = 1 + rng.below(5000);
+        heap.reserve(hint);
+        calendar.reserve(hint);
+      } else if (pick < 98) {
+        heap.clear();
+        calendar.clear();
+        ASSERT_TRUE(heap.empty());
+        ASSERT_TRUE(calendar.empty());
+        // Cleared queues restart from a fresh timeline (kernel reset_time).
+        watermark = 0;
+      } else {
+        ASSERT_EQ(heap.size(), calendar.size());
+      }
+    }
+    // Drain whatever is left and compare to the end.
+    while (!heap.empty()) {
+      ASSERT_FALSE(calendar.empty());
+      const QueuedEvent a = heap.pop_min();
+      const QueuedEvent b = calendar.pop_min();
+      ASSERT_EQ(a.at.fs(), b.at.fs());
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_TRUE(calendar.empty());
+  }
+}
+
+TEST(EventQueues, ReserveMidstreamKeepsEquivalence) {
+  // The reserve() path specifically: grow hints arriving while events are
+  // pending (the calendar re-buckets, the heap reallocates) must preserve
+  // the pop order against an un-hinted reference.
+  BinaryHeapQueue reference;
+  BinaryHeapQueue hinted_heap;
+  CalendarQueue hinted_calendar;
+  Xoshiro256 rng(77);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      const QueuedEvent event =
+          ev(static_cast<std::int64_t>(rng.below(1'000'000)), seq++);
+      reference.push(event);
+      hinted_heap.push(event);
+      hinted_calendar.push(event);
+    }
+    // Escalating hints while half the events are still queued.
+    hinted_heap.reserve(static_cast<std::size_t>(round + 1) * 256);
+    hinted_calendar.reserve(static_cast<std::size_t>(round + 1) * 256);
+    for (int i = 0; i < 100; ++i) {
+      const QueuedEvent expected = reference.pop_min();
+      ASSERT_EQ(hinted_heap.pop_min().seq, expected.seq);
+      ASSERT_EQ(hinted_calendar.pop_min().seq, expected.seq);
+    }
+  }
+  while (!reference.empty()) {
+    const QueuedEvent expected = reference.pop_min();
+    ASSERT_EQ(hinted_heap.pop_min().seq, expected.seq);
+    ASSERT_EQ(hinted_calendar.pop_min().seq, expected.seq);
+  }
+  EXPECT_TRUE(hinted_heap.empty());
+  EXPECT_TRUE(hinted_calendar.empty());
+}
+
 TEST(EventQueues, KernelSimulationIsQueueInvariant) {
   // The determinism contract across implementations: the same STR produces
   // the same femtosecond-exact edges on either queue.
