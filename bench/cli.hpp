@@ -40,19 +40,52 @@ struct CliOptions {
 };
 
 /// Scan argv for the shared flags. Unknown arguments are ignored (the
-/// benches historically tolerate stray args), malformed values fall back to
-/// the defaults, matching sim::parse_jobs_arg.
-inline CliOptions parse_cli(int argc, char** argv) {
+/// benches historically tolerate stray args), but a *recognized* flag with
+/// an unusable value — `--jobs banana`, `--jobs=99999999999999999999`, a
+/// trailing `--trace` with no path — is reported on `diagnostics` (stderr
+/// by default, nullptr = silent) rather than silently dropped, and the
+/// option falls back to its default.
+inline CliOptions parse_cli(int argc, char** argv,
+                            std::FILE* diagnostics = stderr) {
   CliOptions options;
-  options.jobs = sim::parse_jobs_arg(argc, argv);
+  const auto warn = [diagnostics](const char* message, const char* detail) {
+    if (diagnostics == nullptr) return;
+    if (detail != nullptr) {
+      std::fprintf(diagnostics, "# cli: %s '%s'\n", message, detail);
+    } else {
+      std::fprintf(diagnostics, "# cli: %s\n", message);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--metrics") == 0) {
       options.metrics = true;
-    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
-      options.trace_path = argv[++i];
-    } else if (std::strncmp(arg, "--trace=", 8) == 0 && arg[8] != '\0') {
-      options.trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        warn("--jobs requires a count; flag ignored", nullptr);
+      } else if (!sim::parse_jobs_value(argv[++i], options.jobs)) {
+        warn("ignoring unusable --jobs value (expected a non-negative "
+             "integer)",
+             argv[i]);
+      }
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!sim::parse_jobs_value(arg + 7, options.jobs)) {
+        warn("ignoring unusable --jobs value (expected a non-negative "
+             "integer)",
+             arg + 7);
+      }
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (i + 1 >= argc) {
+        warn("--trace requires a file path; flag ignored", nullptr);
+      } else {
+        options.trace_path = argv[++i];
+      }
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      if (arg[8] == '\0') {
+        warn("--trace= requires a file path; flag ignored", nullptr);
+      } else {
+        options.trace_path = arg + 8;
+      }
     }
   }
   return options;

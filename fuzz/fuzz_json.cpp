@@ -1,0 +1,33 @@
+// libFuzzer harness for Json::parse (run manifests, Chrome traces and any
+// JSON a user hands the tooling go through it).
+//
+// Contract enforced on every input:
+//  * malformed input fails with ringent::Error — any other exception type,
+//    signal, or sanitizer report is a finding;
+//  * accepted input satisfies the dump → parse → dump fixpoint: serializing
+//    a parsed document and reparsing it reproduces the same bytes, for both
+//    the compact and the pretty (indent 2) form.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  ringent::Json value;
+  try {
+    value = ringent::Json::parse(text);
+  } catch (const ringent::Error&) {
+    return 0;  // rejected cleanly
+  }
+  // From here on nothing may throw: the value came from parse(), so it must
+  // be serializable and its serialization must be stable.
+  const std::string compact = value.dump();
+  if (ringent::Json::parse(compact).dump() != compact) std::abort();
+  if (ringent::Json::parse(value.dump(2)).dump() != compact) std::abort();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// libFuzzer harness for the run-manifest reader path: Json::parse followed
+// by core::RunManifest::from_json — the bytes a certification pipeline would
+// load back from disk.
+//
+// Contract enforced on every input:
+//  * schema violations (missing keys, wrong types, negative counters) fail
+//    with ringent::Error;
+//  * an accepted manifest round-trips: to_json must not throw, and
+//    from_json(to_json(m)) must serialize to the identical document.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "core/export.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  ringent::core::RunManifest manifest;
+  try {
+    manifest =
+        ringent::core::RunManifest::from_json(ringent::Json::parse(text));
+  } catch (const ringent::Error&) {
+    return 0;  // rejected cleanly
+  }
+  // Accepted manifests must survive a full write → read → write cycle.
+  const std::string dumped = manifest.to_json().dump(2);
+  const ringent::core::RunManifest reloaded =
+      ringent::core::RunManifest::from_json(ringent::Json::parse(dumped));
+  if (reloaded.to_json().dump(2) != dumped) std::abort();
+  return 0;
+}

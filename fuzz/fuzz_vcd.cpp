@@ -1,0 +1,52 @@
+// libFuzzer harness for sim::read_vcd, the importer for foreign scalar
+// waveform dumps.
+//
+// Contract enforced on every input:
+//  * malformed input fails with ringent::Error (std::stoll leakage,
+//    unchecked overflow, or a sanitizer report is a finding);
+//  * an accepted document round-trips through sim::VcdWriter: re-reading our
+//    own writer's output must succeed, and a further write → read cycle must
+//    be a byte-level fixpoint. (The first cycle may canonicalize, e.g. a
+//    multi-token signal name collapses to its first token.)
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/require.hpp"
+#include "sim/vcd.hpp"
+#include "sim/vcd_read.hpp"
+
+namespace {
+
+std::string write_doc(const ringent::sim::VcdDocument& doc) {
+  ringent::sim::VcdWriter writer(doc.module_name);
+  for (const auto& signal : doc.signals) writer.add_signal(signal.trace);
+  std::ostringstream out;
+  writer.write(out);
+  return out.str();
+}
+
+ringent::sim::VcdDocument read_doc(const std::string& text) {
+  std::istringstream in(text);
+  return ringent::sim::read_vcd(in);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  ringent::sim::VcdDocument doc;
+  try {
+    doc = read_doc(text);
+  } catch (const ringent::Error&) {
+    return 0;  // rejected cleanly
+  }
+  // Nothing below may throw: these documents only contain what the reader
+  // itself produced.
+  const std::string first = write_doc(doc);
+  const std::string second = write_doc(read_doc(first));
+  if (write_doc(read_doc(second)) != second) std::abort();
+  return 0;
+}

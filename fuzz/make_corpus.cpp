@@ -1,0 +1,135 @@
+// Regenerates the seed corpora under fuzz/corpus/ from the library's own
+// writers, so the corpora track the current on-disk formats instead of
+// rotting. Regression inputs under fuzz/regressions/ are pinned by hand (one
+// per fixed bug) and are NOT touched by this tool.
+//
+// Usage:  fuzz_make_corpus <repo>/fuzz
+//
+// Output is deterministic: re-running the tool on an unchanged tree writes
+// byte-identical files (no timestamps, fixed seeds/values).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "core/export.hpp"
+#include "sim/probe.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using ringent::Json;
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  RINGENT_REQUIRE(out.good(), "cannot open corpus file " + path);
+  out << content;
+  out.flush();
+  RINGENT_REQUIRE(out.good(), "I/O error writing corpus file " + path);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+ringent::core::RunManifest sample_manifest() {
+  ringent::core::RunManifest manifest;
+  manifest.experiment = "fig11_iro_jitter_vs_stages";
+  manifest.spec = "IRO stages 3..11, 60 restarts";
+  manifest.seed = 0xC0FFEE;
+  manifest.jobs = 4;
+  manifest.tasks = 9;
+  manifest.wall_ms = 123.5;
+  manifest.cpu_ms = 456.25;
+  manifest.version = "corpus";
+  manifest.metrics.counters[0] = 1000;
+  manifest.metrics.counters[1] = 999;
+  ringent::sim::metrics::PhaseStat phase;
+  phase.name = "run";
+  phase.wall_ms = 100.0;
+  phase.cpu_ms = 400.0;
+  phase.calls = 9;
+  manifest.metrics.phases.push_back(phase);
+  return manifest;
+}
+
+std::string sample_vcd(bool second_signal) {
+  using ringent::Time;
+  ringent::sim::SignalTrace ring("ring_out");
+  ringent::sim::SignalTrace token("token_c1");
+  for (int i = 0; i < 8; ++i) {
+    ring.record(Time::from_fs(1000 * (i + 1)), i % 2 == 0);
+    if (second_signal) {
+      token.record(Time::from_fs(1500 * (i + 1)), i % 2 == 1);
+    }
+  }
+  ringent::sim::VcdWriter writer("ringent");
+  writer.add_signal(ring);
+  if (second_signal) writer.add_signal(token);
+  std::ostringstream out;
+  writer.write(out);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo>/fuzz\n", argv[0]);
+    return 2;
+  }
+  const std::string root(argv[1]);
+
+  // --- json: what the observability layer actually serializes -------------
+  const std::string manifest_pretty = sample_manifest().to_json().dump(2);
+  write_file(root + "/corpus/json/manifest_pretty", manifest_pretty);
+  {
+    Json doc = Json::array();
+    doc.push_back(Json(std::int64_t{0}));
+    doc.push_back(Json(std::int64_t{-9223372036854775807LL - 1}));
+    doc.push_back(Json(std::int64_t{9223372036854775807LL}));
+    doc.push_back(Json(0.5));
+    doc.push_back(Json(1e-300));
+    doc.push_back(Json(1.7976931348623157e308));
+    write_file(root + "/corpus/json/numbers", doc.dump());
+  }
+  {
+    Json doc = Json::object();
+    doc.set("escapes", Json(std::string("quote\" back\\ tab\t nl\n bell\x07")));
+    doc.set("unicode", Json(std::string("caf\xC3\xA9 \xE2\x88\x9A" "2")));
+    doc.set("empty", Json(std::string()));
+    Json nested = Json::object();
+    nested.set("list", Json::array());
+    nested.set("flag", Json(true));
+    nested.set("none", Json());
+    doc.set("nested", std::move(nested));
+    write_file(root + "/corpus/json/strings_nested", doc.dump(2));
+  }
+
+  // --- vcd: the writer's own dumps ----------------------------------------
+  write_file(root + "/corpus/vcd/writer_two_signals", sample_vcd(true));
+  write_file(root + "/corpus/vcd/writer_one_signal", sample_vcd(false));
+  // A foreign-style dump: 10 ps timescale, comment directives, x states.
+  write_file(root + "/corpus/vcd/foreign_10ps",
+             "$date today $end\n"
+             "$version ghdl $end\n"
+             "$timescale 10 ps $end\n"
+             "$scope module top $end\n"
+             "$var wire 1 ! clk $end\n"
+             "$var wire 1 \" q $end\n"
+             "$upscope $end\n"
+             "$enddefinitions $end\n"
+             "$dumpvars\nx!\nx\"\n$end\n"
+             "#0\n1!\n0\"\n#5\n0!\n#10\n1!\n1\"\n");
+
+  // --- cli: newline-separated argv tokens ----------------------------------
+  write_file(root + "/corpus/cli/all_flags",
+             "--jobs\n4\n--metrics\n--trace\nout.trace.json\n");
+  write_file(root + "/corpus/cli/equals_forms",
+             "--jobs=8\n--trace=spans.json\nstray\n--metrics\n");
+
+  // --- manifest: valid documents for the reader path -----------------------
+  write_file(root + "/corpus/manifest/pretty", manifest_pretty);
+  write_file(root + "/corpus/manifest/compact",
+             sample_manifest().to_json().dump());
+  return 0;
+}

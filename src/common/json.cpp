@@ -1,5 +1,6 @@
 #include "common/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -233,6 +234,20 @@ class Parser {
     pos_ += word.size();
   }
 
+  /// Bounds container recursion; parse_object/parse_array construct one per
+  /// nesting level.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > Json::max_parse_depth) {
+        parser_.fail("nesting exceeds max_parse_depth");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   Json parse_value() {
     skip_whitespace();
     switch (peek()) {
@@ -247,6 +262,7 @@ class Parser {
   }
 
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json out = Json::object();
     skip_whitespace();
@@ -265,6 +281,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json out = Json::array();
     skip_whitespace();
@@ -349,7 +366,9 @@ class Parser {
     require(pos_ > start, "expected a value");
     const std::string token(text_.substr(start, pos_ - start));
     // Integer fast path keeps 64-bit counters exact through a round-trip.
-    if (token.find_first_of(".eE") == std::string::npos) {
+    // "-0" is excluded: it must stay a double so the sign survives, or
+    // dump → parse → dump would collapse -0.0 to 0.
+    if (token.find_first_of(".eE") == std::string::npos && token != "-0") {
       char* end = nullptr;
       errno = 0;
       const long long v = std::strtoll(token.c_str(), &end, 10);
@@ -360,11 +379,15 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     require(end == token.c_str() + token.size(), "malformed number");
+    // strtod turns "1e999" into ±infinity; JSON cannot represent that and
+    // dump() would throw later, so reject it at the parse boundary.
+    require(std::isfinite(v), "number outside double range");
     return Json(v);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -6,6 +6,11 @@
 // with an integer fast path for exact 64-bit counters, and parse() accepts
 // exactly what dump() emits plus standard JSON. Not a general-purpose
 // library — no comments, no NaN/Inf, no streaming.
+//
+// parse() is hardened against untrusted input (fuzz/fuzz_json.cpp): nesting
+// is capped at max_parse_depth so adversarial documents cannot overflow the
+// stack, numbers that overflow double range are rejected (JSON has no Inf),
+// and dump() → parse() → dump() is a byte-level fixpoint.
 #pragma once
 
 #include <cstdint>
@@ -83,8 +88,14 @@ class Json {
   /// with `indent` spaces per level.
   std::string dump(int indent = -1) const;
 
+  /// Maximum container nesting accepted by parse(). Deeper documents throw
+  /// (recursive descent would otherwise overflow the stack on inputs like
+  /// 100k of '['). Manifests and traces nest 4-5 levels deep.
+  static constexpr int max_parse_depth = 128;
+
   /// Parse a complete JSON document; throws ringent::Error with a byte
-  /// offset on malformed input (including trailing garbage).
+  /// offset on malformed input (including trailing garbage, numbers outside
+  /// double range, and nesting beyond max_parse_depth).
   static Json parse(std::string_view text);
 
  private:

@@ -43,6 +43,21 @@ bool write_artifact(const std::string& experiment_id, const Table& table,
 
 std::string_view version_string() { return RINGENT_GIT_DESCRIBE; }
 
+namespace {
+
+// Counters, seeds and sizes are unsigned in the manifest schema; a negative
+// integer in a hand-edited (or hostile) manifest would otherwise survive
+// from_json() only to make to_json() throw on the uint64 cast.
+std::uint64_t non_negative(const Json& value, const char* what) {
+  const std::int64_t v = value.as_integer();
+  RINGENT_REQUIRE(v >= 0,
+                  std::string("manifest field '") + what +
+                      "' must be non-negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
 Json RunManifest::to_json() const {
   Json root = Json::object();
   root.set("schema", std::string(schema));
@@ -83,9 +98,9 @@ RunManifest RunManifest::from_json(const Json& json) {
   RunManifest m;
   m.experiment = json.at("experiment").as_string();
   m.spec = json.at("spec").as_string();
-  m.seed = static_cast<std::uint64_t>(json.at("seed").as_integer());
-  m.jobs = static_cast<std::size_t>(json.at("jobs").as_integer());
-  m.tasks = static_cast<std::size_t>(json.at("tasks").as_integer());
+  m.seed = non_negative(json.at("seed"), "seed");
+  m.jobs = static_cast<std::size_t>(non_negative(json.at("jobs"), "jobs"));
+  m.tasks = static_cast<std::size_t>(non_negative(json.at("tasks"), "tasks"));
   m.wall_ms = json.at("wall_ms").as_number();
   m.cpu_ms = json.at("cpu_ms").as_number();
   m.version = json.at("version").as_string();
@@ -94,8 +109,8 @@ RunManifest RunManifest::from_json(const Json& json) {
   RINGENT_REQUIRE(counters.is_object(), "manifest counters must be an object");
   for (std::size_t i = 0; i < sim::metrics::counter_count; ++i) {
     const auto counter = static_cast<sim::metrics::Counter>(i);
-    m.metrics.counters[i] = static_cast<std::uint64_t>(
-        counters.at(sim::metrics::counter_name(counter)).as_integer());
+    m.metrics.counters[i] = non_negative(
+        counters.at(sim::metrics::counter_name(counter)), "counters");
   }
 
   const Json& phases = json.at("phases");
@@ -106,7 +121,7 @@ RunManifest RunManifest::from_json(const Json& json) {
     stat.name = entry.at("name").as_string();
     stat.wall_ms = entry.at("wall_ms").as_number();
     stat.cpu_ms = entry.at("cpu_ms").as_number();
-    stat.calls = static_cast<std::uint64_t>(entry.at("calls").as_integer());
+    stat.calls = non_negative(entry.at("calls"), "calls");
     m.metrics.phases.push_back(std::move(stat));
   }
   return m;

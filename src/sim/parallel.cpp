@@ -1,10 +1,13 @@
 #include "sim/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -15,39 +18,56 @@
 
 namespace ringent::sim {
 
-namespace {
-
-std::size_t parse_positive(const char* text) {
-  if (text == nullptr) return 0;
+bool parse_jobs_value(const char* text, std::size_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull silently wraps negative input ("-3" becomes 2^64 - 3); reject
+  // the sign up front.
+  if (*text == '-') return false;
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return 0;
-  return static_cast<std::size_t>(value);
+  if (end == text || *end != '\0') return false;
+  if (errno == ERANGE ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::size_t>(value);
+  return true;
 }
 
-}  // namespace
+std::size_t max_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
+  return std::max<std::size_t>(4 * cores, 8);
+}
 
 std::size_t default_jobs() {
-  if (const std::size_t env = parse_positive(std::getenv("RINGENT_JOBS"))) {
-    return env;
+  std::size_t env_jobs = 0;
+  if (parse_jobs_value(std::getenv("RINGENT_JOBS"), env_jobs) &&
+      env_jobs != 0) {
+    return std::min(env_jobs, max_jobs());
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
 std::size_t resolve_jobs(std::size_t jobs) {
-  return jobs == 0 ? default_jobs() : jobs;
+  return jobs == 0 ? default_jobs() : std::min(jobs, max_jobs());
 }
 
 std::size_t parse_jobs_arg(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--jobs" && i + 1 < argc) {
-      return parse_positive(argv[i + 1]);
+      std::size_t jobs = 0;
+      parse_jobs_value(argv[i + 1], jobs);
+      return jobs;
     }
     constexpr std::string_view prefix = "--jobs=";
     if (arg.substr(0, prefix.size()) == prefix) {
-      return parse_positive(argv[i] + prefix.size());
+      std::size_t jobs = 0;
+      parse_jobs_value(argv[i] + prefix.size(), jobs);
+      return jobs;
     }
   }
   return 0;

@@ -29,15 +29,29 @@
 namespace ringent::sim {
 
 /// Default worker count: the RINGENT_JOBS environment variable if set to a
-/// positive integer, otherwise std::thread::hardware_concurrency() (min 1).
+/// positive integer (clamped to max_jobs()), otherwise
+/// std::thread::hardware_concurrency() (min 1).
 std::size_t default_jobs();
 
-/// Resolve a jobs knob: 0 means "use default_jobs()".
+/// Hard ceiling on worker threads: 4× hardware_concurrency, floor 8 (so
+/// low-core CI machines can still exercise moderate oversubscription).
+/// resolve_jobs() clamps to this, so an absurd --jobs / RINGENT_JOBS value
+/// cannot ask ThreadPool to spawn billions of threads.
+std::size_t max_jobs();
+
+/// Resolve a jobs knob: 0 means "use default_jobs()"; anything above
+/// max_jobs() is clamped down to it.
 std::size_t resolve_jobs(std::size_t jobs);
+
+/// Parse the text of a --jobs / RINGENT_JOBS value. Returns true and stores
+/// the parsed count (0 = "use the default") on success; returns false — and
+/// leaves `out` untouched — on empty, non-numeric, negative, or overflowing
+/// text ("99999999999999999999" is rejected, not wrapped).
+bool parse_jobs_value(const char* text, std::size_t& out);
 
 /// Scan argv for "--jobs N" or "--jobs=N" (the convention of the sweep
 /// bench binaries). Returns 0 — i.e. "use the default" — when the flag is
-/// absent or malformed.
+/// absent or its value fails parse_jobs_value().
 std::size_t parse_jobs_arg(int argc, char** argv);
 
 /// A fixed-size pool of worker threads executing indexed task batches.

@@ -1,5 +1,8 @@
 #include "sim/vcd_read.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -10,6 +13,19 @@ namespace ringent::sim {
 
 namespace {
 
+// std::stoll leaks std::invalid_argument / std::out_of_range on hostile
+// tokens like "#9999999999999999999999"; untrusted waveforms must fail with
+// the module's Error instead (fuzz/fuzz_vcd.cpp enforces this).
+std::int64_t parse_int64(const std::string& text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw Error(std::string("VCD: ") + what + ": '" + text + "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
 std::int64_t parse_timescale(const std::string& spec) {
   // Forms: "1fs", "10 ps", "1ns" ...
   std::size_t pos = 0;
@@ -17,7 +33,9 @@ std::int64_t parse_timescale(const std::string& spec) {
     ++pos;
   }
   RINGENT_REQUIRE(pos > 0, "VCD: bad timescale magnitude: " + spec);
-  const std::int64_t magnitude = std::stoll(spec.substr(0, pos));
+  const std::int64_t magnitude =
+      parse_int64(spec.substr(0, pos), "bad timescale magnitude");
+  RINGENT_REQUIRE(magnitude > 0, "VCD: bad timescale magnitude: " + spec);
   std::string unit = spec.substr(pos);
   while (!unit.empty() && unit.front() == ' ') unit.erase(unit.begin());
   std::int64_t per_unit = 0;
@@ -28,7 +46,11 @@ std::int64_t parse_timescale(const std::string& spec) {
   if (unit == "ms") per_unit = 1'000'000'000'000;
   if (unit == "s") per_unit = 1'000'000'000'000'000;
   RINGENT_REQUIRE(per_unit != 0, "VCD: unsupported timescale unit: " + unit);
-  return magnitude * per_unit;
+  std::int64_t scale_fs = 0;
+  if (__builtin_mul_overflow(magnitude, per_unit, &scale_fs)) {
+    throw Error("VCD: timescale overflows the femtosecond range: " + spec);
+  }
+  return scale_fs;
 }
 
 /// Read tokens of a "$keyword ... $end" directive body.
@@ -68,6 +90,8 @@ VcdDocument read_vcd(std::istream& in) {
                           body[1] + ")");
       const std::string& code = body[2];
       const std::string& name = body[3];
+      RINGENT_REQUIRE(by_code.find(code) == by_code.end(),
+                      "VCD: duplicate $var code: " + code);
       by_code[code] = doc.signals.size();
       doc.signals.push_back(VcdSignal{name, SignalTrace(name)});
     } else if (token == "$enddefinitions") {
@@ -83,11 +107,21 @@ VcdDocument read_vcd(std::istream& in) {
 
   // --- value changes --------------------------------------------------------
   std::int64_t now_units = 0;
+  std::int64_t now_fs = 0;
   bool in_dumpvars = false;
   while (in >> token) {
     if (token.empty()) continue;
     if (token[0] == '#') {
-      now_units = std::stoll(token.substr(1));
+      const std::int64_t t = parse_int64(token.substr(1), "bad timestamp");
+      if (t < 0) throw Error("VCD: negative timestamp: " + token);
+      if (t < now_units) {
+        throw Error("VCD: non-monotonic timestamp: " + token);
+      }
+      now_units = t;
+      if (__builtin_mul_overflow(now_units, doc.timescale_fs, &now_fs)) {
+        throw Error("VCD: timestamp overflows the femtosecond range: " +
+                    token);
+      }
       continue;
     }
     if (token == "$dumpvars") {
@@ -106,8 +140,8 @@ VcdDocument read_vcd(std::istream& in) {
       RINGENT_REQUIRE(it != by_code.end(),
                       "VCD: change for unknown code: " + token);
       if (value == '0' || value == '1') {
-        doc.signals[it->second].trace.record(
-            Time::from_fs(now_units * doc.timescale_fs), value == '1');
+        doc.signals[it->second].trace.record(Time::from_fs(now_fs),
+                                             value == '1');
       }
       // x/z states are skipped (typically only in $dumpvars).
       continue;
@@ -125,7 +159,13 @@ VcdDocument read_vcd(std::istream& in) {
 VcdDocument read_vcd_file(const std::string& path) {
   std::ifstream in(path);
   RINGENT_REQUIRE(in.good(), "cannot open VCD file " + path);
-  return read_vcd(in);
+  try {
+    return read_vcd(in);
+  } catch (const Error& e) {
+    // Re-wrap with the file context: callers batch-importing foreign dumps
+    // need to know which file was malformed.
+    throw Error(path + ": " + e.what());
+  }
 }
 
 }  // namespace ringent::sim

@@ -4,6 +4,11 @@
 // files with single-bit variables: enough to re-import recorded waveforms
 // for analysis (periods, mode classification) without keeping the original
 // simulation around. Vector variables and real values are rejected loudly.
+//
+// The reader treats its input as untrusted (fuzz/fuzz_vcd.cpp): every
+// malformed construct — oversized timestamps/timescales, negative or
+// non-monotonic time, duplicate $var codes — fails with ringent::Error,
+// never a leaked std:: exception or signed-overflow UB.
 #pragma once
 
 #include <istream>

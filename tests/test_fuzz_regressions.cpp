@@ -1,0 +1,251 @@
+// Regression tests for the bugs surfaced by the fuzz harnesses (fuzz/).
+//
+// Every fixed bug has a pinned input under fuzz/regressions/<target>/ —
+// the same bytes the tier2 fuzz_<target>_replay drivers run — and this
+// suite asserts the *specific* post-fix behaviour (which exception type,
+// which fallback value), plus adversarial JSON/VCD cases that must keep
+// failing cleanly. Pre-fix, these inputs crashed (stack overflow, ~2^64
+// thread spawn) or leaked std:: exception types past the module boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "cli.hpp"
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "core/export.hpp"
+#include "sim/parallel.hpp"
+#include "sim/vcd_read.hpp"
+
+#ifndef RINGENT_FUZZ_DIR
+#error "RINGENT_FUZZ_DIR must point at the fuzz/ source directory"
+#endif
+
+namespace ringent {
+namespace {
+
+std::string regression(const std::string& name) {
+  const std::string path = std::string(RINGENT_FUZZ_DIR "/regressions/") + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing pinned regression input " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+sim::VcdDocument read_vcd_string(const std::string& text) {
+  std::istringstream in(text);
+  return sim::read_vcd(in);
+}
+
+// --- Json::parse ------------------------------------------------------------
+
+TEST(FuzzRegressionJson, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  const std::string bomb = regression("json/deep_nesting");
+  ASSERT_EQ(bomb.size(), 100000u);
+  EXPECT_THROW(Json::parse(bomb), Error);
+}
+
+TEST(FuzzRegressionJson, DepthLimitBoundary) {
+  // Exactly max_parse_depth levels parse; one more is rejected.
+  const std::string at_limit = regression("json/at_depth_limit");
+  EXPECT_EQ(at_limit,
+            std::string(Json::max_parse_depth, '[') +
+                std::string(Json::max_parse_depth, ']'));
+  const Json parsed = Json::parse(at_limit);
+  EXPECT_TRUE(parsed.is_array());
+
+  const std::string over = std::string(Json::max_parse_depth + 1, '[') +
+                           std::string(Json::max_parse_depth + 1, ']');
+  EXPECT_THROW(Json::parse(over), Error);
+  // Objects count against the same limit.
+  std::string objects;
+  for (int i = 0; i <= Json::max_parse_depth; ++i) objects += "{\"k\":";
+  objects += "null";
+  for (int i = 0; i <= Json::max_parse_depth; ++i) objects += "}";
+  EXPECT_THROW(Json::parse(objects), Error);
+}
+
+TEST(FuzzRegressionJson, NumbersBeyondDoubleRangeAreRejected) {
+  // Pre-fix: "1e999" parsed to +inf and dump() threw afterwards.
+  EXPECT_THROW(Json::parse(regression("json/inf_overflow")), Error);
+  EXPECT_THROW(Json::parse("1e999"), Error);
+  EXPECT_THROW(Json::parse("-1e999"), Error);
+  EXPECT_NO_THROW(Json::parse("1e308"));
+  EXPECT_NO_THROW(Json::parse("1e-999"));  // underflows to 0.0, finite
+}
+
+TEST(FuzzRegressionJson, NegativeZeroDumpParseDumpFixpoint) {
+  // Pre-fix: -0.0 dumped as "-0", which reparsed as integer 0.
+  const Json value = Json::parse(regression("json/neg_zero"));
+  const std::string dumped = value.dump();
+  EXPECT_EQ(dumped, "-0");
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+}
+
+TEST(FuzzRegressionJson, AdversarialDocumentsFailCleanly) {
+  EXPECT_THROW(Json::parse(regression("json/unterminated_string")), Error);
+  for (const char* bad :
+       {"nan", "NaN", "Infinity", "-Infinity", "inf", "{\"a\":1",
+        "[1,2", "\"\\u12", "\"\\q\"", "{'a':1}", "01x", "", "  ", "[,]"}) {
+    EXPECT_THROW(Json::parse(bad), Error) << "input: " << bad;
+  }
+  // Duplicate keys: last value wins, no duplicate entry survives.
+  const Json dup = Json::parse("{\"a\":1,\"a\":2}");
+  EXPECT_EQ(dup.size(), 1u);
+  EXPECT_EQ(dup.at("a").as_integer(), 2);
+}
+
+// --- sim::read_vcd ----------------------------------------------------------
+
+TEST(FuzzRegressionVcd, OversizedTimestampThrowsModuleError) {
+  // Pre-fix: std::stoll leaked std::out_of_range (not a ringent::Error).
+  try {
+    read_vcd_string(regression("vcd/timestamp_overflow"));
+    FAIL() << "expected ringent::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("VCD: bad timestamp"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FuzzRegressionVcd, BareHashThrowsModuleError) {
+  // Pre-fix: std::stoll("") leaked std::invalid_argument.
+  EXPECT_THROW(read_vcd_string(regression("vcd/bare_hash")), Error);
+}
+
+TEST(FuzzRegressionVcd, TimescaleOverflowThrowsModuleError) {
+  EXPECT_THROW(read_vcd_string(regression("vcd/timescale_overflow")), Error);
+  // Magnitude * unit products beyond int64 femtoseconds are caught too.
+  EXPECT_THROW(read_vcd_string(regression("vcd/timescale_mul_overflow")),
+               Error);
+}
+
+TEST(FuzzRegressionVcd, AdversarialChangeStreamsFailCleanly) {
+  EXPECT_THROW(read_vcd_string(regression("vcd/negative_timestamp")), Error);
+  EXPECT_THROW(read_vcd_string(regression("vcd/non_monotonic")), Error);
+  EXPECT_THROW(read_vcd_string(regression("vcd/dup_var_code")), Error);
+}
+
+TEST(FuzzRegressionVcd, TimestampTimesTimescaleOverflowIsCaught) {
+  // 10^6 units at 1 s/unit = 10^21 fs: past int64, must throw (pre-fix this
+  // was silent signed-overflow UB).
+  EXPECT_THROW(
+      read_vcd_string("$timescale 1s $end\n$enddefinitions $end\n#1000000\n"),
+      Error);
+}
+
+TEST(FuzzRegressionVcd, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "bad_regression.vcd.txt";
+  {
+    std::ofstream out(path);
+    out << regression("vcd/timestamp_overflow");
+  }
+  try {
+    sim::read_vcd_file(path);
+    FAIL() << "expected ringent::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// --- jobs parsing / clamping ------------------------------------------------
+
+TEST(FuzzRegressionCli, JobsOverflowIsRejectedNotWrapped) {
+  // Pre-fix: strtoull saturated to ULLONG_MAX unchecked and ThreadPool tried
+  // to spawn ~2^64 threads.
+  const std::string arg = regression("cli/jobs_overflow");
+  ASSERT_EQ(arg, "--jobs=99999999999999999999");
+  const char* argv[] = {"bench", arg.c_str()};
+  EXPECT_EQ(sim::parse_jobs_arg(2, const_cast<char**>(argv)), 0u);
+
+  std::size_t out = 0;
+  EXPECT_FALSE(sim::parse_jobs_value("99999999999999999999", out));
+  EXPECT_FALSE(sim::parse_jobs_value("-3", out));
+  EXPECT_FALSE(sim::parse_jobs_value("", out));
+  EXPECT_FALSE(sim::parse_jobs_value(nullptr, out));
+  EXPECT_FALSE(sim::parse_jobs_value("4x", out));
+  EXPECT_TRUE(sim::parse_jobs_value("0", out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(sim::parse_jobs_value("6", out));
+  EXPECT_EQ(out, 6u);
+}
+
+TEST(FuzzRegressionCli, ResolveJobsClampsToTheCeiling) {
+  EXPECT_GE(sim::max_jobs(), 8u);
+  EXPECT_EQ(sim::resolve_jobs(sim::max_jobs()), sim::max_jobs());
+  EXPECT_EQ(sim::resolve_jobs(sim::max_jobs() + 1), sim::max_jobs());
+  EXPECT_EQ(sim::resolve_jobs(std::numeric_limits<std::size_t>::max()),
+            sim::max_jobs());
+  // The pool construction path is covered too: this must not try to spawn
+  // an absurd number of threads.
+  sim::ThreadPool pool(std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(pool.jobs(), sim::max_jobs());
+}
+
+TEST(FuzzRegressionCli, ParseCliReportsUnusableValues) {
+  std::FILE* diagnostics = std::tmpfile();
+  ASSERT_NE(diagnostics, nullptr);
+  const char* argv[] = {"bench", "--jobs",  "banana", "--jobs=-1",
+                        "--trace=", "--metrics", "--trace"};
+  const bench::CliOptions options =
+      bench::parse_cli(7, const_cast<char**>(argv), diagnostics);
+  EXPECT_EQ(options.jobs, 0u);
+  EXPECT_TRUE(options.metrics);
+  EXPECT_TRUE(options.trace_path.empty());
+
+  std::rewind(diagnostics);
+  std::string report;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof(buffer), diagnostics) != nullptr) {
+    report += buffer;
+  }
+  std::fclose(diagnostics);
+  EXPECT_NE(report.find("--jobs value"), std::string::npos) << report;
+  EXPECT_NE(report.find("banana"), std::string::npos) << report;
+  EXPECT_NE(report.find("-1"), std::string::npos) << report;
+  EXPECT_NE(report.find("--trace requires a file path"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("--trace= requires a file path"), std::string::npos)
+      << report;
+}
+
+TEST(FuzzRegressionCli, SilentModeStaysSilentAndSafe) {
+  const std::string overflow = regression("cli/jobs_overflow");
+  const char* argv[] = {"bench", overflow.c_str(), "--trace"};
+  const bench::CliOptions options =
+      bench::parse_cli(3, const_cast<char**>(argv), nullptr);
+  EXPECT_EQ(options.jobs, 0u);
+  EXPECT_LE(sim::resolve_jobs(options.jobs), sim::max_jobs());
+}
+
+// --- RunManifest::from_json -------------------------------------------------
+
+TEST(FuzzRegressionManifest, NegativeIntegersAreRejectedAtLoadTime) {
+  // Pre-fix: "seed": -1 survived from_json and made to_json throw later.
+  EXPECT_THROW(core::RunManifest::from_json(
+                   Json::parse(regression("manifest/negative_seed"))),
+               Error);
+  EXPECT_THROW(core::RunManifest::from_json(
+                   Json::parse(regression("manifest/seed_float"))),
+               Error);
+}
+
+TEST(FuzzRegressionManifest, SchemaViolationsAreRejected) {
+  EXPECT_THROW(core::RunManifest::from_json(
+                   Json::parse(regression("manifest/wrong_schema"))),
+               Error);
+  EXPECT_THROW(core::RunManifest::from_json(
+                   Json::parse(regression("manifest/not_an_object"))),
+               Error);
+}
+
+}  // namespace
+}  // namespace ringent

@@ -406,10 +406,11 @@ TEST(BenchCli, ParsesSharedFlags) {
   EXPECT_FALSE(none.metrics);
   EXPECT_TRUE(none.trace_path.empty());
 
-  // Malformed values degrade to the defaults rather than throwing.
+  // Malformed values degrade to the defaults rather than throwing; the
+  // warnings they trigger are asserted in test_fuzz_regressions.cpp.
   const char* argv_bad[] = {"bench", "--jobs", "potato", "--trace"};
   const bench::CliOptions bad =
-      bench::parse_cli(4, const_cast<char**>(argv_bad));
+      bench::parse_cli(4, const_cast<char**>(argv_bad), /*diagnostics=*/nullptr);
   EXPECT_EQ(bad.jobs, 0u);
   EXPECT_TRUE(bad.trace_path.empty());
 }

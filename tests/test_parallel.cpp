@@ -119,6 +119,19 @@ TEST(ParallelJobs, ResolveAndArgParsing) {
   EXPECT_EQ(sim::parse_jobs_arg(3, const_cast<char**>(argv_bad)), 0u);
 }
 
+TEST(ParallelJobs, OverflowIsRejectedAndTheCeilingHolds) {
+  // strtoull overflow used to be accepted verbatim, asking ThreadPool for
+  // ~2^64 threads (fuzz/regressions/cli/jobs_overflow).
+  const char* argv_huge[] = {"bench", "--jobs=99999999999999999999"};
+  EXPECT_EQ(sim::parse_jobs_arg(2, const_cast<char**>(argv_huge)), 0u);
+  const char* argv_negative[] = {"bench", "--jobs", "-4"};
+  EXPECT_EQ(sim::parse_jobs_arg(3, const_cast<char**>(argv_negative)), 0u);
+
+  EXPECT_GE(sim::max_jobs(), 8u);
+  EXPECT_EQ(sim::resolve_jobs(sim::max_jobs() + 100), sim::max_jobs());
+  EXPECT_LE(sim::default_jobs(), sim::max_jobs());
+}
+
 // --- determinism: every parallelized driver, bit-identical at any jobs ------
 //
 // EXPECT_EQ on doubles is deliberate: the contract is bit-identity, not
