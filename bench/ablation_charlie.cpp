@@ -29,8 +29,11 @@ int main() {
   std::printf("mode of a clustered 16-stage ring (NT=4) vs Dch scale:\n");
   Table locking({"Dch scale", "Dch (ps)", "mode", "interval CV"});
   for (double scale : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
-    const auto map = run_mode_map(16, {4}, cal, {},
-                                  ring::TokenPlacement::clustered, scale);
+    ModeMapSpec map_spec;
+    map_spec.stages = 16;
+    map_spec.token_counts = {4};
+    map_spec.charlie_scale = scale;
+    const auto map = run_mode_map(map_spec, cal);
     locking.add_row({fmt_double(scale, 2),
                      fmt_double(cal.str_d_charlie.ps() * scale, 1),
                      ring::to_string(map[0].mode),
@@ -45,8 +48,8 @@ int main() {
     scaled.str_d_charlie = cal.str_d_charlie.scaled(scale);
     ExperimentOptions options;
     options.board_index = 0;
-    const auto points =
-        run_jitter_vs_stages(RingKind::str, {32}, scaled, options);
+    const auto points = run_jitter_vs_stages(
+        JitterSweepSpec{RingKind::str, {32}}, scaled, options);
     jitter.add_row({fmt_double(scale, 2), fmt_double(points[0].sigma_direct_ps, 2),
                     fmt_double(points[0].sigma_p_ps, 2)});
   }

@@ -32,8 +32,9 @@ int main() {
                "dF (paper)"});
   const std::vector<double> paper = {0.50, 0.44, 0.39, 0.39, 0.37, 0.49, 0.47};
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto with = run_voltage_sweep(specs[i], cal, volts);
-    const auto without = run_voltage_sweep(specs[i], ablated, volts);
+    const VoltageSweepSpec sweep{specs[i], volts};
+    const auto with = run_voltage_sweep(sweep, cal);
+    const auto without = run_voltage_sweep(sweep, ablated);
     table.add_row({specs[i].name(), fmt_percent(with.excursion, 1),
                    fmt_percent(without.excursion, 1),
                    fmt_percent(paper[i], 0)});

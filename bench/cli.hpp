@@ -7,6 +7,8 @@
 //                            (equivalent to RINGENT_METRICS=1)
 //   --trace FILE|--trace=FILE  write a Chrome-trace JSON of driver/axis/pool
 //                            spans to FILE (equivalent to RINGENT_TRACE=FILE)
+//   --list                   print the experiment registry (the same
+//                            listing `ringent_cli --list` gives) and exit 0
 //
 // Usage pattern (see any bench/fig*.cpp):
 //
@@ -27,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "core/registry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
 #include "sim/trace.hpp"
@@ -39,12 +42,23 @@ struct CliOptions {
   std::string trace_path;  ///< empty = no --trace flag
 };
 
-/// Scan argv for the shared flags. Unknown arguments are ignored (the
-/// benches historically tolerate stray args), but a *recognized* flag with
-/// an unusable value — `--jobs banana`, `--jobs=99999999999999999999`, a
+/// Print the experiment registry — one line per registered driver — to
+/// `out`. This is the bench-side mirror of `ringent_cli --list`.
+inline void print_experiment_list(std::FILE* out) {
+  for (const auto& entry : core::experiment_registry()) {
+    std::fprintf(out, "%-22s %s  [%s]\n", entry.name.c_str(),
+                 entry.summary.c_str(), entry.source.c_str());
+  }
+}
+
+/// Scan argv for the shared flags. Bare (non-flag) stray arguments are
+/// ignored — the benches historically tolerate them — but anything that
+/// *looks* like a flag and isn't recognized, and a recognized flag with an
+/// unusable value — `--jobs banana`, `--jobs=99999999999999999999`, a
 /// trailing `--trace` with no path — is reported on `diagnostics` (stderr
 /// by default, nullptr = silent) rather than silently dropped, and the
-/// option falls back to its default.
+/// option falls back to its default. `--list` prints the experiment
+/// registry to stdout and exits 0, like `--help` in a conventional CLI.
 inline CliOptions parse_cli(int argc, char** argv,
                             std::FILE* diagnostics = stderr) {
   CliOptions options;
@@ -86,6 +100,13 @@ inline CliOptions parse_cli(int argc, char** argv,
       } else {
         options.trace_path = arg + 8;
       }
+    } else if (std::strcmp(arg, "--list") == 0) {
+      print_experiment_list(stdout);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      warn("unknown flag ignored (supported: --jobs, --metrics, --trace, "
+           "--list)",
+           arg);
     }
   }
   return options;

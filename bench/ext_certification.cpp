@@ -57,16 +57,20 @@ int main() {
   std::printf("   period lag-1 autocorr : %+.3f (Charlie regulation)\n",
               analysis::autocorrelation(periods, 1));
 
-  const auto volt = run_voltage_sweep(spec, cal, {1.0, 1.2, 1.4});
-  const auto temp = run_temperature_sweep(spec, cal, {-20.0, 25.0, 85.0});
-  const auto process = run_process_variability(spec, cal, 25, {}, 200);
+  const auto volt =
+      run_voltage_sweep(VoltageSweepSpec{spec, {1.0, 1.2, 1.4}}, cal);
+  const auto temp = run_temperature_sweep(
+      TemperatureSweepSpec{spec, {-20.0, 25.0, 85.0}}, cal);
+  const auto process =
+      run_process_variability(ProcessVariabilitySpec{spec, 25, 200}, cal);
   std::printf("   dF (1.0-1.4 V)        : %.1f%%\n", 100.0 * volt.excursion);
   std::printf("   dF (-20-85 C)         : %.2f%%\n", 100.0 * temp.excursion);
   std::printf("   sigma_rel (25 boards) : %.2f%%\n\n",
               100.0 * process.sigma_rel);
 
   // --- 2. stochastic model ---------------------------------------------------
-  const auto restart = run_restart_experiment(spec, cal, 48, 192, options);
+  const auto restart =
+      run_restart_experiment(RestartSpec{spec, 48, 192}, cal, options);
   const double h_bound = trng::entropy_lower_bound(
       jitter.period_jitter_ps, jitter.mean_period_ps, fs);
   std::printf("2. Stochastic model\n");

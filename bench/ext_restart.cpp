@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
   for (const RingSpec& spec :
        {RingSpec::iro(5), RingSpec::iro(25), RingSpec::str(24),
         RingSpec::str(96)}) {
-    const auto r = run_restart_experiment(spec, cal, 64, 256, options);
+    const auto r =
+        run_restart_experiment(RestartSpec{spec, 64, 256}, cal, options);
     const auto at = [&](std::size_t edge) {
       for (const auto& p : r.points) {
         if (p.edge == edge) return p.spread_ps;

@@ -35,7 +35,8 @@ int main() {
   std::vector<std::string> header = {"T (C)"};
   std::vector<TemperatureSweepResult> sweeps;
   for (const auto& spec : specs) {
-    sweeps.push_back(run_temperature_sweep(spec, cal, temps));
+    sweeps.push_back(
+        run_temperature_sweep(TemperatureSweepSpec{spec, temps}, cal));
     header.push_back(spec.name() + "  Fn");
   }
 

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> header = {"V (V)"};
   std::vector<VoltageSweepResult> sweeps;
   for (const auto& spec : specs) {
-    sweeps.push_back(run_voltage_sweep(spec, cal, volts, options));
+    sweeps.push_back(
+        run_voltage_sweep(VoltageSweepSpec{spec, volts}, cal, options));
     header.push_back(spec.name() + "  Fn");
   }
 

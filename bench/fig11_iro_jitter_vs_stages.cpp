@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
   ExperimentOptions options;
   options.board_index = 0;
   options.jobs = cli.jobs;
-  JitterVsStagesConfig config;
-  config.mes_periods = 220;
+  JitterSweepSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = stages;
+  sweep.mes_periods = 220;
 
   std::printf("# Fig. 11 reproduction: IRO period jitter vs number of "
               "stages\n");
@@ -36,8 +38,7 @@ int main(int argc, char** argv) {
   bench::print_banner(cli);
   std::printf("\n");
 
-  const auto points =
-      run_jitter_vs_stages(RingKind::iro, stages, cal, options, config);
+  const auto points = run_jitter_vs_stages(sweep, cal, options);
 
   Table table({"k (stages)", "T (ps)", "sigma_p method", "sigma_p truth",
                "sigma_g = sigma_p/sqrt(2k)", "sqrt(2k)*2ps"});

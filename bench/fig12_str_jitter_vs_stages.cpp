@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   ExperimentOptions options;
   options.board_index = 0;
   options.jobs = cli.jobs;
-  JitterVsStagesConfig config;
-  config.mes_periods = 220;
+  JitterSweepSpec sweep;
+  sweep.kind = RingKind::str;
+  sweep.stage_counts = stages;
+  sweep.mes_periods = 220;
 
   std::printf("# Fig. 12 reproduction: STR period jitter vs number of "
               "stages\n");
@@ -41,8 +43,7 @@ int main(int argc, char** argv) {
               "an IRO\n# sqrt(2) sigma_g = %s\n\n",
               fmt_ps(measure::str_sigma_p_ps(cal.sigma_g_ps)).c_str());
 
-  const auto points =
-      run_jitter_vs_stages(RingKind::str, stages, cal, options, config);
+  const auto points = run_jitter_vs_stages(sweep, cal, options);
 
   Table table({"L (stages)", "T (ps)", "sigma_p truth", "method (diffusion)",
                "IRO at same L would give"});

@@ -176,8 +176,8 @@ void BM_ParallelSweep(benchmark::State& state) {
   options.board_index = 0;
   options.jobs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    const auto points =
-        core::run_jitter_vs_stages(core::RingKind::iro, stages, cal, options);
+    const auto points = core::run_jitter_vs_stages(
+        core::JitterSweepSpec{core::RingKind::iro, stages}, cal, options);
     benchmark::DoNotOptimize(points.data());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -203,8 +203,8 @@ void BM_ParallelSweepMetrics(benchmark::State& state) {
   options.board_index = 0;
   options.jobs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    const auto points =
-        core::run_jitter_vs_stages(core::RingKind::iro, stages, cal, options);
+    const auto points = core::run_jitter_vs_stages(
+        core::JitterSweepSpec{core::RingKind::iro, stages}, cal, options);
     benchmark::DoNotOptimize(points.data());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -225,8 +225,8 @@ void BM_ParallelRestart(benchmark::State& state) {
   core::ExperimentOptions options;
   options.jobs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    const auto result =
-        core::run_restart_experiment(spec, cal, 64, 256, options);
+    const auto result = core::run_restart_experiment(
+        core::RestartSpec{spec, 64, 256}, cal, options);
     benchmark::DoNotOptimize(result.points.data());
   }
   state.SetItemsProcessed(state.iterations() * 64);

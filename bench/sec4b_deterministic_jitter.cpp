@@ -23,18 +23,19 @@ using namespace ringent::core;
 
 int main() {
   const auto& cal = cyclone_iii();
-  DeterministicJitterConfig config;  // 50 mV sine @ 2 MHz, 8192 periods
+  DeterministicJitterSpec sweep;  // 50 mV sine @ 2 MHz, 8192 periods
+  sweep.stage_counts = {8, 16, 32, 64};
 
   std::printf("# Sec. IV-B reproduction: deterministic jitter under a "
               "%.0f mV / %.0f MHz supply sine\n\n",
-              config.modulation_amplitude_v * 1e3,
-              config.modulation_frequency_hz * 1e-6);
+              sweep.modulation_amplitude_v * 1e3,
+              sweep.modulation_frequency_hz * 1e-6);
 
-  const std::vector<std::size_t> stages = {8, 16, 32, 64};
   Table table({"Ring", "T (ps)", "det tone (ps)", "tone/T", "random (ps)",
                "det/random"});
   for (RingKind kind : {RingKind::iro, RingKind::str}) {
-    const auto points = run_deterministic_jitter(kind, stages, cal, config);
+    sweep.kind = kind;
+    const auto points = run_deterministic_jitter(sweep, cal);
     for (const auto& p : points) {
       const std::string name = std::string(kind == RingKind::iro ? "IRO " :
                                                                     "STR ") +
@@ -84,7 +85,7 @@ int main() {
         kind == RingKind::iro ? RingSpec::iro(32) : RingSpec::str(32);
     fpga::Supply supply(cal.nominal_voltage);
     supply.set_modulation(fpga::Modulation::sine(
-        config.modulation_amplitude_v, config.modulation_frequency_hz));
+        sweep.modulation_amplitude_v, sweep.modulation_frequency_hz));
     BuildOptions build;
     build.supply = &supply;
     Oscillator osc = Oscillator::build(spec, cal, build);

@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
   for (std::size_t stages : {4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u}) {
     std::size_t tokens = stages / 2;
     if (tokens % 2 == 1) --tokens;
-    const auto map = run_mode_map(stages, {tokens}, cal, options);
+    ModeMapSpec map_spec;
+    map_spec.stages = stages;
+    map_spec.token_counts = {tokens};
+    const auto map = run_mode_map(map_spec, cal, options);
     by_length.add_row({std::to_string(stages), std::to_string(tokens),
                        ring::to_string(map[0].mode),
                        fmt_double(map[0].interval_cv, 4),
@@ -47,7 +50,10 @@ int main(int argc, char** argv) {
   std::printf("claim 2: 32-stage ring, NT sweep (paper verified 10..20):\n");
   std::vector<std::size_t> token_counts;
   for (std::size_t nt = 2; nt <= 30; nt += 2) token_counts.push_back(nt);
-  const auto map = run_mode_map(32, token_counts, cal, options);
+  ModeMapSpec sweep_spec;
+  sweep_spec.stages = 32;
+  sweep_spec.token_counts = token_counts;
+  const auto map = run_mode_map(sweep_spec, cal, options);
   const ring::CharlieParams charlie =
       ring::CharlieParams::symmetric(cal.str_d_static, cal.str_d_charlie);
   const Time routing = cal.str_routing.per_hop_delay(32);

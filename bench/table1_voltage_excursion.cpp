@@ -36,7 +36,8 @@ int main() {
               "0.4 V sweep\n\n");
   Table table({"Ring", "Fn (model)", "Fn (paper)", "dF (model)", "dF (paper)"});
   for (const auto& row : rows) {
-    const auto sweep = run_voltage_sweep(row.spec, cal, volts);
+    const auto sweep =
+        run_voltage_sweep(VoltageSweepSpec{row.spec, volts}, cal);
     table.add_row({row.spec.name(), fmt_mhz(sweep.f_nominal_mhz),
                    fmt_mhz(row.paper_fn_mhz), fmt_percent(sweep.excursion, 1),
                    fmt_percent(row.paper_excursion, 0)});

@@ -49,8 +49,10 @@ int main(int argc, char** argv) {
   Table table({"Ring", "b1 (MHz)", "b2", "b3", "b4", "b5", "sigma_rel (5b)",
                "sigma_rel (25b)", "model expect", "paper"});
   for (const auto& row : rows) {
-    const auto five = run_process_variability(row.spec, cal, 5, options);
-    const auto many = run_process_variability(row.spec, cal, 25, options);
+    const auto five = run_process_variability(
+        ProcessVariabilitySpec{row.spec, 5}, cal, options);
+    const auto many = run_process_variability(
+        ProcessVariabilitySpec{row.spec, 25}, cal, options);
     std::vector<std::string> cells = {row.spec.name()};
     for (const auto& b : five.boards) {
       cells.push_back(fmt_double(b.frequency_mhz, 2));

@@ -26,8 +26,8 @@ int main() {
               "%.0f samples\n\n",
               detune * 100.0, 1.0 / (2.0 * detune));
   for (const RingSpec& spec : {RingSpec::str(96), RingSpec::iro(5)}) {
-    const auto result =
-        run_coherent_across_boards(spec, cal, detune, boards);
+    const auto result = run_coherent_across_boards(
+        CoherentSweepSpec{spec, detune, boards}, cal);
     std::printf("%s pair:\n", spec.name().c_str());
     for (const auto& b : result.boards) {
       std::printf("  board %u: half-beat = %6.0f samples  (implied detune "

@@ -40,9 +40,10 @@ int main() {
         target_entropy, jitter.period_jitter_ps, jitter.mean_period_ps);
     const double rate_kbps = 1e9 / ts.ps();
 
-    const auto sweep =
-        run_voltage_sweep(spec, cal, {1.0, 1.2, 1.4}, {}, 200);
-    const auto process = run_process_variability(spec, cal, 25, {}, 200);
+    const auto sweep = run_voltage_sweep(
+        VoltageSweepSpec{spec, {1.0, 1.2, 1.4}, 200}, cal);
+    const auto process =
+        run_process_variability(ProcessVariabilitySpec{spec, 25, 200}, cal);
 
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.1f kbit/s", rate_kbps);

@@ -7,6 +7,12 @@
 //   ringent_cli predict 32 10            (analytic steady state, no sim)
 //   ringent_cli trng str 24 [--rate-mhz 4] [--bits 16384]
 //   ringent_cli vcd str 16 --out ring.vcd [--tokens 4] [--clustered]
+//   ringent_cli --list                   (enumerate registered experiments)
+//   ringent_cli run <experiment> [--seed S] [--jobs N]
+//
+// `run` dispatches through core::experiment_registry(): it executes the
+// named driver's small default spec with metrics on and prints the run
+// manifest the driver emitted (also written to RINGENT_OUT_DIR or cwd).
 //
 // Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
 #include <algorithm>
@@ -26,7 +32,9 @@
 #include "common/require.hpp"
 #include "core/experiments.hpp"
 #include "core/oscillator.hpp"
+#include "core/registry.hpp"
 #include "core/report.hpp"
+#include "sim/metrics.hpp"
 #include "measure/frequency.hpp"
 #include "ring/analytic.hpp"
 #include "ring/mode.hpp"
@@ -163,7 +171,8 @@ int cmd_sweep_voltage(const Args& args) {
     volts.push_back(v_nom);
     std::sort(volts.begin(), volts.end());
   }
-  const auto sweep = run_voltage_sweep(spec, cyclone_iii(), volts);
+  const auto sweep =
+      run_voltage_sweep(VoltageSweepSpec{spec, volts}, cyclone_iii());
   Table table({"V", "F (MHz)", "Fn"});
   for (const auto& p : sweep.points) {
     table.add_row({fmt_double(p.voltage_v, 2), fmt_double(p.frequency_mhz, 2),
@@ -189,7 +198,8 @@ int cmd_sweep_temperature(const Args& args) {
     temps.push_back(25.0);
     std::sort(temps.begin(), temps.end());
   }
-  const auto sweep = run_temperature_sweep(spec, cyclone_iii(), temps);
+  const auto sweep =
+      run_temperature_sweep(TemperatureSweepSpec{spec, temps}, cyclone_iii());
   Table table({"T (C)", "F (MHz)", "Fn"});
   for (const auto& p : sweep.points) {
     table.add_row({fmt_double(p.temperature_c, 0),
@@ -206,11 +216,14 @@ int cmd_modes(const Args& args) {
       std::strtoul(args.positional().at(0).c_str(), nullptr, 10));
   std::vector<std::size_t> token_counts;
   for (std::size_t nt = 2; nt < stages; nt += 2) token_counts.push_back(nt);
-  const auto map = run_mode_map(
-      stages, token_counts, cyclone_iii(), {},
-      args.flag("clustered") ? ring::TokenPlacement::clustered
-                             : ring::TokenPlacement::evenly_spread,
-      args.number("charlie-scale", 1.0));
+  ModeMapSpec map_spec;
+  map_spec.stages = stages;
+  map_spec.token_counts = token_counts;
+  map_spec.placement = args.flag("clustered")
+                           ? ring::TokenPlacement::clustered
+                           : ring::TokenPlacement::evenly_spread;
+  map_spec.charlie_scale = args.number("charlie-scale", 1.0);
+  const auto map = run_mode_map(map_spec, cyclone_iii());
   Table table({"NT", "mode", "CV", "F (MHz)"});
   for (const auto& e : map) {
     table.add_row({std::to_string(e.tokens), ring::to_string(e.mode),
@@ -299,8 +312,8 @@ int cmd_restart(const Args& args) {
       parse_spec(args.positional().at(0), args.positional().at(1), args);
   const auto restarts = static_cast<unsigned>(args.integer("restarts", 64));
   const auto edges = static_cast<std::size_t>(args.integer("edges", 256));
-  const auto result =
-      run_restart_experiment(spec, cyclone_iii(), restarts, edges);
+  const auto result = run_restart_experiment(RestartSpec{spec, restarts, edges},
+                                             cyclone_iii());
   std::printf("restart technique on %s (%u restarts, %zu edges):\n",
               spec.name().c_str(), restarts, edges);
   std::printf("  same-seed control: %s\n",
@@ -366,6 +379,54 @@ int cmd_vcd(const Args& args) {
   return 0;
 }
 
+int cmd_list() {
+  Table table({"experiment", "summary", "source"});
+  for (const auto& entry : experiment_registry()) {
+    table.add_row({entry.name, entry.summary, entry.source});
+  }
+  std::printf("%s%zu experiments; run one with: ringent_cli run <name>\n",
+              table.str().c_str(), experiment_registry().size());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const std::string& name = args.positional().at(0);
+  const ExperimentDescriptor* exp = find_experiment(name);
+  if (exp == nullptr) {
+    std::fprintf(stderr, "error: unknown experiment '%s' (see --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  ExperimentOptions options;
+  options.seed = static_cast<std::uint64_t>(args.integer("seed", 20120312));
+  options.jobs = static_cast<std::size_t>(args.integer("jobs", 0));
+
+  const RunManifest manifest = exp->run_small(cyclone_iii(), options);
+  std::printf("%s — %s (%s)\n", exp->name.c_str(), exp->summary.c_str(),
+              exp->source.c_str());
+  std::printf("  spec    : %s\n", manifest.spec.c_str());
+  std::printf("  seed    : %llu\n",
+              static_cast<unsigned long long>(manifest.seed));
+  std::printf("  tasks   : %zu across %zu workers\n", manifest.tasks,
+              manifest.jobs);
+  std::printf("  wall    : %.1f ms (cpu %.1f ms)\n", manifest.wall_ms,
+              manifest.cpu_ms);
+  std::printf("  version : %s\n", manifest.version.c_str());
+  std::printf("  counters (non-zero):\n");
+  for (std::size_t i = 0; i < sim::metrics::counter_count; ++i) {
+    const auto counter = static_cast<sim::metrics::Counter>(i);
+    const std::uint64_t value = manifest.metrics.counter(counter);
+    if (value != 0) {
+      const std::string label(sim::metrics::counter_name(counter));
+      std::printf("    %-24s %llu\n", label.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  std::printf("  manifest: %s.manifest.json (in RINGENT_OUT_DIR or cwd)\n",
+              manifest.experiment.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -379,7 +440,9 @@ int usage() {
       "  restart <iro|str> <stages> [--restarts N] [--edges N]\n"
       "  analyze-vcd <file>\n"
       "  vcd str <stages> [--out FILE] [--tokens N] [--clustered] "
-      "[--periods N]\n");
+      "[--periods N]\n"
+      "  --list | list                (registered experiments)\n"
+      "  run <experiment> [--seed S] [--jobs N]\n");
   return 2;
 }
 
@@ -408,6 +471,9 @@ int main(int argc, char** argv) {
       return cmd_analyze_vcd(args);
     if (command == "vcd" && args.positional().size() >= 2)
       return cmd_vcd(args);
+    if (command == "--list" || command == "list") return cmd_list();
+    if (command == "run" && args.positional().size() >= 1)
+      return cmd_run(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -12,6 +12,7 @@
 #include "common/require.hpp"
 #include "common/stats.hpp"
 #include "core/export.hpp"
+#include "core/ring_source.hpp"
 #include "measure/frequency.hpp"
 #include "measure/method.hpp"
 #include "sim/metrics.hpp"
@@ -97,26 +98,24 @@ std::string stage_sweep_label(RingKind kind,
 
 }  // namespace
 
-VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
+VoltageSweepResult run_voltage_sweep(const VoltageSweepSpec& sweep,
                                      const Calibration& calibration,
-                                     const std::vector<double>& voltages,
-                                     const ExperimentOptions& options,
-                                     std::size_t periods) {
-  RINGENT_REQUIRE(!voltages.empty(), "need at least one voltage");
-  const DriverScope driver_scope("voltage_sweep", spec.name(), options,
-                          voltages.size());
+                                     const ExperimentOptions& options) {
+  RINGENT_REQUIRE(!sweep.voltages.empty(), "need at least one voltage");
+  const DriverScope driver_scope("voltage_sweep", sweep.ring.name(), options,
+                          sweep.voltages.size());
   VoltageSweepResult out;
-  out.spec = spec;
+  out.spec = sweep.ring;
 
-  out.points = sim::parallel_map(voltages, options.jobs, [&](double v) {
+  out.points = sim::parallel_map(sweep.voltages, options.jobs, [&](double v) {
     const sim::trace::Span span("V=" + std::to_string(v), "axis");
     fpga::Supply supply(calibration.nominal_voltage);
     supply.set_level(v);
 
     BuildOptions build = base_build_options(options);
     build.supply = &supply;
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(periods);
+    Oscillator osc = Oscillator::build(sweep.ring, calibration, build);
+    osc.run_periods(sweep.periods);
 
     VoltageSweepPoint point;
     point.voltage_v = v;
@@ -143,31 +142,31 @@ VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
   return out;
 }
 
-TemperatureSweepResult run_temperature_sweep(
-    const RingSpec& spec, const Calibration& calibration,
-    const std::vector<double>& temperatures, const ExperimentOptions& options,
-    std::size_t periods) {
-  RINGENT_REQUIRE(!temperatures.empty(), "need at least one temperature");
-  const DriverScope driver_scope("temperature_sweep", spec.name(), options,
-                          temperatures.size());
+TemperatureSweepResult run_temperature_sweep(const TemperatureSweepSpec& sweep,
+                                             const Calibration& calibration,
+                                             const ExperimentOptions& options) {
+  RINGENT_REQUIRE(!sweep.temperatures.empty(), "need at least one temperature");
+  const DriverScope driver_scope("temperature_sweep", sweep.ring.name(),
+                                 options, sweep.temperatures.size());
   TemperatureSweepResult out;
-  out.spec = spec;
+  out.spec = sweep.ring;
 
-  out.points = sim::parallel_map(temperatures, options.jobs, [&](double t) {
-    const sim::trace::Span span("T=" + std::to_string(t), "axis");
-    fpga::Supply supply(calibration.nominal_voltage);
-    supply.set_temperature_c(t);
+  out.points =
+      sim::parallel_map(sweep.temperatures, options.jobs, [&](double t) {
+        const sim::trace::Span span("T=" + std::to_string(t), "axis");
+        fpga::Supply supply(calibration.nominal_voltage);
+        supply.set_temperature_c(t);
 
-    BuildOptions build = base_build_options(options);
-    build.supply = &supply;
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(periods);
+        BuildOptions build = base_build_options(options);
+        build.supply = &supply;
+        Oscillator osc = Oscillator::build(sweep.ring, calibration, build);
+        osc.run_periods(sweep.periods);
 
-    TemperatureSweepPoint point;
-    point.temperature_c = t;
-    point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    return point;
-  });
+        TemperatureSweepPoint point;
+        point.temperature_c = t;
+        point.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+        return point;
+      });
   const sim::metrics::ScopedPhase analyze("analyze");
   for (const auto& point : out.points) {
     if (std::abs(point.temperature_c - 25.0) < 1e-9) {
@@ -188,24 +187,23 @@ TemperatureSweepResult run_temperature_sweep(
 }
 
 ProcessVariabilityResult run_process_variability(
-    const RingSpec& spec, const Calibration& calibration,
-    unsigned board_count, const ExperimentOptions& options,
-    std::size_t periods) {
-  RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
-  const DriverScope driver_scope("process_variability", spec.name(), options,
-                          board_count);
+    const ProcessVariabilitySpec& sweep, const Calibration& calibration,
+    const ExperimentOptions& options) {
+  RINGENT_REQUIRE(sweep.board_count >= 2, "need at least two boards");
+  const DriverScope driver_scope("process_variability", sweep.ring.name(),
+                                 options, sweep.board_count);
   ProcessVariabilityResult out;
-  out.spec = spec;
+  out.spec = sweep.ring;
 
-  out.boards =
-      sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+  out.boards = sim::parallel_index_map(
+      sweep.board_count, options.jobs, [&](std::size_t b) {
         const sim::trace::Span span("board " + std::to_string(b), "axis");
         const fpga::Board board(options.seed, static_cast<unsigned>(b),
                                 calibration.process);
         BuildOptions build = base_build_options(options);
         build.board = &board;
-        Oscillator osc = Oscillator::build(spec, calibration, build);
-        osc.run_periods(periods);
+        Oscillator osc = Oscillator::build(sweep.ring, calibration, build);
+        osc.run_periods(sweep.periods);
 
         BoardFrequency bf;
         bf.board = static_cast<unsigned>(b);
@@ -238,60 +236,59 @@ std::vector<double> collect_periods_ps(const RingSpec& spec,
   return all;
 }
 
-std::vector<JitterPoint> run_jitter_vs_stages(
-    RingKind kind, const std::vector<std::size_t>& stage_counts,
-    const Calibration& calibration, const ExperimentOptions& options,
-    const JitterVsStagesConfig& config) {
+std::vector<JitterPoint> run_jitter_vs_stages(const JitterSweepSpec& sweep,
+                                              const Calibration& calibration,
+                                              const ExperimentOptions& options) {
   const std::size_t ring_periods =
-      (std::size_t{1} << config.divider_n) * (config.mes_periods + 1) + 2;
+      (std::size_t{1} << sweep.divider_n) * (sweep.mes_periods + 1) + 2;
   const DriverScope driver_scope(
-      kind == RingKind::iro ? "jitter_vs_stages_iro" : "jitter_vs_stages_str",
-      stage_sweep_label(kind, stage_counts), options, stage_counts.size());
+      sweep.kind == RingKind::iro ? "jitter_vs_stages_iro"
+                                  : "jitter_vs_stages_str",
+      stage_sweep_label(sweep.kind, sweep.stage_counts), options,
+      sweep.stage_counts.size());
 
-  return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
-    const sim::trace::Span span("k=" + std::to_string(stages), "axis");
-    const RingSpec spec = spec_for(kind, stages);
-    BuildOptions build = base_build_options(options);
-    build.noise_seed = derive_seed(options.seed, "jitter-vs-stages", stages);
-    std::optional<fpga::Board> board;
-    if (options.board_index >= 0) {
-      board.emplace(options.seed, static_cast<unsigned>(options.board_index),
-                    calibration.process);
-      build.board = &*board;
-    }
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(ring_periods);
+  return sim::parallel_map(
+      sweep.stage_counts, options.jobs, [&](std::size_t stages) {
+        const sim::trace::Span span("k=" + std::to_string(stages), "axis");
+        const RingSpec spec = spec_for(sweep.kind, stages);
+        BuildOptions build = base_build_options(options);
+        build.noise_seed =
+            derive_seed(options.seed, "jitter-vs-stages", stages);
+        std::optional<fpga::Board> board;
+        if (options.board_index >= 0) {
+          board.emplace(options.seed,
+                        static_cast<unsigned>(options.board_index),
+                        calibration.process);
+          build.board = &*board;
+        }
+        Oscillator osc = Oscillator::build(spec, calibration, build);
+        osc.run_periods(ring_periods);
 
-    const std::vector<Time> edges = osc.output().rising_edges();
+        const std::vector<Time> edges = osc.output().rising_edges();
 
-    const sim::metrics::ScopedPhase analyze("analyze");
-    measure::OscilloscopeConfig scope_config = calibration.scope;
-    scope_config.seed = derive_seed(options.seed, "scope", stages);
-    measure::Oscilloscope scope(scope_config);
-    const measure::JitterMethodResult method =
-        measure::measure_sigma_p(edges, config.divider_n, scope);
+        const sim::metrics::ScopedPhase analyze("analyze");
+        measure::OscilloscopeConfig scope_config = calibration.scope;
+        scope_config.seed = derive_seed(options.seed, "scope", stages);
+        measure::Oscilloscope scope(scope_config);
+        const measure::JitterMethodResult method =
+            measure::measure_sigma_p(edges, sweep.divider_n, scope);
 
-    JitterPoint point;
-    point.stages = stages;
-    point.mean_period_ps = method.mean_period_ps;
-    point.sigma_p_ps = method.sigma_p_ps;
-    point.sigma_g_ps = measure::iro_sigma_g_ps(method.sigma_p_ps, stages);
-    point.sigma_direct_ps =
-        describe(analysis::periods_ps(edges)).stddev();
-    return point;
-  });
+        JitterPoint point;
+        point.stages = stages;
+        point.mean_period_ps = method.mean_period_ps;
+        point.sigma_p_ps = method.sigma_p_ps;
+        point.sigma_g_ps = measure::iro_sigma_g_ps(method.sigma_p_ps, stages);
+        point.sigma_direct_ps = describe(analysis::periods_ps(edges)).stddev();
+        return point;
+      });
 }
 
-std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
-                                       const std::vector<std::size_t>& token_counts,
+std::vector<ModeMapEntry> run_mode_map(const ModeMapSpec& map,
                                        const Calibration& calibration,
-                                       const ExperimentOptions& options,
-                                       ring::TokenPlacement placement,
-                                       double charlie_scale,
-                                       std::size_t periods) {
-  RINGENT_REQUIRE(charlie_scale >= 0.0, "negative charlie scale");
+                                       const ExperimentOptions& options) {
+  RINGENT_REQUIRE(map.charlie_scale >= 0.0, "negative charlie scale");
   Calibration scaled = calibration;
-  scaled.str_d_charlie = calibration.str_d_charlie.scaled(charlie_scale);
+  scaled.str_d_charlie = calibration.str_d_charlie.scaled(map.charlie_scale);
   if (scaled.str_d_charlie.is_zero()) {
     // A strictly zero Charlie magnitude makes the delay curve piecewise
     // linear; keep a hair of smoothing for numerical sanity.
@@ -299,62 +296,63 @@ std::vector<ModeMapEntry> run_mode_map(std::size_t stages,
   }
 
   const DriverScope driver_scope(
-      "mode_map", "STR " + std::to_string(stages) + " stages", options,
-      token_counts.size());
-  return sim::parallel_map(token_counts, options.jobs, [&](std::size_t tokens) {
-    const sim::trace::Span span("NT=" + std::to_string(tokens), "axis");
-    const RingSpec spec = RingSpec::str(stages, tokens, placement);
-    BuildOptions build = base_build_options(options);
-    build.noise_seed = derive_seed(options.seed, "mode-map", tokens);
-    Oscillator osc = Oscillator::build(spec, scaled, build);
-    osc.run_periods(periods);
+      "mode_map", "STR " + std::to_string(map.stages) + " stages", options,
+      map.token_counts.size());
+  return sim::parallel_map(
+      map.token_counts, options.jobs, [&](std::size_t tokens) {
+        const sim::trace::Span span("NT=" + std::to_string(tokens), "axis");
+        const RingSpec spec = RingSpec::str(map.stages, tokens, map.placement);
+        BuildOptions build = base_build_options(options);
+        build.noise_seed = derive_seed(options.seed, "mode-map", tokens);
+        Oscillator osc = Oscillator::build(spec, scaled, build);
+        osc.run_periods(map.periods);
 
-    const sim::metrics::ScopedPhase analyze("analyze");
-    std::vector<Time> transition_times;
-    transition_times.reserve(osc.output().transitions().size());
-    for (const auto& tr : osc.output().transitions()) {
-      transition_times.push_back(tr.at);
-    }
-    const ring::ModeAnalysis analysis = ring::classify_mode(transition_times);
+        const sim::metrics::ScopedPhase analyze("analyze");
+        std::vector<Time> transition_times;
+        transition_times.reserve(osc.output().transitions().size());
+        for (const auto& tr : osc.output().transitions()) {
+          transition_times.push_back(tr.at);
+        }
+        const ring::ModeAnalysis analysis =
+            ring::classify_mode(transition_times);
 
-    ModeMapEntry entry;
-    entry.tokens = tokens;
-    entry.mode = analysis.mode;
-    entry.interval_cv = analysis.interval_cv;
-    entry.frequency_mhz = measure::mean_frequency_mhz(osc.output());
-    return entry;
-  });
+        ModeMapEntry entry;
+        entry.tokens = tokens;
+        entry.mode = analysis.mode;
+        entry.interval_cv = analysis.interval_cv;
+        entry.frequency_mhz = measure::mean_frequency_mhz(osc.output());
+        return entry;
+      });
 }
 
-RestartResult run_restart_experiment(const RingSpec& spec,
+RestartResult run_restart_experiment(const RestartSpec& restart,
                                      const Calibration& calibration,
-                                     unsigned restarts, std::size_t edges,
                                      const ExperimentOptions& options) {
-  RINGENT_REQUIRE(restarts >= 8, "need at least 8 restarts");
-  RINGENT_REQUIRE(edges >= 8, "need at least 8 edges");
-  const DriverScope driver_scope("restart", spec.name(), options,
-                                 restarts + 1);
+  RINGENT_REQUIRE(restart.restarts >= 8, "need at least 8 restarts");
+  RINGENT_REQUIRE(restart.edges >= 8, "need at least 8 edges");
+  const DriverScope driver_scope("restart", restart.ring.name(), options,
+                                 restart.restarts + 1);
   RestartResult out;
-  out.spec = spec;
+  out.spec = restart.ring;
 
   const auto run_edges = [&](std::uint64_t noise_seed) {
     BuildOptions build = base_build_options(options);
     build.noise_seed = noise_seed;
     build.warmup_periods = 0;  // restarts observe the transient by design
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(edges + 2);
+    Oscillator osc = Oscillator::build(restart.ring, calibration, build);
+    osc.run_periods(restart.edges + 2);
     auto out_edges = osc.output().rising_edges();
-    out_edges.resize(edges);
+    out_edges.resize(restart.edges);
     return out_edges;
   };
 
   // t_k across restarts with independent noise streams, plus one extra task
   // that re-runs restart 0's seed: the control — identical seeds must
   // collapse to zero divergence.
-  std::vector<std::vector<Time>> runs =
-      sim::parallel_index_map(restarts + 1, options.jobs, [&](std::size_t r) {
+  std::vector<std::vector<Time>> runs = sim::parallel_index_map(
+      restart.restarts + 1, options.jobs, [&](std::size_t r) {
         const sim::trace::Span span("restart " + std::to_string(r), "axis");
-        const std::uint64_t index = r < restarts ? r : 0;
+        const std::uint64_t index = r < restart.restarts ? r : 0;
         return run_edges(derive_seed(options.seed, "restart", index));
       });
   const sim::metrics::ScopedPhase analyze("analyze");
@@ -362,7 +360,8 @@ RestartResult run_restart_experiment(const RingSpec& spec,
   runs.pop_back();
 
   std::vector<double> ks, spreads;
-  for (std::size_t k = 0; k < edges; k += std::max<std::size_t>(1, edges / 32)) {
+  for (std::size_t k = 0; k < restart.edges;
+       k += std::max<std::size_t>(1, restart.edges / 32)) {
     SampleStats stats;
     for (const auto& run : runs) stats.add(run[k].ps());
     RestartPoint point;
@@ -378,23 +377,20 @@ RestartResult run_restart_experiment(const RingSpec& spec,
   return out;
 }
 
-CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
+CoherentSweepResult run_coherent_across_boards(const CoherentSweepSpec& sweep,
                                                const Calibration& calibration,
-                                               double design_detune,
-                                               unsigned board_count,
-                                               const ExperimentOptions& options,
-                                               std::size_t periods) {
-  RINGENT_REQUIRE(design_detune > 0.0 && design_detune < 0.2,
+                                               const ExperimentOptions& options) {
+  RINGENT_REQUIRE(sweep.design_detune > 0.0 && sweep.design_detune < 0.2,
                   "design detune out of (0, 0.2)");
-  RINGENT_REQUIRE(board_count >= 2, "need at least two boards");
-  const DriverScope driver_scope("coherent_boards", spec.name(), options,
-                                 board_count);
+  RINGENT_REQUIRE(sweep.board_count >= 2, "need at least two boards");
+  const DriverScope driver_scope("coherent_boards", sweep.ring.name(), options,
+                                 sweep.board_count);
   CoherentSweepResult out;
-  out.spec = spec;
-  out.design_detune = design_detune;
+  out.spec = sweep.ring;
+  out.design_detune = sweep.design_detune;
 
-  out.boards =
-      sim::parallel_index_map(board_count, options.jobs, [&](std::size_t b) {
+  out.boards = sim::parallel_index_map(
+      sweep.board_count, options.jobs, [&](std::size_t b) {
         const sim::trace::Span span("board " + std::to_string(b), "axis");
         const fpga::Board board(options.seed, static_cast<unsigned>(b),
                                 calibration.process);
@@ -402,16 +398,16 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
         BuildOptions b0 = base_build_options(options);
         b0.board = &board;
         b0.lut_base = 0;
-        Oscillator osc0 = Oscillator::build(spec, calibration, b0);
+        Oscillator osc0 = Oscillator::build(sweep.ring, calibration, b0);
 
         BuildOptions b1 = base_build_options(options);
         b1.board = &board;
         b1.lut_base = 128;
-        b1.delay_scale = 1.0 + design_detune;
-        Oscillator osc1 = Oscillator::build(spec, calibration, b1);
+        b1.delay_scale = 1.0 + sweep.design_detune;
+        Oscillator osc1 = Oscillator::build(sweep.ring, calibration, b1);
 
-        osc0.run_periods(periods);
-        osc1.run_periods(periods);
+        osc0.run_periods(sweep.periods);
+        osc1.run_periods(sweep.periods);
 
         const sim::metrics::ScopedPhase analyze("analyze");
         const auto result = trng::coherent_sampling_bits(
@@ -431,7 +427,8 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
   for (const auto& row : out.boards) {
     detunes.add(row.implied_detune);
     out.worst_deviation = std::max(
-        out.worst_deviation, std::abs(row.implied_detune - design_detune));
+        out.worst_deviation,
+        std::abs(row.implied_detune - sweep.design_detune));
   }
   out.detune_mean = detunes.mean();
   out.detune_sigma = detunes.stddev();
@@ -439,51 +436,201 @@ CoherentSweepResult run_coherent_across_boards(const RingSpec& spec,
 }
 
 std::vector<DeterministicJitterPoint> run_deterministic_jitter(
-    RingKind kind, const std::vector<std::size_t>& stage_counts,
-    const Calibration& calibration, const DeterministicJitterConfig& config,
+    const DeterministicJitterSpec& sweep, const Calibration& calibration,
     const ExperimentOptions& options) {
-  const DriverScope driver_scope(kind == RingKind::iro
-                                     ? "deterministic_jitter_iro"
-                                     : "deterministic_jitter_str",
-                                 stage_sweep_label(kind, stage_counts), options,
-                                 stage_counts.size());
-  return sim::parallel_map(stage_counts, options.jobs, [&](std::size_t stages) {
-    const sim::trace::Span span("k=" + std::to_string(stages), "axis");
-    const RingSpec spec = spec_for(kind, stages);
+  const DriverScope driver_scope(
+      sweep.kind == RingKind::iro ? "deterministic_jitter_iro"
+                                  : "deterministic_jitter_str",
+      stage_sweep_label(sweep.kind, sweep.stage_counts), options,
+      sweep.stage_counts.size());
+  return sim::parallel_map(
+      sweep.stage_counts, options.jobs, [&](std::size_t stages) {
+        const sim::trace::Span span("k=" + std::to_string(stages), "axis");
+        const RingSpec spec = spec_for(sweep.kind, stages);
 
-    fpga::Supply supply(calibration.nominal_voltage);
-    supply.set_modulation(fpga::Modulation::sine(
-        config.modulation_amplitude_v, config.modulation_frequency_hz));
+        fpga::Supply supply(calibration.nominal_voltage);
+        supply.set_modulation(fpga::Modulation::sine(
+            sweep.modulation_amplitude_v, sweep.modulation_frequency_hz));
 
-    BuildOptions build = base_build_options(options);
-    build.supply = &supply;
-    build.noise_seed = derive_seed(options.seed, "det-jitter", stages);
-    Oscillator osc = Oscillator::build(spec, calibration, build);
-    osc.run_periods(config.periods);
+        BuildOptions build = base_build_options(options);
+        build.supply = &supply;
+        build.noise_seed = derive_seed(options.seed, "det-jitter", stages);
+        Oscillator osc = Oscillator::build(spec, calibration, build);
+        osc.run_periods(sweep.periods);
+
+        const sim::metrics::ScopedPhase analyze("analyze");
+        std::vector<double> periods = analysis::periods_ps(osc.output());
+        if (periods.size() > sweep.periods) periods.resize(sweep.periods);
+
+        DeterministicJitterPoint point;
+        point.stages = stages;
+        point.mean_period_ps = describe(periods).mean();
+        // The tone sits at f_mod expressed in cycles per period sample.
+        const double tone_freq =
+            sweep.modulation_frequency_hz * point.mean_period_ps * 1e-12;
+        point.tone_ps = analysis::tone_amplitude(periods, tone_freq);
+        point.tone_relative = point.tone_ps / point.mean_period_ps;
+
+        // Residual random jitter with the deterministic tone subtracted; the
+        // cycle-to-cycle statistic then also suppresses what little slow
+        // residue the single-tone fit leaves (sigma_cc = sqrt(2) *
+        // sigma_white).
+        const std::vector<double> residual =
+            analysis::remove_tone(periods, tone_freq);
+        const analysis::JitterSummary summary =
+            analysis::summarize_jitter(residual);
+        point.random_ps = summary.cycle_to_cycle_jitter_ps / std::sqrt(2.0);
+        return point;
+      });
+}
+
+AttackResilienceSpec AttackResilienceSpec::paper_default() {
+  using noise::FaultEvent;
+  using noise::FaultScenario;
+  const Time us = Time::from_us(1.0);
+
+  AttackResilienceSpec spec;
+  // The attack study claims H = 0.3 per raw bit (the certification study's
+  // conditioned floor), giving an RCT cutoff of 68 and an APT cutoff of 887
+  // over 1024-bit windows. The healthy APT count sits near 512 +- 16, so the
+  // suspect threshold must clear 0.8x the cutoff to avoid flapping.
+  spec.policy.claimed_min_entropy = 0.3;
+  spec.policy.suspect_fraction = 0.8;
+
+  // The tone amplitude is tuned (noise-free bisection) so the trough supply
+  // level parks the 25-stage IRO's sampled beat f*Ts at 16.000: the
+  // attacker's lock-in point. At the same amplitude the 24-stage STR's beat
+  // stays ~0.26-0.30 periods from the nearest integer at both tone extremes.
+  const double lock_amp_v = 0.103715;
+
+  FaultScenario quiet;  // named "quiet" by default; no events
+
+  FaultScenario tone;
+  tone.name = "supply-tone";
+  tone.events.push_back(
+      FaultEvent::tone(us * 100, us * 700, lock_amp_v, 2000.0));
+
+  FaultScenario brownout;
+  brownout.name = "brown-out";
+  brownout.events.push_back(FaultEvent::ramp(us * 150, us * 250, -lock_amp_v));
+  brownout.events.push_back(
+      FaultEvent::brownout(us * 250, us * 650, lock_amp_v));
+
+  FaultScenario stuck;
+  stuck.name = "stuck-stage";
+  stuck.events.push_back(FaultEvent::stuck(us * 100, us * 900, 3));
+
+  FaultScenario drift;
+  drift.name = "delay-drift";
+  drift.events.push_back(FaultEvent::drift(us * 100, us * 900, 60.0));
+
+  FaultScenario kick;
+  kick.name = "mode-kick";
+  kick.events.push_back(FaultEvent::kick(us * 200, us * 400, 80.0, 12));
+
+  spec.scenarios = {quiet, tone, brownout, stuck, drift, kick};
+  return spec;
+}
+
+AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
+                                             const Calibration& calibration,
+                                             const ExperimentOptions& options) {
+  RINGENT_REQUIRE(!spec.rings.empty(), "need at least one ring");
+  RINGENT_REQUIRE(!spec.scenarios.empty(), "need at least one scenario");
+  RINGENT_REQUIRE(spec.total_bits > 0, "need a positive bit budget");
+  RINGENT_REQUIRE(spec.sampling_period > Time::zero(),
+                  "need a positive sampling period");
+  for (const auto& scenario : spec.scenarios) scenario.validate();
+
+  std::string label;
+  for (const auto& ring : spec.rings) {
+    if (!label.empty()) label += " + ";
+    label += ring.name();
+  }
+  label += " x " + std::to_string(spec.scenarios.size()) + " scenarios";
+
+  const std::size_t cells = spec.rings.size() * spec.scenarios.size();
+  const DriverScope driver_scope("attack_resilience", label, options, cells);
+
+  AttackResilienceResult out;
+  out.cells = sim::parallel_index_map(cells, options.jobs, [&](std::size_t i) {
+    const RingSpec& ring = spec.rings[i / spec.scenarios.size()];
+    const noise::FaultScenario& scenario =
+        spec.scenarios[i % spec.scenarios.size()];
+    const sim::trace::Span span(ring.name() + " / " + scenario.name, "axis");
+
+    RingSourceConfig config;
+    config.spec = ring;
+    config.sampling_period = spec.sampling_period;
+    config.seed = derive_seed(options.seed, "attack", i);
+    config.warmup_periods = options.warmup_periods;
+    config.supply_nominal_v = calibration.nominal_voltage;
+    config.regulator = spec.regulator;
+    RingBitSource primary(config, calibration, scenario);
+
+    // The backup ring shares the rail (supply faults are common-mode across
+    // the die) but not the primary's stage-local faults.
+    std::optional<RingBitSource> backup;
+    if (spec.with_backup) {
+      RingSourceConfig backup_config = config;
+      backup_config.seed = derive_seed(options.seed, "attack-backup", i);
+      backup.emplace(backup_config, calibration, scenario.supply_only());
+    }
+
+    trng::ResilientGenerator generator(primary, backup ? &*backup : nullptr,
+                                       spec.policy);
+
+    // Phase 1 spans the scenario's fault windows; phase 2 is the post-attack
+    // health check on whatever budget remains.
+    const double end_samples = scenario.end() / spec.sampling_period;
+    const std::size_t attack_bits = std::min<std::size_t>(
+        spec.total_bits, static_cast<std::size_t>(std::ceil(end_samples)));
+    generator.generate(attack_bits);
+    const auto after = generator.generate(spec.total_bits - attack_bits);
 
     const sim::metrics::ScopedPhase analyze("analyze");
-    std::vector<double> periods = analysis::periods_ps(osc.output());
-    if (periods.size() > config.periods) periods.resize(config.periods);
-
-    DeterministicJitterPoint point;
-    point.stages = stages;
-    point.mean_period_ps = describe(periods).mean();
-    // The tone sits at f_mod expressed in cycles per period sample.
-    const double tone_freq =
-        config.modulation_frequency_hz * point.mean_period_ps * 1e-12;
-    point.tone_ps = analysis::tone_amplitude(periods, tone_freq);
-    point.tone_relative = point.tone_ps / point.mean_period_ps;
-
-    // Residual random jitter with the deterministic tone subtracted; the
-    // cycle-to-cycle statistic then also suppresses what little slow residue
-    // the single-tone fit leaves (sigma_cc = sqrt(2) * sigma_white).
-    const std::vector<double> residual =
-        analysis::remove_tone(periods, tone_freq);
-    const analysis::JitterSummary summary =
-        analysis::summarize_jitter(residual);
-    point.random_ps = summary.cycle_to_cycle_jitter_ps / std::sqrt(2.0);
-    return point;
+    const trng::ResilientStats& stats = generator.stats();
+    AttackResilienceCell cell;
+    cell.ring = ring;
+    cell.scenario = scenario.name;
+    cell.final_state = generator.state();
+    cell.raw_bits = stats.bits_in;
+    cell.emitted_bits = stats.bits_out;
+    cell.muted_bits = stats.bits_muted;
+    cell.muted_fraction =
+        stats.bits_in == 0 ? 0.0
+                           : static_cast<double>(stats.bits_muted) /
+                                 static_cast<double>(stats.bits_in);
+    if (stats.alarmed) {
+      cell.detection_latency_bits =
+          static_cast<std::int64_t>(stats.first_alarm_bit);
+      if (stats.recovered) {
+        cell.recovery_bits = static_cast<std::int64_t>(stats.recovered_bit -
+                                                       stats.first_alarm_bit);
+      }
+    }
+    cell.rct_alarms = stats.rct_alarms;
+    cell.apt_alarms = stats.apt_alarms;
+    cell.relock_attempts = stats.relock_attempts;
+    cell.failovers = stats.failovers;
+    cell.fault_activations =
+        primary.injector().activations() +
+        (backup ? backup->injector().activations() : 0);
+    cell.post_attack_bits = after.size();
+    if (!after.empty()) {
+      std::size_t ones = 0;
+      for (std::uint8_t b : after) ones += b;
+      cell.post_attack_bias =
+          static_cast<double>(ones) / static_cast<double>(after.size());
+    }
+    cell.transitions = generator.transitions();
+    return cell;
   });
+
+  for (const auto& cell : out.cells) {
+    out.total_transitions += cell.transitions.size();
+  }
+  return out;
 }
 
 }  // namespace ringent::core

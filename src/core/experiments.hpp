@@ -4,16 +4,31 @@
 // event kernel, measures through the instrument models, and returns a plain
 // result struct. The bench binaries (bench/) only format these results into
 // the paper's tables and figures; the test suite asserts their shapes.
+//
+// Every driver has the same canonical signature:
+//
+//   run_X(const XSpec& spec, const Calibration& calibration,
+//         const ExperimentOptions& options = {});
+//
+// XSpec declares WHAT to run (rings, sweep axes, durations — the science);
+// ExperimentOptions declares HOW to run it (seed, jobs, noise toggle — the
+// execution policy). The historical signatures with trailing positional
+// knobs remain as thin deprecated wrappers; new code and the experiment
+// registry (core/registry.hpp) use the spec forms exclusively.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/jitter.hpp"
 #include "core/calibration.hpp"
 #include "core/oscillator.hpp"
 #include "core/spec.hpp"
+#include "fpga/supply.hpp"
+#include "noise/fault.hpp"
 #include "ring/mode.hpp"
+#include "trng/resilient.hpp"
 
 namespace ringent::core {
 
@@ -52,13 +67,28 @@ struct VoltageSweepResult {
   std::vector<VoltageSweepPoint> points;
 };
 
+struct VoltageSweepSpec {
+  RingSpec ring;
+  /// Supply levels to visit; must include `calibration.nominal_voltage`
+  /// (Fn's reference).
+  std::vector<double> voltages;
+  std::size_t periods = 400;
+};
+
 /// Measure ring frequency at each supply level (Fn normalized at
-/// `calibration.nominal_voltage`, which must be among `voltages`).
-VoltageSweepResult run_voltage_sweep(const RingSpec& spec,
+/// `calibration.nominal_voltage`).
+VoltageSweepResult run_voltage_sweep(const VoltageSweepSpec& spec,
                                      const Calibration& calibration,
-                                     const std::vector<double>& voltages,
-                                     const ExperimentOptions& options = {},
-                                     std::size_t periods = 400);
+                                     const ExperimentOptions& options = {});
+
+[[deprecated("pass a VoltageSweepSpec")]] inline VoltageSweepResult
+run_voltage_sweep(const RingSpec& spec, const Calibration& calibration,
+                  const std::vector<double>& voltages,
+                  const ExperimentOptions& options = {},
+                  std::size_t periods = 400) {
+  return run_voltage_sweep(VoltageSweepSpec{spec, voltages, periods},
+                           calibration, options);
+}
 
 // --- extension: sensitivity to temperature ----------------------------------
 
@@ -75,12 +105,27 @@ struct TemperatureSweepResult {
   std::vector<TemperatureSweepPoint> points;
 };
 
+struct TemperatureSweepSpec {
+  RingSpec ring;
+  /// Die temperatures to visit; must include 25 C (the normalization point).
+  std::vector<double> temperatures;
+  std::size_t periods = 400;
+};
+
 /// Frequency vs die temperature at nominal voltage (extension: the paper's
-/// ref [1] attack surface; 25 C must be among `temperatures`).
+/// ref [1] attack surface).
 TemperatureSweepResult run_temperature_sweep(
-    const RingSpec& spec, const Calibration& calibration,
-    const std::vector<double>& temperatures,
-    const ExperimentOptions& options = {}, std::size_t periods = 400);
+    const TemperatureSweepSpec& spec, const Calibration& calibration,
+    const ExperimentOptions& options = {});
+
+[[deprecated("pass a TemperatureSweepSpec")]] inline TemperatureSweepResult
+run_temperature_sweep(const RingSpec& spec, const Calibration& calibration,
+                      const std::vector<double>& temperatures,
+                      const ExperimentOptions& options = {},
+                      std::size_t periods = 400) {
+  return run_temperature_sweep(
+      TemperatureSweepSpec{spec, temperatures, periods}, calibration, options);
+}
 
 // --- Table II: sensitivity to process variability --------------------------
 
@@ -96,12 +141,27 @@ struct ProcessVariabilityResult {
   double sigma_rel = 0.0;  ///< relative standard deviation across boards
 };
 
+struct ProcessVariabilitySpec {
+  RingSpec ring;
+  unsigned board_count = 5;
+  std::size_t periods = 400;
+};
+
 /// Load "the same bitstream" into `board_count` simulated boards and compare
 /// ring frequencies (paper Sec. V-C).
 ProcessVariabilityResult run_process_variability(
-    const RingSpec& spec, const Calibration& calibration,
-    unsigned board_count = 5, const ExperimentOptions& options = {},
-    std::size_t periods = 400);
+    const ProcessVariabilitySpec& spec, const Calibration& calibration,
+    const ExperimentOptions& options = {});
+
+[[deprecated("pass a ProcessVariabilitySpec")]] inline ProcessVariabilityResult
+run_process_variability(const RingSpec& spec, const Calibration& calibration,
+                        unsigned board_count = 5,
+                        const ExperimentOptions& options = {},
+                        std::size_t periods = 400) {
+  return run_process_variability(
+      ProcessVariabilitySpec{spec, board_count, periods}, calibration,
+      options);
+}
 
 // --- Figs. 9, 11, 12: jitter -------------------------------------------------
 
@@ -124,13 +184,31 @@ struct JitterVsStagesConfig {
   std::size_t mes_periods = 150; ///< osc_mes periods per point
 };
 
+struct JitterSweepSpec {
+  RingKind kind = RingKind::iro;
+  std::vector<std::size_t> stage_counts;
+  unsigned divider_n = 8;         ///< divide by 2^n in the measurement method
+  std::size_t mes_periods = 150;  ///< osc_mes periods per point
+};
+
 /// Period jitter as a function of the number of stages, measured through the
 /// full instrument chain (divider + oscilloscope + Eq. 6), one point per
 /// entry of `stage_counts`. For RingKind::str, NT = NB.
 std::vector<JitterPoint> run_jitter_vs_stages(
-    RingKind kind, const std::vector<std::size_t>& stage_counts,
-    const Calibration& calibration, const ExperimentOptions& options = {},
-    const JitterVsStagesConfig& config = {});
+    const JitterSweepSpec& spec, const Calibration& calibration,
+    const ExperimentOptions& options = {});
+
+[[deprecated("pass a JitterSweepSpec")]] inline std::vector<JitterPoint>
+run_jitter_vs_stages(RingKind kind,
+                     const std::vector<std::size_t>& stage_counts,
+                     const Calibration& calibration,
+                     const ExperimentOptions& options = {},
+                     const JitterVsStagesConfig& config = {}) {
+  return run_jitter_vs_stages(
+      JitterSweepSpec{kind, stage_counts, config.divider_n,
+                      config.mes_periods},
+      calibration, options);
+}
 
 // --- Fig. 5 / Sec. V-A: oscillation modes -----------------------------------
 
@@ -141,15 +219,31 @@ struct ModeMapEntry {
   double frequency_mhz = 0.0;
 };
 
+struct ModeMapSpec {
+  std::size_t stages = 32;
+  std::vector<std::size_t> token_counts;
+  ring::TokenPlacement placement = ring::TokenPlacement::clustered;
+  /// Charlie magnitude scale (ablation knob); 1.0 = calibrated value.
+  double charlie_scale = 1.0;
+  std::size_t periods = 600;
+};
+
 /// Classify the steady-state mode for each token count of an L-stage STR
-/// (paper Sec. V-A: L=32 locks evenly spaced for NT = 10..20). Charlie
-/// magnitude can be scaled to probe the locking mechanism (ablation);
-/// 1.0 = calibrated value.
-std::vector<ModeMapEntry> run_mode_map(
-    std::size_t stages, const std::vector<std::size_t>& token_counts,
-    const Calibration& calibration, const ExperimentOptions& options = {},
-    ring::TokenPlacement placement = ring::TokenPlacement::clustered,
-    double charlie_scale = 1.0, std::size_t periods = 600);
+/// (paper Sec. V-A: L=32 locks evenly spaced for NT = 10..20).
+std::vector<ModeMapEntry> run_mode_map(const ModeMapSpec& spec,
+                                       const Calibration& calibration,
+                                       const ExperimentOptions& options = {});
+
+[[deprecated("pass a ModeMapSpec")]] inline std::vector<ModeMapEntry>
+run_mode_map(std::size_t stages, const std::vector<std::size_t>& token_counts,
+             const Calibration& calibration,
+             const ExperimentOptions& options = {},
+             ring::TokenPlacement placement = ring::TokenPlacement::clustered,
+             double charlie_scale = 1.0, std::size_t periods = 600) {
+  return run_mode_map(
+      ModeMapSpec{stages, token_counts, placement, charlie_scale, periods},
+      calibration, options);
+}
 
 // --- extension: the restart technique ----------------------------------------
 
@@ -168,6 +262,12 @@ struct RestartResult {
   bool control_identical = false;
 };
 
+struct RestartSpec {
+  RingSpec ring;
+  unsigned restarts = 64;
+  std::size_t edges = 256;
+};
+
 /// The restart technique (standard TRNG entropy validation): run the ring
 /// `restarts` times from the SAME initial state with independent noise and
 /// measure how the k-th edge time spreads across runs. True (thermal)
@@ -175,11 +275,17 @@ struct RestartResult {
 /// identically (the same-seed control). The fitted diffusion must agree
 /// with the divided-clock readout of Figs. 11/12 — two entirely different
 /// estimators of the same quantity.
-RestartResult run_restart_experiment(const RingSpec& spec,
+RestartResult run_restart_experiment(const RestartSpec& spec,
                                      const Calibration& calibration,
-                                     unsigned restarts = 64,
-                                     std::size_t edges = 256,
                                      const ExperimentOptions& options = {});
+
+[[deprecated("pass a RestartSpec")]] inline RestartResult
+run_restart_experiment(const RingSpec& spec, const Calibration& calibration,
+                       unsigned restarts = 64, std::size_t edges = 256,
+                       const ExperimentOptions& options = {}) {
+  return run_restart_experiment(RestartSpec{spec, restarts, edges},
+                                calibration, options);
+}
 
 // --- conclusion / ref [7]: coherent sampling across devices -----------------
 
@@ -200,15 +306,33 @@ struct CoherentSweepResult {
   double worst_deviation = 0.0;  ///< max |implied - design|
 };
 
+struct CoherentSweepSpec {
+  RingSpec ring;
+  /// The sampling ring's design slowdown (e.g. 0.01 for 1%).
+  double design_detune = 0.01;
+  unsigned board_count = 5;
+  std::size_t periods = 60000;
+};
+
 /// Build a coherent-sampling pair (ring + delay_scale-detuned sampling ring
 /// on different LUTs of the same board) on each of `board_count` boards and
 /// measure the beat window — the Table II consequence the paper's
-/// conclusion highlights. `design_detune` is the sampling ring's design
-/// slowdown (e.g. 0.01 for 1%).
+/// conclusion highlights.
 CoherentSweepResult run_coherent_across_boards(
-    const RingSpec& spec, const Calibration& calibration,
-    double design_detune = 0.01, unsigned board_count = 5,
-    const ExperimentOptions& options = {}, std::size_t periods = 60000);
+    const CoherentSweepSpec& spec, const Calibration& calibration,
+    const ExperimentOptions& options = {});
+
+[[deprecated("pass a CoherentSweepSpec")]] inline CoherentSweepResult
+run_coherent_across_boards(const RingSpec& spec,
+                           const Calibration& calibration,
+                           double design_detune = 0.01,
+                           unsigned board_count = 5,
+                           const ExperimentOptions& options = {},
+                           std::size_t periods = 60000) {
+  return run_coherent_across_boards(
+      CoherentSweepSpec{spec, design_detune, board_count, periods},
+      calibration, options);
+}
 
 // --- Sec. IV-B: global deterministic jitter ---------------------------------
 
@@ -226,14 +350,121 @@ struct DeterministicJitterConfig {
   std::size_t periods = 8192;
 };
 
+struct DeterministicJitterSpec {
+  RingKind kind = RingKind::iro;
+  std::vector<std::size_t> stage_counts;
+  double modulation_amplitude_v = 0.05;
+  double modulation_frequency_hz = 2.0e6;
+  std::size_t periods = 8192;
+};
+
 /// Apply a sinusoidal supply modulation and measure the deterministic tone
 /// it leaves in the period sequence, per ring length. The paper's claim:
 /// the IRO tone grows with the stage count (linear accumulation over 2k
 /// crossings) while the STR tone does not.
 std::vector<DeterministicJitterPoint> run_deterministic_jitter(
-    RingKind kind, const std::vector<std::size_t>& stage_counts,
-    const Calibration& calibration,
-    const DeterministicJitterConfig& config = {},
+    const DeterministicJitterSpec& spec, const Calibration& calibration,
+    const ExperimentOptions& options = {});
+
+[[deprecated("pass a DeterministicJitterSpec")]] inline std::vector<
+    DeterministicJitterPoint>
+run_deterministic_jitter(RingKind kind,
+                         const std::vector<std::size_t>& stage_counts,
+                         const Calibration& calibration,
+                         const DeterministicJitterConfig& config = {},
+                         const ExperimentOptions& options = {}) {
+  return run_deterministic_jitter(
+      DeterministicJitterSpec{kind, stage_counts, config.modulation_amplitude_v,
+                              config.modulation_frequency_hz, config.periods},
+      calibration, options);
+}
+
+// --- attack resilience: fault injection + online-health degradation ----------
+
+struct AttackResilienceSpec {
+  /// Topologies under attack; the paper comparison pairs an IRO with a
+  /// matched-footprint STR on the same rail.
+  std::vector<RingSpec> rings = {RingSpec::iro(25), RingSpec::str(24)};
+
+  /// Fault schedules to sweep (noise/fault.hpp). paper_default() covers the
+  /// quiet baseline, the Sec. IV-B supply-tone attack, a brown-out, a
+  /// stuck-at stage, slow delay drift and an STR mode-collapse kick.
+  std::vector<noise::FaultScenario> scenarios;
+
+  /// Reference clock of the sampling flip-flop.
+  Time sampling_period = Time::from_ns(250.0);
+
+  /// Raw bits drawn through the health-monitored generator per cell.
+  std::size_t total_bits = 4000;
+
+  /// Degradation policy of the supervised generator.
+  trng::DegradationPolicy policy;
+
+  /// Regulator between the attacked rail and the core; the default
+  /// pass-through models an unprotected core (the paper boards' linear
+  /// regulator would attenuate the tone ~10-20x).
+  fpga::Regulator regulator{};
+
+  /// Provision a second ring (same spec, fresh noise, same rail) the policy
+  /// can fail over to. It experiences the scenario's supply faults — those
+  /// are common-mode across the die — but not stage-local delay faults.
+  bool with_backup = true;
+
+  /// The configuration the attack-resilience study and its golden test use.
+  /// The supply-tone amplitude (103.7 mV — paper-scale) is tuned so the
+  /// tone's trough parks the IRO's sampled beat f*Ts on an integer (the
+  /// attacker's sweet spot); the matched STR's beat stays ~0.3 away from
+  /// the nearest integer at both tone extremes and rides the attack out.
+  static AttackResilienceSpec paper_default();
+};
+
+/// One (ring, scenario) outcome.
+struct AttackResilienceCell {
+  RingSpec ring;
+  std::string scenario;
+  trng::DegradationState final_state = trng::DegradationState::healthy;
+
+  std::uint64_t raw_bits = 0;      ///< bits drawn from the source
+  std::uint64_t emitted_bits = 0;  ///< bits that reached the consumer
+  std::uint64_t muted_bits = 0;
+  double muted_fraction = 0.0;     ///< muted / raw
+
+  /// Raw bits from generator start to the first health alarm; -1 = the
+  /// scenario never tripped the monitors.
+  std::int64_t detection_latency_bits = -1;
+  /// Raw bits from the first alarm back to the first `healthy`; -1 = never
+  /// recovered within the run.
+  std::int64_t recovery_bits = -1;
+
+  std::uint64_t rct_alarms = 0;
+  std::uint64_t apt_alarms = 0;
+  std::uint64_t relock_attempts = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t fault_activations = 0;  ///< fault windows applied (both rings)
+
+  /// Ones-fraction of the emitted bits after the last fault window closed
+  /// (0.5 when no bits were emitted there) — the post-attack health check.
+  double post_attack_bias = 0.5;
+  std::size_t post_attack_bits = 0;
+
+  std::vector<trng::StateTransition> transitions;
+};
+
+struct AttackResilienceResult {
+  std::vector<AttackResilienceCell> cells;
+
+  /// Sum over cells of recorded state transitions — matches the
+  /// health_transitions counter delta in this run's manifest.
+  std::uint64_t total_transitions = 0;
+};
+
+/// Sweep scenario x topology: run every fault scenario against every ring
+/// through a health-monitored, degradation-managed generator
+/// (trng::ResilientGenerator over a core::RingBitSource) and report
+/// detection latency, muted-output fraction, recovery time and post-attack
+/// bias per cell.
+AttackResilienceResult run_attack_resilience(
+    const AttackResilienceSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
 
 }  // namespace ringent::core

@@ -1,0 +1,171 @@
+#include "core/registry.hpp"
+
+#include <utility>
+
+#include "sim/metrics.hpp"
+
+namespace ringent::core {
+
+namespace {
+
+/// Run `fn` with kernel metrics forced on (so the driver's DriverScope
+/// emits a run manifest), capture that manifest, and restore the previous
+/// metrics state — including on the exception path, so a registry probe
+/// never leaves global metrics flipped on behind the caller's back.
+template <typename Fn>
+RunManifest with_manifest(Fn&& fn) {
+  const bool was_enabled = sim::metrics::enabled();
+  sim::metrics::set_enabled(true);
+  try {
+    std::forward<Fn>(fn)();
+  } catch (...) {
+    sim::metrics::set_enabled(was_enabled);
+    throw;
+  }
+  RunManifest manifest = last_run_manifest().value_or(RunManifest{});
+  sim::metrics::set_enabled(was_enabled);
+  return manifest;
+}
+
+std::vector<ExperimentDescriptor> build_registry() {
+  using Options = ExperimentOptions;
+  std::vector<ExperimentDescriptor> registry;
+
+  registry.push_back(
+      {"voltage_sweep",
+       "normalized frequency vs supply voltage (IRO sensitivity)",
+       "paper Fig. 8",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           run_voltage_sweep(VoltageSweepSpec{RingSpec::iro(3),
+                                              {1.1, 1.2, 1.3}, 30},
+                             cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"temperature_sweep",
+       "normalized frequency vs die temperature at nominal voltage",
+       "extension of paper ref [1]",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           run_temperature_sweep(TemperatureSweepSpec{RingSpec::str(4),
+                                                      {15.0, 25.0, 35.0}, 30},
+                                 cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"process_variability",
+       "same bitstream across simulated boards, frequency spread",
+       "paper Sec. V-C / Table II",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           run_process_variability(
+               ProcessVariabilitySpec{RingSpec::iro(5), 3, 30}, cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"jitter_vs_stages",
+       "period jitter vs ring length through the divider/scope chain",
+       "paper Figs. 11-12",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           JitterSweepSpec sweep;
+           sweep.kind = RingKind::iro;
+           sweep.stage_counts = {3, 5};
+           sweep.divider_n = 4;
+           sweep.mes_periods = 20;
+           run_jitter_vs_stages(sweep, cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"mode_map",
+       "STR steady-state mode (evenly spaced / burst) per token count",
+       "paper Sec. V-A",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           ModeMapSpec map_spec;
+           map_spec.stages = 8;
+           map_spec.token_counts = {2, 4};
+           map_spec.placement = ring::TokenPlacement::clustered;
+           map_spec.periods = 120;
+           run_mode_map(map_spec, cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"restart",
+       "restart technique: k-th edge spread growth across identical starts",
+       "standard TRNG entropy validation",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           run_restart_experiment(RestartSpec{RingSpec::iro(5), 8, 16}, cal,
+                                  options);
+         });
+       }});
+
+  registry.push_back(
+      {"coherent_boards",
+       "coherent-sampling beat window across process-varied boards",
+       "paper conclusion / Table II consequence",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           run_coherent_across_boards(
+               CoherentSweepSpec{RingSpec::iro(3), 0.05, 2, 500}, cal,
+               options);
+         });
+       }});
+
+  registry.push_back(
+      {"deterministic_jitter",
+       "supply-tone leakage into the period sequence per ring length",
+       "paper Sec. IV-B",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           DeterministicJitterSpec sweep;
+           sweep.kind = RingKind::iro;
+           sweep.stage_counts = {3, 5};
+           sweep.periods = 256;
+           run_deterministic_jitter(sweep, cal, options);
+         });
+       }});
+
+  registry.push_back(
+      {"attack_resilience",
+       "fault scenarios vs the health-monitored generator pipeline",
+       "paper Sec. IV-B attack, AIS 31-style online tests",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           // One ring, two scenarios (quiet + the tuned supply tone) and
+           // enough bits to cross the tone's detection point — small
+           // enough for a CLI smoke run, rich enough that the manifest's
+           // health counters are non-trivial.
+           AttackResilienceSpec spec = AttackResilienceSpec::paper_default();
+           spec.rings = {RingSpec::iro(25)};
+           spec.scenarios = {spec.scenarios.at(0), spec.scenarios.at(1)};
+           spec.total_bits = 2000;
+           run_attack_resilience(spec, cal, options);
+         });
+       }});
+
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<ExperimentDescriptor>& experiment_registry() {
+  static const std::vector<ExperimentDescriptor> registry = build_registry();
+  return registry;
+}
+
+const ExperimentDescriptor* find_experiment(std::string_view name) {
+  for (const auto& entry : experiment_registry()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace ringent::core

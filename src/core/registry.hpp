@@ -1,0 +1,54 @@
+// A name -> descriptor registry over every experiment driver in
+// core/experiments.hpp. Each entry carries a one-line summary, the paper
+// anchor it reproduces, and a type-erased `run_small` runner that executes
+// a small default configuration of the driver with kernel metrics forced
+// on and returns the RunManifest the driver emitted — the uniform
+// "smoke-run any experiment and get its provenance record" entry point
+// the CLI front ends dispatch through.
+//
+//   for (const auto& e : core::experiment_registry())
+//     std::printf("%-22s %s\n", e.name.c_str(), e.summary.c_str());
+//
+//   const auto* exp = core::find_experiment("attack_resilience");
+//   const core::RunManifest m = exp->run_small(core::cyclone_iii(), options);
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/export.hpp"
+
+namespace ringent::core {
+
+struct ExperimentDescriptor {
+  /// Registry key; matches the `experiment` field of the manifest the
+  /// driver writes (drivers that split by ring kind report a `_iro`/`_str`
+  /// suffixed name — run_small picks the IRO flavour).
+  std::string name;
+
+  /// One-line description for `--list` output.
+  std::string summary;
+
+  /// Where in the paper (or which extension) this experiment comes from.
+  std::string source;
+
+  /// Run a small fixed spec of the driver with metrics enabled for the
+  /// duration, and return the run manifest it emitted. Honors
+  /// `options.seed` / `options.jobs`; restores the previous metrics state
+  /// (enabled or not) before returning. Throws like the underlying driver
+  /// on a bad calibration.
+  std::function<RunManifest(const Calibration&, const ExperimentOptions&)>
+      run_small;
+};
+
+/// All registered experiments, in presentation order (paper figures first,
+/// extensions after). The vector is built once and lives for the process.
+const std::vector<ExperimentDescriptor>& experiment_registry();
+
+/// Look up a descriptor by name; nullptr when unknown.
+const ExperimentDescriptor* find_experiment(std::string_view name);
+
+}  // namespace ringent::core

@@ -1,0 +1,92 @@
+// RingBitSource: a live simulated ring + DFF sampler as a trng::BitSource.
+//
+// This is the glue between the physical layer and the resilience layer: it
+// owns a Supply, a noise::FaultInjector realizing one FaultScenario against
+// that supply (and against the ring's per-stage delays), and the Oscillator
+// itself, and serves the sampled bit stream one bit at a time so a
+// trng::ResilientGenerator can supervise it on-line.
+//
+// Simulation advances lazily in chunks of `chunk_bits` sample instants; the
+// injector's supply state is re-applied at every schedule boundary so the
+// rail follows the scenario exactly (see FaultInjector's usage contract).
+// The output trace is cleared after each chunk, so memory stays bounded no
+// matter how many bits are drawn.
+//
+// restart(attempt) implements the re-lock action of the degradation policy:
+// the oscillator is torn down and rebuilt with a fresh noise stream
+// (derive_seed(seed, "relock", attempt)) while the fault schedule keeps
+// running in absolute experiment time — a power-cycle does not make an
+// attacker go away. Unconsumed buffered bits are dropped, exactly like real
+// samples taken while the ring was dark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/oscillator.hpp"
+#include "core/spec.hpp"
+#include "fpga/supply.hpp"
+#include "noise/fault.hpp"
+#include "trng/resilient.hpp"
+
+namespace ringent::core {
+
+struct RingSourceConfig {
+  RingSpec spec = RingSpec::iro(25);
+
+  /// Period of the sampling flip-flop's reference clock. Much slower than
+  /// the ring, as in the paper's elementary TRNG (refs [1][2]).
+  Time sampling_period = Time::from_ns(250.0);
+
+  /// Sample instants simulated per refill (memory/latency granularity).
+  std::size_t chunk_bits = 256;
+
+  std::uint64_t seed = 1;
+  std::size_t warmup_periods = 64;
+  double supply_nominal_v = 1.2;
+
+  /// Regulator between the attacked rail and the core. Attack studies use
+  /// the default pass-through (ac_attenuation = 1) — the paper's point is
+  /// what reaches an unprotected core.
+  fpga::Regulator regulator{};
+};
+
+class RingBitSource final : public trng::BitSource {
+ public:
+  RingBitSource(const RingSourceConfig& config, const Calibration& calibration,
+                noise::FaultScenario scenario);
+
+  std::uint8_t next_bit() override;
+  void restart(std::uint64_t attempt) override;
+  std::string_view describe() const override { return label_; }
+
+  const noise::FaultInjector& injector() const { return *injector_; }
+  const RingSourceConfig& config() const { return config_; }
+
+  /// Absolute experiment time the simulation has reached.
+  Time now();
+
+ private:
+  void rebuild(std::uint64_t attempt);
+  void refill();
+
+  RingSourceConfig config_;
+  Calibration calibration_;
+  std::string label_;
+  fpga::Supply supply_;
+  std::unique_ptr<noise::FaultInjector> injector_;
+  std::optional<Oscillator> osc_;
+  Time epoch_;             ///< absolute time of the oscillator's local t = 0
+  Time sample_next_abs_;   ///< next unsimulated sample instant (absolute)
+  bool last_value_ = false;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t index_ = 0;
+  std::uint64_t reported_activations_ = 0;
+};
+
+}  // namespace ringent::core

@@ -7,6 +7,7 @@
 // bench uses both paths and checks they agree in shape.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "common/time.hpp"
@@ -20,6 +21,14 @@ class DelayModulation {
 
   /// Additive delay offset (ps) applied to a stage firing at absolute time t.
   virtual double offset_ps(Time t) const = 0;
+
+  /// Stage-resolved variant; the ring models call this one. The default
+  /// ignores the stage index, so uniform modulations only implement the
+  /// one-argument form. Stage-local faults (a stuck LUT, an asymmetric
+  /// mode-collapse kick — see noise/fault.hpp) override it.
+  virtual double offset_ps(Time t, std::size_t /*stage*/) const {
+    return offset_ps(t);
+  }
 };
 
 class NoModulation final : public DelayModulation {

@@ -66,7 +66,7 @@ Time Iro::hop_delay(std::size_t stage, Time now) {
     delay_ps += stage_noise_[stage]->sample_ps() * noise_scale;
   }
   if (config_.modulation != nullptr) {
-    delay_ps += config_.modulation->offset_ps(now);
+    delay_ps += config_.modulation->offset_ps(now, stage);
   }
   return Time::from_ps(std::max(delay_ps, min_hop_ps));
 }

@@ -100,7 +100,7 @@ void Str::try_schedule(std::size_t i, Time now) {
     extra_ps += stage_noise_[i]->sample_ps() * noise_scale;
   }
   if (config_.modulation != nullptr) {
-    extra_ps += config_.modulation->offset_ps(now);
+    extra_ps += config_.modulation->offset_ps(now, i);
   }
 
   sim::metrics::bump(sim::metrics::Counter::charlie_evaluations);

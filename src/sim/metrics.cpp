@@ -68,6 +68,10 @@ std::string_view counter_name(Counter counter) {
       "heap_pops",           "calendar_pushes",
       "calendar_pops",       "charlie_evaluations",
       "token_collision_checks", "pool_tasks",
+      "fault_activations",   "health_rct_alarms",
+      "health_apt_alarms",   "health_transitions",
+      "health_bits_muted",   "health_relock_attempts",
+      "health_failovers",    "health_failures",
   };
   const auto index = static_cast<std::size_t>(counter);
   RINGENT_REQUIRE(index < counter_count, "unknown counter");

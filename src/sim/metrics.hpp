@@ -48,9 +48,18 @@ enum class Counter : std::size_t {
   charlie_evaluations,     ///< CharlieModel::fire_time calls from the STR
   token_collision_checks,  ///< STR enabled()/schedule eligibility checks
   pool_tasks,              ///< tasks executed by sim::ThreadPool
+  // --- attack-resilience pipeline (noise/fault.hpp, trng/resilient.hpp) ---
+  fault_activations,       ///< fault windows applied by noise::FaultInjector
+  health_rct_alarms,       ///< repetition-count alarms in ResilientGenerator
+  health_apt_alarms,       ///< adaptive-proportion alarms in ResilientGenerator
+  health_transitions,      ///< degradation-state transitions (all edges)
+  health_bits_muted,       ///< raw bits suppressed while not healthy/suspect
+  health_relock_attempts,  ///< ring restarts attempted after an alarm
+  health_failovers,        ///< switches from the primary to the backup source
+  health_failures,         ///< permanent-failure latches (strike budget spent)
 };
 inline constexpr std::size_t counter_count =
-    static_cast<std::size_t>(Counter::pool_tasks) + 1;
+    static_cast<std::size_t>(Counter::health_failures) + 1;
 
 /// Stable slug for manifests and logs (e.g. "events_fired").
 std::string_view counter_name(Counter counter);

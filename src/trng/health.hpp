@@ -34,6 +34,7 @@ class RepetitionCountTest {
 
   bool alarmed() const { return alarmed_; }
   std::uint32_t current_run() const { return run_; }
+  std::uint32_t cutoff() const { return cutoff_; }
   void reset();
 
  private:
@@ -57,6 +58,12 @@ class AdaptiveProportionTest {
   bool feed(std::uint8_t bit);
 
   bool alarmed() const { return alarmed_; }
+  /// Occurrences of the window's reference value so far (degradation
+  /// policies compare this against the cutoff for an early warning).
+  std::uint32_t current_count() const { return count_; }
+  /// Position within the current window [0, window).
+  std::size_t window_index() const { return index_; }
+  std::uint32_t cutoff() const { return cutoff_; }
   void reset();
 
  private:

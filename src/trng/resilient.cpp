@@ -1,0 +1,183 @@
+#include "trng/resilient.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/require.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace ringent::trng {
+
+namespace metrics = sim::metrics;
+
+const char* to_string(DegradationState state) {
+  switch (state) {
+    case DegradationState::healthy: return "healthy";
+    case DegradationState::suspect: return "suspect";
+    case DegradationState::muted: return "muted";
+    case DegradationState::relocking: return "relocking";
+    case DegradationState::failed: return "failed";
+  }
+  return "?";
+}
+
+ResilientGenerator::ResilientGenerator(BitSource& primary, BitSource* backup,
+                                       const DegradationPolicy& policy)
+    : policy_(policy),
+      primary_(&primary),
+      backup_(backup),
+      active_(&primary),
+      rct_(rct_cutoff(policy.claimed_min_entropy, policy.alpha_log2)),
+      apt_(apt_cutoff(policy.claimed_min_entropy, policy.apt_window,
+                      policy.alpha_log2),
+           policy.apt_window) {
+  RINGENT_REQUIRE(policy.claimed_min_entropy > 0.0 &&
+                      policy.claimed_min_entropy <= 1.0,
+                  "claimed min-entropy must be in (0, 1]");
+  RINGENT_REQUIRE(policy.backoff_bits > 0, "backoff must cover >= 1 bit");
+  RINGENT_REQUIRE(policy.max_strikes > 0, "need at least one strike");
+  RINGENT_REQUIRE(backup_ != primary_, "backup must be a distinct source");
+}
+
+std::vector<std::uint8_t> ResilientGenerator::generate(std::size_t raw_bits) {
+  sim::trace::Span span("resilient-generate", "axis");
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_bits);
+  const std::uint64_t muted_before = stats_.bits_muted;
+  for (std::size_t i = 0; i < raw_bits; ++i) {
+    if (state_ == DegradationState::failed) break;
+    step(active_->next_bit(), out);
+  }
+  metrics::bump(metrics::Counter::health_bits_muted,
+                stats_.bits_muted - muted_before);
+  return out;
+}
+
+void ResilientGenerator::step(std::uint8_t bit,
+                              std::vector<std::uint8_t>& out) {
+  ++stats_.bits_in;
+  switch (state_) {
+    case DegradationState::healthy:
+    case DegradationState::suspect: {
+      const bool rct_ok = rct_.feed(bit);
+      const bool apt_ok = apt_.feed(bit);
+      if (!rct_ok || !apt_ok) {
+        ++stats_.bits_muted;  // the alarming bit itself is never emitted
+        on_alarm(!rct_ok ? "rct-alarm" : "apt-alarm");
+        if (!rct_ok) {
+          ++stats_.rct_alarms;
+          metrics::bump(metrics::Counter::health_rct_alarms);
+        }
+        if (!apt_ok) {
+          ++stats_.apt_alarms;
+          metrics::bump(metrics::Counter::health_apt_alarms);
+        }
+        return;
+      }
+      out.push_back(bit);
+      ++stats_.bits_out;
+      const bool near = near_threshold();
+      if (near && state_ == DegradationState::healthy) {
+        transition(DegradationState::suspect, "near-threshold");
+      } else if (!near && state_ == DegradationState::suspect) {
+        transition(DegradationState::healthy, "margin-restored");
+      }
+      return;
+    }
+    case DegradationState::muted: {
+      // Tests are latched from the alarm; bits are burned, not inspected.
+      ++stats_.bits_muted;
+      if (backoff_remaining_ > 0) --backoff_remaining_;
+      if (backoff_remaining_ == 0) begin_relock();
+      return;
+    }
+    case DegradationState::relocking: {
+      ++stats_.bits_muted;
+      const bool rct_ok = rct_.feed(bit);
+      const bool apt_ok = apt_.feed(bit);
+      if (!rct_ok || !apt_ok) {
+        on_alarm(!rct_ok ? "rct-alarm" : "apt-alarm");
+        if (!rct_ok) {
+          ++stats_.rct_alarms;
+          metrics::bump(metrics::Counter::health_rct_alarms);
+        }
+        if (!apt_ok) {
+          ++stats_.apt_alarms;
+          metrics::bump(metrics::Counter::health_apt_alarms);
+        }
+        return;
+      }
+      if (probation_remaining_ > 0) --probation_remaining_;
+      if (probation_remaining_ == 0) {
+        transition(DegradationState::healthy, "probation-clean");
+        if (stats_.alarmed && !stats_.recovered) {
+          stats_.recovered = true;
+          stats_.recovered_bit = stats_.bits_in;
+        }
+      }
+      return;
+    }
+    case DegradationState::failed:
+      ++stats_.bits_muted;
+      return;
+  }
+}
+
+void ResilientGenerator::on_alarm(const char* reason) {
+  if (!stats_.alarmed) {
+    stats_.alarmed = true;
+    stats_.first_alarm_bit = stats_.bits_in;
+  }
+  ++stats_.strikes;
+  if (stats_.strikes >= policy_.max_strikes) {
+    transition(DegradationState::failed, reason);
+    metrics::bump(metrics::Counter::health_failures);
+    return;
+  }
+  backoff_remaining_ = policy_.backoff_bits
+                       << (stats_.strikes > 0 ? stats_.strikes - 1 : 0);
+  transition(DegradationState::muted, reason);
+}
+
+void ResilientGenerator::begin_relock() {
+  ++stats_.relock_attempts;
+  metrics::bump(metrics::Counter::health_relock_attempts);
+  if (backup_ != nullptr && policy_.failover_after_strikes > 0 &&
+      stats_.strikes >= policy_.failover_after_strikes &&
+      active_ != backup_) {
+    active_ = backup_;
+    ++stats_.failovers;
+    metrics::bump(metrics::Counter::health_failovers);
+  }
+  active_->restart(stats_.relock_attempts);
+  reset_tests();
+  probation_remaining_ = policy_.probation_bits;
+  transition(DegradationState::relocking,
+             using_backup() ? "backoff-spent/failover" : "backoff-spent");
+}
+
+bool ResilientGenerator::near_threshold() const {
+  if (policy_.suspect_fraction >= 1.0) return false;
+  const double rct_level = policy_.suspect_fraction * rct_.cutoff();
+  const double apt_level = policy_.suspect_fraction * apt_.cutoff();
+  return rct_.current_run() >= rct_level || apt_.current_count() >= apt_level;
+}
+
+void ResilientGenerator::reset_tests() {
+  rct_.reset();
+  apt_.reset();
+}
+
+void ResilientGenerator::transition(DegradationState to, std::string reason) {
+  StateTransition edge;
+  edge.from = state_;
+  edge.to = to;
+  edge.at_bit = stats_.bits_in;
+  edge.reason = std::move(reason);
+  transitions_.push_back(std::move(edge));
+  state_ = to;
+  metrics::bump(metrics::Counter::health_transitions);
+}
+
+}  // namespace ringent::trng

@@ -149,10 +149,9 @@ TEST(Oscillator, BitReproducibleAcrossRuns) {
 }
 
 TEST(Experiments, DriversAreReproducible) {
-  const auto a =
-      run_voltage_sweep(RingSpec::str(24), cyclone_iii(), {1.0, 1.2, 1.4});
-  const auto b =
-      run_voltage_sweep(RingSpec::str(24), cyclone_iii(), {1.0, 1.2, 1.4});
+  const VoltageSweepSpec sweep{RingSpec::str(24), {1.0, 1.2, 1.4}};
+  const auto a = run_voltage_sweep(sweep, cyclone_iii());
+  const auto b = run_voltage_sweep(sweep, cyclone_iii());
   ASSERT_EQ(a.points.size(), b.points.size());
   for (std::size_t i = 0; i < a.points.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.points[i].frequency_mhz, b.points[i].frequency_mhz);
@@ -184,10 +183,14 @@ TEST(Report, Formatters) {
 
 TEST(Experiments, VoltageSweepShapesOfTableI) {
   const std::vector<double> volts = {1.0, 1.2, 1.4};
-  const auto iro5 = run_voltage_sweep(RingSpec::iro(5), cyclone_iii(), volts);
-  const auto iro80 = run_voltage_sweep(RingSpec::iro(80), cyclone_iii(), volts);
-  const auto str4 = run_voltage_sweep(RingSpec::str(4), cyclone_iii(), volts);
-  const auto str96 = run_voltage_sweep(RingSpec::str(96), cyclone_iii(), volts);
+  const auto iro5 =
+      run_voltage_sweep(VoltageSweepSpec{RingSpec::iro(5), volts}, cyclone_iii());
+  const auto iro80 = run_voltage_sweep(VoltageSweepSpec{RingSpec::iro(80), volts},
+                                       cyclone_iii());
+  const auto str4 =
+      run_voltage_sweep(VoltageSweepSpec{RingSpec::str(4), volts}, cyclone_iii());
+  const auto str96 = run_voltage_sweep(VoltageSweepSpec{RingSpec::str(96), volts},
+                                       cyclone_iii());
 
   // IRO excursion is ~48% regardless of length.
   EXPECT_NEAR(iro5.excursion, 0.48, 0.02);
@@ -200,13 +203,15 @@ TEST(Experiments, VoltageSweepShapesOfTableI) {
   EXPECT_GT(str4.excursion - str96.excursion, 0.08);
 
   EXPECT_THROW(
-      run_voltage_sweep(RingSpec::iro(5), cyclone_iii(), {1.0, 1.1}),
+      run_voltage_sweep(VoltageSweepSpec{RingSpec::iro(5), {1.0, 1.1}},
+                        cyclone_iii()),
       PreconditionError);  // nominal voltage missing
 }
 
 TEST(Experiments, NormalizedFrequencyIsLinearInVoltage) {
   const std::vector<double> volts = {1.0, 1.1, 1.2, 1.3, 1.4};
-  const auto sweep = run_voltage_sweep(RingSpec::str(96), cyclone_iii(), volts);
+  const auto sweep = run_voltage_sweep(VoltageSweepSpec{RingSpec::str(96), volts},
+                                       cyclone_iii());
   std::vector<double> vs, fs;
   for (const auto& p : sweep.points) {
     vs.push_back(p.voltage_v);
@@ -218,24 +223,25 @@ TEST(Experiments, NormalizedFrequencyIsLinearInVoltage) {
 TEST(Experiments, ProcessVariabilityShapeOfTableII) {
   // Use 20 boards: the shape (STR 96C averages mismatch over 96 LUTs) is a
   // population property; 5 boards as in the paper is too noisy to assert on.
-  const auto iro3 =
-      run_process_variability(RingSpec::iro(3), cyclone_iii(), 20);
-  const auto str96 =
-      run_process_variability(RingSpec::str(96), cyclone_iii(), 20);
+  const auto iro3 = run_process_variability(
+      ProcessVariabilitySpec{RingSpec::iro(3), 20}, cyclone_iii());
+  const auto str96 = run_process_variability(
+      ProcessVariabilitySpec{RingSpec::str(96), 20}, cyclone_iii());
   EXPECT_EQ(iro3.boards.size(), 20u);
   EXPECT_GT(iro3.sigma_rel, 0.004);   // short ring: ~0.7-0.8%
   EXPECT_LT(iro3.sigma_rel, 0.012);
   EXPECT_LT(str96.sigma_rel, 0.003);  // long STR: ~0.15-0.2%
   EXPECT_LT(str96.sigma_rel, iro3.sigma_rel / 2.0);
-  EXPECT_THROW(run_process_variability(RingSpec::iro(3), cyclone_iii(), 1),
+  EXPECT_THROW(run_process_variability(ProcessVariabilitySpec{RingSpec::iro(3), 1},
+                                       cyclone_iii()),
                PreconditionError);
 }
 
 TEST(Experiments, IroJitterFollowsSqrtLawWithSigmaG2ps) {
   ExperimentOptions options;
   options.board_index = 0;
-  const auto points = run_jitter_vs_stages(RingKind::iro, {3, 9, 25, 49},
-                                           cyclone_iii(), options);
+  const auto points = run_jitter_vs_stages(
+      JitterSweepSpec{RingKind::iro, {3, 9, 25, 49}}, cyclone_iii(), options);
   std::vector<double> stages, sigmas;
   for (const auto& p : points) {
     stages.push_back(static_cast<double>(p.stages));
@@ -251,8 +257,8 @@ TEST(Experiments, IroJitterFollowsSqrtLawWithSigmaG2ps) {
 TEST(Experiments, StrJitterIndependentOfLength) {
   ExperimentOptions options;
   options.board_index = 0;
-  const auto points = run_jitter_vs_stages(RingKind::str, {8, 32, 96},
-                                           cyclone_iii(), options);
+  const auto points = run_jitter_vs_stages(
+      JitterSweepSpec{RingKind::str, {8, 32, 96}}, cyclone_iii(), options);
   // Ground-truth sigma stays in the paper's flat 2-4 ps band at every length
   // (an IRO would read 5.7 / 11.3 / 19.6 ps here).
   for (const auto& p : points) {
@@ -282,7 +288,10 @@ TEST(Experiments, CollectPeriodsHonoursNoiseSwitch) {
 TEST(Experiments, ModeMapLocksEvenlySpacedAcrossTheBand) {
   // Paper Sec. V-A: at L=32 every even NT in 10..20 locks evenly spaced
   // (we start clustered, the harder initial condition).
-  const auto map = run_mode_map(32, {10, 12, 14, 16, 18, 20}, cyclone_iii());
+  ModeMapSpec map_spec;
+  map_spec.stages = 32;
+  map_spec.token_counts = {10, 12, 14, 16, 18, 20};
+  const auto map = run_mode_map(map_spec, cyclone_iii());
   for (const auto& entry : map) {
     EXPECT_EQ(entry.mode, ring::OscillationMode::evenly_spaced)
         << "NT=" << entry.tokens;
@@ -291,23 +300,24 @@ TEST(Experiments, ModeMapLocksEvenlySpacedAcrossTheBand) {
 }
 
 TEST(Experiments, ModeMapShowsBurstWhenCharlieAblated) {
-  const auto weak = run_mode_map(16, {4}, cyclone_iii(), {},
-                                 ring::TokenPlacement::clustered, 0.02);
+  ModeMapSpec map_spec;
+  map_spec.stages = 16;
+  map_spec.token_counts = {4};
+  map_spec.charlie_scale = 0.02;
+  const auto weak = run_mode_map(map_spec, cyclone_iii());
   EXPECT_EQ(weak[0].mode, ring::OscillationMode::burst);
-  const auto strong = run_mode_map(16, {4}, cyclone_iii(), {},
-                                   ring::TokenPlacement::clustered, 1.0);
+  map_spec.charlie_scale = 1.0;
+  const auto strong = run_mode_map(map_spec, cyclone_iii());
   EXPECT_EQ(strong[0].mode, ring::OscillationMode::evenly_spaced);
 }
 
 TEST(Experiments, CoherentBeatTighterForLongStrs) {
   // Smaller rings than the example (runtime), same physics: the pair detune
   // uncertainty shrinks with mismatch averaging.
-  const auto str48 = run_coherent_across_boards(RingSpec::str(48),
-                                                cyclone_iii(), 0.01, 5, {},
-                                                30000);
-  const auto iro5 = run_coherent_across_boards(RingSpec::iro(5),
-                                               cyclone_iii(), 0.01, 5, {},
-                                               30000);
+  const auto str48 = run_coherent_across_boards(
+      CoherentSweepSpec{RingSpec::str(48), 0.01, 5, 30000}, cyclone_iii());
+  const auto iro5 = run_coherent_across_boards(
+      CoherentSweepSpec{RingSpec::iro(5), 0.01, 5, 30000}, cyclone_iii());
   ASSERT_EQ(str48.boards.size(), 5u);
   for (const auto& b : str48.boards) {
     EXPECT_GT(b.bits, 50u);
@@ -315,8 +325,8 @@ TEST(Experiments, CoherentBeatTighterForLongStrs) {
   }
   EXPECT_LT(str48.detune_sigma, iro5.detune_sigma);
   EXPECT_LT(str48.worst_deviation, iro5.worst_deviation);
-  EXPECT_THROW(run_coherent_across_boards(RingSpec::str(48), cyclone_iii(),
-                                          0.5),
+  EXPECT_THROW(run_coherent_across_boards(
+                   CoherentSweepSpec{RingSpec::str(48), 0.5}, cyclone_iii()),
                PreconditionError);
 }
 
@@ -329,10 +339,12 @@ TEST_P(SeedRobustness, HeadlineShapesHoldAtEverySeed) {
   options.seed = GetParam();
 
   // Table I shape: STR 96C excursion well below IRO 80C's.
-  const auto iro = run_voltage_sweep(RingSpec::iro(80), cyclone_iii(),
-                                     {1.0, 1.2, 1.4}, options, 200);
-  const auto str = run_voltage_sweep(RingSpec::str(96), cyclone_iii(),
-                                     {1.0, 1.2, 1.4}, options, 200);
+  const auto iro = run_voltage_sweep(
+      VoltageSweepSpec{RingSpec::iro(80), {1.0, 1.2, 1.4}, 200}, cyclone_iii(),
+      options);
+  const auto str = run_voltage_sweep(
+      VoltageSweepSpec{RingSpec::str(96), {1.0, 1.2, 1.4}, 200}, cyclone_iii(),
+      options);
   EXPECT_GT(iro.excursion - str.excursion, 0.07) << "seed " << GetParam();
 
   // Fig. 12 shape: STR sigma_p flat in the paper's band at two lengths.
@@ -349,23 +361,24 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustness,
                          ::testing::Values(1u, 777u, 0xDEADBEEFu));
 
 TEST(Experiments, RestartDivergenceMatchesTheJitterStory) {
-  const auto iro = run_restart_experiment(RingSpec::iro(25), cyclone_iii(),
-                                          48, 128);
+  const auto iro = run_restart_experiment(
+      RestartSpec{RingSpec::iro(25), 48, 128}, cyclone_iii());
   EXPECT_TRUE(iro.control_identical);
   // The k-th edge accumulates k i.i.d. periods: diffusion/edge ~ sigma_p =
   // sqrt(50) * 2 = 14.1 ps.
   EXPECT_NEAR(iro.diffusion_per_edge_ps, 14.1, 2.5);
   EXPECT_GT(iro.fit_r2, 0.9);
 
-  const auto str = run_restart_experiment(RingSpec::str(24), cyclone_iii(),
-                                          48, 128);
+  const auto str = run_restart_experiment(
+      RestartSpec{RingSpec::str(24), 48, 128}, cyclone_iii());
   EXPECT_TRUE(str.control_identical);
   // The Charlie regulation suppresses collective diffusion far below the
   // IRO's at similar frequency.
   EXPECT_LT(str.diffusion_per_edge_ps, iro.diffusion_per_edge_ps / 5.0);
   EXPECT_GT(str.diffusion_per_edge_ps, 0.2);
 
-  EXPECT_THROW(run_restart_experiment(RingSpec::iro(5), cyclone_iii(), 2, 64),
+  EXPECT_THROW(run_restart_experiment(RestartSpec{RingSpec::iro(5), 2, 64},
+                                      cyclone_iii()),
                PreconditionError);
 }
 
@@ -392,12 +405,13 @@ TEST(Export, ArtifactWritingRoundTrips) {
 }
 
 TEST(Experiments, DeterministicJitterAccumulatesOnlyInTheIro) {
-  DeterministicJitterConfig config;
-  config.periods = 4096;
-  const auto iro = run_deterministic_jitter(RingKind::iro, {8, 32},
-                                            cyclone_iii(), config);
-  const auto str = run_deterministic_jitter(RingKind::str, {8, 32},
-                                            cyclone_iii(), config);
+  DeterministicJitterSpec sweep;
+  sweep.stage_counts = {8, 32};
+  sweep.periods = 4096;
+  sweep.kind = RingKind::iro;
+  const auto iro = run_deterministic_jitter(sweep, cyclone_iii());
+  sweep.kind = RingKind::str;
+  const auto str = run_deterministic_jitter(sweep, cyclone_iii());
   // IRO tone grows ~linearly with stages; STR tone stays near-flat.
   EXPECT_GT(iro[1].tone_ps / iro[0].tone_ps, 3.0);
   EXPECT_LT(str[1].tone_ps / str[0].tone_ps, 1.5);

@@ -435,8 +435,10 @@ TEST(Temperature, FrequencyFallsWithTemperatureAndStr96IsFlattest) {
   using namespace ringent::core;
   const auto& cal = cyclone_iii();
   const std::vector<double> temps = {-20.0, 25.0, 85.0};
-  const auto iro = run_temperature_sweep(RingSpec::iro(5), cal, temps);
-  const auto str96 = run_temperature_sweep(RingSpec::str(96), cal, temps);
+  const auto iro =
+      run_temperature_sweep(TemperatureSweepSpec{RingSpec::iro(5), temps}, cal);
+  const auto str96 = run_temperature_sweep(
+      TemperatureSweepSpec{RingSpec::str(96), temps}, cal);
 
   EXPECT_GT(iro.points.front().frequency_mhz,
             iro.points.back().frequency_mhz);
@@ -444,6 +446,7 @@ TEST(Temperature, FrequencyFallsWithTemperatureAndStr96IsFlattest) {
   EXPECT_LT(str96.excursion, iro.excursion);
 
   EXPECT_THROW(
-      run_temperature_sweep(RingSpec::iro(5), cal, {0.0, 50.0}),
+      run_temperature_sweep(TemperatureSweepSpec{RingSpec::iro(5), {0.0, 50.0}},
+                            cal),
       PreconditionError);  // 25 C missing
 }

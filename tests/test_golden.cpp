@@ -60,9 +60,9 @@ ExperimentOptions golden_options() {
 }  // namespace
 
 TEST(Golden, VoltageSweep) {
-  const auto out =
-      run_voltage_sweep(RingSpec::iro(3), cyclone_iii(), {1.1, 1.2, 1.3},
-                        golden_options(), 30);
+  const auto out = run_voltage_sweep(
+      VoltageSweepSpec{RingSpec::iro(3), {1.1, 1.2, 1.3}, 30}, cyclone_iii(),
+      golden_options());
   std::vector<double> actual = {out.f_nominal_mhz, out.excursion};
   for (const auto& p : out.points) {
     actual.push_back(p.frequency_mhz);
@@ -82,9 +82,9 @@ TEST(Golden, VoltageSweep) {
 }
 
 TEST(Golden, TemperatureSweep) {
-  const auto out =
-      run_temperature_sweep(RingSpec::str(4), cyclone_iii(), {15.0, 25.0, 35.0},
-                            golden_options(), 30);
+  const auto out = run_temperature_sweep(
+      TemperatureSweepSpec{RingSpec::str(4), {15.0, 25.0, 35.0}, 30},
+      cyclone_iii(), golden_options());
   std::vector<double> actual = {out.f_nominal_mhz, out.excursion};
   for (const auto& p : out.points) {
     actual.push_back(p.frequency_mhz);
@@ -104,8 +104,9 @@ TEST(Golden, TemperatureSweep) {
 }
 
 TEST(Golden, ProcessVariability) {
-  const auto out = run_process_variability(RingSpec::iro(5), cyclone_iii(), 3,
-                                           golden_options(), 30);
+  const auto out = run_process_variability(
+      ProcessVariabilitySpec{RingSpec::iro(5), 3, 30}, cyclone_iii(),
+      golden_options());
   std::vector<double> actual = {out.mean_mhz, out.sigma_rel};
   for (const auto& b : out.boards) actual.push_back(b.frequency_mhz);
   check_golden("ProcessVariability", actual,
@@ -119,11 +120,13 @@ TEST(Golden, ProcessVariability) {
 }
 
 TEST(Golden, JitterVsStages) {
-  JitterVsStagesConfig config;
-  config.divider_n = 4;
-  config.mes_periods = 20;
-  const auto points = run_jitter_vs_stages(RingKind::iro, {3, 5}, cyclone_iii(),
-                                           golden_options(), config);
+  JitterSweepSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = {3, 5};
+  sweep.divider_n = 4;
+  sweep.mes_periods = 20;
+  const auto points =
+      run_jitter_vs_stages(sweep, cyclone_iii(), golden_options());
   std::vector<double> actual;
   for (const auto& p : points) {
     actual.push_back(static_cast<double>(p.stages));
@@ -148,9 +151,12 @@ TEST(Golden, JitterVsStages) {
 }
 
 TEST(Golden, ModeMap) {
-  const auto entries =
-      run_mode_map(8, {2, 4}, cyclone_iii(), golden_options(),
-                   ring::TokenPlacement::clustered, 1.0, 120);
+  ModeMapSpec map_spec;
+  map_spec.stages = 8;
+  map_spec.token_counts = {2, 4};
+  map_spec.placement = ring::TokenPlacement::clustered;
+  map_spec.periods = 120;
+  const auto entries = run_mode_map(map_spec, cyclone_iii(), golden_options());
   std::vector<double> actual;
   for (const auto& e : entries) {
     actual.push_back(static_cast<double>(e.tokens));
@@ -172,8 +178,8 @@ TEST(Golden, ModeMap) {
 }
 
 TEST(Golden, Restart) {
-  const auto out = run_restart_experiment(RingSpec::iro(5), cyclone_iii(), 8,
-                                          16, golden_options());
+  const auto out = run_restart_experiment(RestartSpec{RingSpec::iro(5), 8, 16},
+                                          cyclone_iii(), golden_options());
   std::vector<double> actual = {out.control_identical ? 1.0 : 0.0,
                                 out.diffusion_per_edge_ps, out.fit_r2};
   for (const auto& p : out.points) {
@@ -221,8 +227,9 @@ TEST(Golden, Restart) {
 }
 
 TEST(Golden, CoherentAcrossBoards) {
-  const auto out = run_coherent_across_boards(RingSpec::iro(3), cyclone_iii(),
-                                              0.05, 2, golden_options(), 500);
+  const auto out = run_coherent_across_boards(
+      CoherentSweepSpec{RingSpec::iro(3), 0.05, 2, 500}, cyclone_iii(),
+      golden_options());
   std::vector<double> actual = {out.design_detune, out.detune_mean,
                                 out.detune_sigma, out.worst_deviation};
   for (const auto& row : out.boards) {
@@ -249,11 +256,12 @@ TEST(Golden, CoherentAcrossBoards) {
 }
 
 TEST(Golden, DeterministicJitter) {
-  DeterministicJitterConfig config;
-  config.periods = 256;
-  const auto points = run_deterministic_jitter(RingKind::iro, {3, 5},
-                                               cyclone_iii(), config,
-                                               golden_options());
+  DeterministicJitterSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = {3, 5};
+  sweep.periods = 256;
+  const auto points =
+      run_deterministic_jitter(sweep, cyclone_iii(), golden_options());
   std::vector<double> actual;
   for (const auto& p : points) {
     actual.push_back(static_cast<double>(p.stages));
@@ -285,11 +293,12 @@ TEST(Golden, ManifestEventCountsAreExact) {
   metrics::set_enabled(true);
   metrics::reset();
 
-  JitterVsStagesConfig config;
-  config.divider_n = 4;
-  config.mes_periods = 20;
-  (void)run_jitter_vs_stages(RingKind::iro, {3, 5}, cyclone_iii(),
-                             golden_options(), config);
+  JitterSweepSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = {3, 5};
+  sweep.divider_n = 4;
+  sweep.mes_periods = 20;
+  (void)run_jitter_vs_stages(sweep, cyclone_iii(), golden_options());
 
   const auto manifest = last_run_manifest();
   const metrics::Snapshot snap = metrics::snapshot();

@@ -249,7 +249,8 @@ TEST(Manifest, DriverWritesValidatableManifest) {
   core::ExperimentOptions options;
   options.jobs = 1;
   const auto result = core::run_voltage_sweep(
-      core::RingSpec::iro(3), core::cyclone_iii(), {1.1, 1.2}, options, 20);
+      core::VoltageSweepSpec{core::RingSpec::iro(3), {1.1, 1.2}, 20},
+      core::cyclone_iii(), options);
   ASSERT_EQ(result.points.size(), 2u);
 
   // The manifest the driver just wrote must agree with a fresh snapshot:
@@ -306,8 +307,9 @@ TEST(Manifest, NoManifestWhenMetricsDisabled) {
   metrics::set_enabled(false);
   core::ExperimentOptions options;
   options.jobs = 1;
-  (void)core::run_voltage_sweep(core::RingSpec::iro(3), core::cyclone_iii(),
-                                {1.2}, options, 10);
+  (void)core::run_voltage_sweep(
+      core::VoltageSweepSpec{core::RingSpec::iro(3), {1.2}, 10},
+      core::cyclone_iii(), options);
   std::FILE* f =
       std::fopen((out_dir.dir() + "/voltage_sweep.manifest.json").c_str(),
                  "rb");

@@ -142,11 +142,10 @@ TEST(ParallelDeterminism, VoltageSweep) {
   const std::vector<double> volts = {cal.nominal_voltage - 0.1,
                                      cal.nominal_voltage,
                                      cal.nominal_voltage + 0.1};
-  const auto baseline = run_voltage_sweep(RingSpec::iro(5), cal, volts,
-                                          options_with_jobs(1), 60);
+  const VoltageSweepSpec sweep{RingSpec::iro(5), volts, 60};
+  const auto baseline = run_voltage_sweep(sweep, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_voltage_sweep(RingSpec::iro(5), cal, volts,
-                                          options_with_jobs(jobs), 60);
+    const auto result = run_voltage_sweep(sweep, cal, options_with_jobs(jobs));
     EXPECT_EQ(result.f_nominal_mhz, baseline.f_nominal_mhz);
     EXPECT_EQ(result.excursion, baseline.excursion);
     ASSERT_EQ(result.points.size(), baseline.points.size());
@@ -162,11 +161,11 @@ TEST(ParallelDeterminism, VoltageSweep) {
 TEST(ParallelDeterminism, TemperatureSweep) {
   const auto& cal = cyclone_iii();
   const std::vector<double> temps = {0.0, 25.0, 60.0};
-  const auto baseline = run_temperature_sweep(RingSpec::str(8), cal, temps,
-                                              options_with_jobs(1), 60);
+  const TemperatureSweepSpec sweep{RingSpec::str(8), temps, 60};
+  const auto baseline = run_temperature_sweep(sweep, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_temperature_sweep(RingSpec::str(8), cal, temps,
-                                              options_with_jobs(jobs), 60);
+    const auto result =
+        run_temperature_sweep(sweep, cal, options_with_jobs(jobs));
     EXPECT_EQ(result.f_nominal_mhz, baseline.f_nominal_mhz);
     EXPECT_EQ(result.excursion, baseline.excursion);
     ASSERT_EQ(result.points.size(), baseline.points.size());
@@ -180,11 +179,12 @@ TEST(ParallelDeterminism, TemperatureSweep) {
 
 TEST(ParallelDeterminism, ProcessVariability) {
   const auto& cal = cyclone_iii();
-  const auto baseline = run_process_variability(RingSpec::iro(3), cal, 3,
-                                                options_with_jobs(1), 60);
+  const ProcessVariabilitySpec sweep{RingSpec::iro(3), 3, 60};
+  const auto baseline =
+      run_process_variability(sweep, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_process_variability(RingSpec::iro(3), cal, 3,
-                                                options_with_jobs(jobs), 60);
+    const auto result =
+        run_process_variability(sweep, cal, options_with_jobs(jobs));
     EXPECT_EQ(result.mean_mhz, baseline.mean_mhz);
     EXPECT_EQ(result.sigma_rel, baseline.sigma_rel);
     ASSERT_EQ(result.boards.size(), baseline.boards.size());
@@ -199,17 +199,17 @@ TEST(ParallelDeterminism, ProcessVariability) {
 TEST(ParallelDeterminism, JitterVsStages) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> stages = {3, 5, 9};
-  JitterVsStagesConfig config;
-  config.divider_n = 4;
-  config.mes_periods = 12;
+  JitterSweepSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = stages;
+  sweep.divider_n = 4;
+  sweep.mes_periods = 12;
   auto options = options_with_jobs(1);
   options.board_index = 0;
-  const auto baseline =
-      run_jitter_vs_stages(RingKind::iro, stages, cal, options, config);
+  const auto baseline = run_jitter_vs_stages(sweep, cal, options);
   for (std::size_t jobs : kJobCounts) {
     options.jobs = jobs;
-    const auto result =
-        run_jitter_vs_stages(RingKind::iro, stages, cal, options, config);
+    const auto result = run_jitter_vs_stages(sweep, cal, options);
     ASSERT_EQ(result.size(), baseline.size());
     for (std::size_t i = 0; i < baseline.size(); ++i) {
       EXPECT_EQ(result[i].stages, baseline[i].stages);
@@ -224,13 +224,14 @@ TEST(ParallelDeterminism, JitterVsStages) {
 TEST(ParallelDeterminism, ModeMap) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> tokens = {2, 4, 6};
-  const auto baseline =
-      run_mode_map(8, tokens, cal, options_with_jobs(1),
-                   ring::TokenPlacement::clustered, 1.0, 120);
+  ModeMapSpec map_spec;
+  map_spec.stages = 8;
+  map_spec.token_counts = tokens;
+  map_spec.placement = ring::TokenPlacement::clustered;
+  map_spec.periods = 120;
+  const auto baseline = run_mode_map(map_spec, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result =
-        run_mode_map(8, tokens, cal, options_with_jobs(jobs),
-                     ring::TokenPlacement::clustered, 1.0, 120);
+    const auto result = run_mode_map(map_spec, cal, options_with_jobs(jobs));
     ASSERT_EQ(result.size(), baseline.size());
     for (std::size_t i = 0; i < baseline.size(); ++i) {
       EXPECT_EQ(result[i].tokens, baseline[i].tokens);
@@ -243,12 +244,13 @@ TEST(ParallelDeterminism, ModeMap) {
 
 TEST(ParallelDeterminism, RestartExperiment) {
   const auto& cal = cyclone_iii();
-  const auto baseline = run_restart_experiment(RingSpec::iro(3), cal, 8, 8,
-                                               options_with_jobs(1));
+  const RestartSpec restart{RingSpec::iro(3), 8, 8};
+  const auto baseline =
+      run_restart_experiment(restart, cal, options_with_jobs(1));
   EXPECT_TRUE(baseline.control_identical);
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_restart_experiment(RingSpec::iro(3), cal, 8, 8,
-                                               options_with_jobs(jobs));
+    const auto result =
+        run_restart_experiment(restart, cal, options_with_jobs(jobs));
     EXPECT_EQ(result.control_identical, baseline.control_identical);
     EXPECT_EQ(result.diffusion_per_edge_ps, baseline.diffusion_per_edge_ps);
     EXPECT_EQ(result.fit_r2, baseline.fit_r2);
@@ -262,11 +264,12 @@ TEST(ParallelDeterminism, RestartExperiment) {
 
 TEST(ParallelDeterminism, CoherentAcrossBoards) {
   const auto& cal = cyclone_iii();
-  const auto baseline = run_coherent_across_boards(
-      RingSpec::iro(5), cal, 0.02, 2, options_with_jobs(1), 4000);
+  const CoherentSweepSpec sweep{RingSpec::iro(5), 0.02, 2, 4000};
+  const auto baseline =
+      run_coherent_across_boards(sweep, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_coherent_across_boards(
-        RingSpec::iro(5), cal, 0.02, 2, options_with_jobs(jobs), 4000);
+    const auto result =
+        run_coherent_across_boards(sweep, cal, options_with_jobs(jobs));
     EXPECT_EQ(result.detune_mean, baseline.detune_mean);
     EXPECT_EQ(result.detune_sigma, baseline.detune_sigma);
     EXPECT_EQ(result.worst_deviation, baseline.worst_deviation);
@@ -285,13 +288,15 @@ TEST(ParallelDeterminism, CoherentAcrossBoards) {
 TEST(ParallelDeterminism, DeterministicJitter) {
   const auto& cal = cyclone_iii();
   const std::vector<std::size_t> stages = {3, 5};
-  DeterministicJitterConfig config;
-  config.periods = 800;
-  const auto baseline = run_deterministic_jitter(RingKind::iro, stages, cal,
-                                                 config, options_with_jobs(1));
+  DeterministicJitterSpec sweep;
+  sweep.kind = RingKind::iro;
+  sweep.stage_counts = stages;
+  sweep.periods = 800;
+  const auto baseline =
+      run_deterministic_jitter(sweep, cal, options_with_jobs(1));
   for (std::size_t jobs : kJobCounts) {
-    const auto result = run_deterministic_jitter(
-        RingKind::iro, stages, cal, config, options_with_jobs(jobs));
+    const auto result =
+        run_deterministic_jitter(sweep, cal, options_with_jobs(jobs));
     ASSERT_EQ(result.size(), baseline.size());
     for (std::size_t i = 0; i < baseline.size(); ++i) {
       EXPECT_EQ(result[i].stages, baseline[i].stages);

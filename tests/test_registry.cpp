@@ -1,0 +1,63 @@
+// The experiment registry is the CLI's dispatch surface: every driver must
+// be present exactly once, lookups must be total, and run_small must hand
+// back the driver's own run manifest without leaking global metrics state.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/registry.hpp"
+#include "sim/metrics.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+TEST(Registry, CoversEveryDriverExactlyOnce) {
+  const auto& registry = experiment_registry();
+  EXPECT_EQ(registry.size(), 9u);
+
+  std::set<std::string> names;
+  for (const auto& entry : registry) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_FALSE(entry.summary.empty());
+    EXPECT_FALSE(entry.source.empty());
+    EXPECT_TRUE(static_cast<bool>(entry.run_small)) << entry.name;
+    EXPECT_TRUE(names.insert(entry.name).second)
+        << "duplicate name: " << entry.name;
+  }
+  // The full roster, including the attack-resilience pipeline.
+  for (const char* name :
+       {"voltage_sweep", "temperature_sweep", "process_variability",
+        "jitter_vs_stages", "mode_map", "restart", "coherent_boards",
+        "deterministic_jitter", "attack_resilience"}) {
+    EXPECT_TRUE(names.count(name)) << name;
+  }
+}
+
+TEST(Registry, FindExperimentIsTotal) {
+  const ExperimentDescriptor* found = find_experiment("attack_resilience");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "attack_resilience");
+  EXPECT_EQ(find_experiment("no-such-experiment"), nullptr);
+  EXPECT_EQ(find_experiment(""), nullptr);
+}
+
+TEST(Registry, RunSmallReturnsTheDriversManifestAndRestoresMetricsState) {
+  // Metrics are off going in; run_small must flip them on for the driver
+  // (so a manifest exists), then put the world back exactly as it was.
+  ASSERT_FALSE(sim::metrics::enabled());
+  const ExperimentDescriptor* exp = find_experiment("restart");
+  ASSERT_NE(exp, nullptr);
+
+  ExperimentOptions options;
+  options.jobs = 2;
+  const RunManifest manifest = exp->run_small(cyclone_iii(), options);
+  EXPECT_FALSE(sim::metrics::enabled());
+
+  EXPECT_EQ(manifest.experiment, "restart");
+  EXPECT_EQ(manifest.jobs, 2u);
+  EXPECT_GT(manifest.tasks, 0u);
+  EXPECT_EQ(manifest.seed, options.seed);
+  EXPECT_GT(manifest.metrics.counter(sim::metrics::Counter::events_fired),
+            0u);
+}

@@ -1,0 +1,332 @@
+// Unit tests for the attack-resilience subsystem's pieces in isolation:
+// the degradation state machine (trng/resilient.hpp) against synthetic
+// deterministic bit sources, and the fault-scenario schedule algebra
+// (noise/fault.hpp). The full physics pipeline (simulated ring under a
+// scripted attack) is pinned by the tier-2 golden suite in test_attack.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/ring_source.hpp"
+#include "noise/fault.hpp"
+#include "trng/health.hpp"
+#include "trng/resilient.hpp"
+
+using namespace ringent;
+using namespace ringent::trng;
+using noise::FaultEvent;
+using noise::FaultKind;
+using noise::FaultScenario;
+
+namespace {
+
+/// Unbiased pseudo-random bits; restart() reseeds deterministically.
+class RandomSource final : public BitSource {
+ public:
+  explicit RandomSource(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::uint8_t next_bit() override {
+    return static_cast<std::uint8_t>(rng_.next() >> 63);
+  }
+  void restart(std::uint64_t attempt) override {
+    rng_ = Xoshiro256(seed_ + attempt);
+  }
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+};
+
+/// Constant output: the classic dead-source failure mode.
+class StuckSource final : public BitSource {
+ public:
+  std::uint8_t next_bit() override { return 1; }
+};
+
+/// Ones with probability `p` — biased but not stuck (the APT's target).
+class BiasedSource final : public BitSource {
+ public:
+  BiasedSource(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+  std::uint8_t next_bit() override {
+    return static_cast<std::uint8_t>(rng_.uniform01() < p_);
+  }
+
+ private:
+  double p_;
+  Xoshiro256 rng_;
+};
+
+/// A deterministic script over the raw-bit index: alternating 0101...
+/// everywhere except [stuck_from, stuck_to), which is all-ones. restart()
+/// keeps the index running — a power-cycle does not rewind the fault.
+class ScriptSource final : public BitSource {
+ public:
+  ScriptSource(std::uint64_t stuck_from, std::uint64_t stuck_to)
+      : stuck_from_(stuck_from), stuck_to_(stuck_to) {}
+  std::uint8_t next_bit() override {
+    const std::uint64_t i = index_++;
+    if (i >= stuck_from_ && i < stuck_to_) return 1;
+    return static_cast<std::uint8_t>(i & 1);
+  }
+
+ private:
+  std::uint64_t stuck_from_;
+  std::uint64_t stuck_to_;
+  std::uint64_t index_ = 0;
+};
+
+DegradationPolicy test_policy() {
+  DegradationPolicy policy;
+  policy.claimed_min_entropy = 0.3;
+  return policy;
+}
+
+}  // namespace
+
+TEST(Resilient, HealthyUnbiasedSourceRunsCleanOverAMillionBits) {
+  // The false-positive budget: alpha_log2 = 20 puts the per-window alarm
+  // probability at ~2^-20, so a clean source must cross 10^6 bits with no
+  // alarm and no muting. The advisory suspect state may flicker (it sits
+  // only ~0.6 of the way to the cutoffs by design) but never costs a bit
+  // and never escalates.
+  RandomSource source(12345);
+  ResilientGenerator gen(source, nullptr, test_policy());
+  const auto out = gen.generate(1'000'000);
+
+  EXPECT_EQ(out.size(), 1'000'000u);
+  const ResilientStats& stats = gen.stats();
+  EXPECT_EQ(stats.bits_in, 1'000'000u);
+  EXPECT_EQ(stats.bits_out, 1'000'000u);
+  EXPECT_EQ(stats.bits_muted, 0u);
+  EXPECT_EQ(stats.rct_alarms, 0u);
+  EXPECT_EQ(stats.apt_alarms, 0u);
+  EXPECT_FALSE(stats.alarmed);
+  for (const auto& t : gen.transitions()) {
+    EXPECT_TRUE(t.to == DegradationState::healthy ||
+                t.to == DegradationState::suspect)
+        << to_string(t.to) << " at bit " << t.at_bit;
+  }
+}
+
+TEST(Resilient, StuckSourceIsDetectedAndLatchesFailed) {
+  // A dead source repeats forever: the RCT must fire at exactly its cutoff,
+  // every re-lock must alarm again, and the strike budget must latch the
+  // generator `failed` so it stops emitting for good.
+  StuckSource source;
+  const DegradationPolicy policy = test_policy();
+  ResilientGenerator gen(source, nullptr, policy);
+  const auto out = gen.generate(50'000);
+
+  const ResilientStats& stats = gen.stats();
+  EXPECT_TRUE(stats.alarmed);
+  // Detection latency is the RCT cutoff itself — fully deterministic.
+  EXPECT_EQ(stats.first_alarm_bit, trng::rct_cutoff(0.3));
+  EXPECT_EQ(gen.state(), DegradationState::failed);
+  EXPECT_EQ(stats.strikes, policy.max_strikes);
+  EXPECT_GE(stats.rct_alarms, policy.max_strikes);
+  EXPECT_FALSE(stats.recovered);
+  // Only the pre-detection bits ever escaped.
+  EXPECT_LT(stats.bits_out, trng::rct_cutoff(0.3));
+  // generate() gives up early once failed, and stays that way.
+  EXPECT_LT(out.size() + stats.bits_muted, 50'000u);
+  EXPECT_TRUE(gen.generate(1'000).empty());
+
+  // Determinism: an identical run replays the identical transition log.
+  StuckSource source2;
+  ResilientGenerator gen2(source2, nullptr, policy);
+  (void)gen2.generate(50'000);
+  ASSERT_EQ(gen2.transitions().size(), gen.transitions().size());
+  for (std::size_t i = 0; i < gen.transitions().size(); ++i) {
+    EXPECT_EQ(gen2.transitions()[i].from, gen.transitions()[i].from);
+    EXPECT_EQ(gen2.transitions()[i].to, gen.transitions()[i].to);
+    EXPECT_EQ(gen2.transitions()[i].at_bit, gen.transitions()[i].at_bit);
+    EXPECT_EQ(gen2.transitions()[i].reason, gen.transitions()[i].reason);
+  }
+}
+
+TEST(Resilient, BiasedSourceTripsTheAdaptiveProportionTest) {
+  // 90% ones is far beyond a 0.3-bit min-entropy claim (p_max ~ 0.81) but
+  // almost never repeats 68 times — the APT, not the RCT, must catch it.
+  BiasedSource source(0.9, 99);
+  ResilientGenerator gen(source, nullptr, test_policy());
+  (void)gen.generate(20'000);
+
+  const ResilientStats& stats = gen.stats();
+  EXPECT_TRUE(stats.alarmed);
+  EXPECT_GE(stats.apt_alarms, 1u);
+  // Caught within the first couple of APT windows.
+  EXPECT_LT(stats.first_alarm_bit, 3u * 1024u);
+  EXPECT_NE(gen.state(), DegradationState::healthy);
+}
+
+TEST(Resilient, NearThresholdRunRaisesSuspectThenRecedes) {
+  // A 30-bit run against a cutoff of 41 (claim 0.5) crosses the 0.7
+  // suspect fraction but never alarms: the machine must flag the early
+  // warning, keep emitting, and drop back to healthy when the run ends.
+  ScriptSource source(100, 130);
+  DegradationPolicy policy;
+  policy.claimed_min_entropy = 0.5;
+  policy.suspect_fraction = 0.7;
+  ResilientGenerator gen(source, nullptr, policy);
+  ASSERT_EQ(gen.rct_cutoff_used(), 41u);
+
+  const auto out = gen.generate(4'096);
+  EXPECT_EQ(out.size(), 4'096u);  // suspect still emits
+  EXPECT_EQ(gen.state(), DegradationState::healthy);
+  EXPECT_FALSE(gen.stats().alarmed);
+  ASSERT_EQ(gen.transitions().size(), 2u);
+  EXPECT_EQ(gen.transitions()[0].from, DegradationState::healthy);
+  EXPECT_EQ(gen.transitions()[0].to, DegradationState::suspect);
+  EXPECT_EQ(gen.transitions()[0].reason, "near-threshold");
+  EXPECT_EQ(gen.transitions()[1].from, DegradationState::suspect);
+  EXPECT_EQ(gen.transitions()[1].to, DegradationState::healthy);
+}
+
+TEST(Resilient, TransientFaultMutesThenRecoversThroughProbation) {
+  // Source goes dead for a window, then comes back: mute on the alarm,
+  // re-lock after the backoff, survive probation, return to healthy —
+  // and the stats must record the full detection/recovery timeline.
+  ScriptSource source(500, 700);
+  DegradationPolicy policy;
+  policy.claimed_min_entropy = 0.5;
+  policy.suspect_fraction = 1.0;  // isolate the alarm path from suspect noise
+  ResilientGenerator gen(source, nullptr, policy);
+  const auto out = gen.generate(4'000);
+
+  const ResilientStats& stats = gen.stats();
+  EXPECT_TRUE(stats.alarmed);
+  EXPECT_EQ(stats.first_alarm_bit, 500u + trng::rct_cutoff(0.5) - 1);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_GT(stats.recovered_bit, stats.first_alarm_bit);
+  EXPECT_EQ(gen.state(), DegradationState::healthy);
+  EXPECT_EQ(stats.strikes, 1u);
+  EXPECT_EQ(stats.relock_attempts, 1u);
+  EXPECT_EQ(stats.failovers, 0u);
+  // Muted exactly the alarming bit + backoff + probation raw bits.
+  EXPECT_EQ(stats.bits_muted,
+            1u + policy.backoff_bits + policy.probation_bits);
+  EXPECT_EQ(out.size() + stats.bits_muted, 4'000u);
+
+  // The recorded edges spell out the canonical recovery path.
+  std::vector<DegradationState> path;
+  for (const auto& t : gen.transitions()) path.push_back(t.to);
+  EXPECT_EQ(path, (std::vector<DegradationState>{
+                      DegradationState::muted, DegradationState::relocking,
+                      DegradationState::healthy}));
+}
+
+TEST(Resilient, FailoverHandsTheStreamToTheBackupSource) {
+  // Primary is permanently dead; after `failover_after_strikes` re-locks
+  // the machine must switch to the (healthy) backup and fully recover.
+  StuckSource primary;
+  RandomSource backup(4242);
+  DegradationPolicy policy = test_policy();
+  policy.max_strikes = 6;  // leave room to recover after the failover
+  ResilientGenerator gen(primary, &backup, policy);
+  const auto out = gen.generate(30'000);
+
+  const ResilientStats& stats = gen.stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_TRUE(gen.using_backup());
+  EXPECT_EQ(gen.state(), DegradationState::healthy);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_EQ(stats.strikes, policy.failover_after_strikes);
+  // After the failover the stream flows again.
+  EXPECT_GT(out.size(), 10'000u);
+}
+
+TEST(Resilient, ConstructorRejectsAliasedSources) {
+  RandomSource source(1);
+  EXPECT_THROW(ResilientGenerator(source, &source), PreconditionError);
+}
+
+TEST(FaultScenario, ValidateRejectsMalformedWindows) {
+  FaultScenario scenario;
+  scenario.events.push_back(
+      FaultEvent::tone(Time::from_us(2.0), Time::from_us(1.0), 0.1, 1e3));
+  EXPECT_THROW(scenario.validate(), PreconditionError);  // stop <= start
+
+  scenario.events.clear();
+  scenario.events.push_back(
+      FaultEvent::tone(Time::from_us(1.0), Time::from_us(2.0), 0.1, 0.0));
+  EXPECT_THROW(scenario.validate(), PreconditionError);  // tone w/o frequency
+
+  scenario.events.clear();
+  scenario.events.push_back(
+      FaultEvent::drift(Time::from_us(-1.0), Time::from_us(2.0), 10.0));
+  EXPECT_THROW(scenario.validate(), PreconditionError);  // negative start
+
+  scenario.events.clear();
+  scenario.events.push_back(
+      FaultEvent::brownout(Time::from_us(1.0), Time::from_us(2.0), 0.1));
+  EXPECT_NO_THROW(scenario.validate());
+}
+
+TEST(FaultScenario, EndAndSupplyOnlyProjection) {
+  FaultScenario scenario;
+  scenario.name = "mixed";
+  scenario.events.push_back(
+      FaultEvent::tone(Time::from_us(1.0), Time::from_us(5.0), 0.1, 2e3));
+  scenario.events.push_back(
+      FaultEvent::stuck(Time::from_us(2.0), Time::from_us(9.0), 3));
+  scenario.events.push_back(
+      FaultEvent::kick(Time::from_us(3.0), Time::from_us(4.0), 50.0, 8));
+  EXPECT_EQ(scenario.end(), Time::from_us(9.0));
+  EXPECT_TRUE(scenario.has_supply_faults());
+  EXPECT_TRUE(scenario.has_delay_faults());
+
+  // The backup ring on the same die sees the rail, not the stage defects.
+  const FaultScenario shared = scenario.supply_only();
+  ASSERT_EQ(shared.events.size(), 1u);
+  EXPECT_EQ(shared.events[0].kind, FaultKind::supply_tone);
+  EXPECT_EQ(shared.name, "mixed/supply-only");
+  EXPECT_FALSE(shared.has_delay_faults());
+
+  const FaultScenario quiet;
+  EXPECT_EQ(quiet.end(), Time::zero());
+  EXPECT_EQ(quiet.name, "quiet");
+  EXPECT_NO_THROW(quiet.validate());
+}
+
+TEST(FaultScenario, BrownoutIsANegativeSupplyStep) {
+  const FaultEvent e =
+      FaultEvent::brownout(Time::from_us(1.0), Time::from_us(2.0), 0.15);
+  EXPECT_EQ(e.kind, FaultKind::supply_step);
+  EXPECT_DOUBLE_EQ(e.magnitude, -0.15);
+  EXPECT_TRUE(noise::is_supply_fault(e.kind));
+  EXPECT_FALSE(noise::is_supply_fault(FaultKind::stuck_stage));
+  EXPECT_TRUE(e.active_at(Time::from_us(1.5)));
+  EXPECT_FALSE(e.active_at(Time::from_us(2.0)));  // [start, stop)
+}
+
+TEST(RingBitSource, IdenticalConfigsReplayIdenticalBits) {
+  // The physics adapter inherits the simulator's determinism contract:
+  // same spec, same seed, same scenario => the same sampled bit stream.
+  core::RingSourceConfig config;
+  config.spec = core::RingSpec::iro(9);
+  config.chunk_bits = 64;
+  config.seed = 7;
+  FaultScenario scenario;
+  scenario.name = "step";
+  scenario.events.push_back(
+      FaultEvent::delay_step(Time::from_us(10.0), Time::from_us(20.0), 40.0));
+
+  core::RingBitSource a(config, core::cyclone_iii(), scenario);
+  core::RingBitSource b(config, core::cyclone_iii(), scenario);
+  std::vector<std::uint8_t> bits_a, bits_b;
+  for (int i = 0; i < 200; ++i) bits_a.push_back(a.next_bit());
+  for (int i = 0; i < 200; ++i) bits_b.push_back(b.next_bit());
+  EXPECT_EQ(bits_a, bits_b);
+  // 200 bits x 250 ns crosses the window start: the activation is counted.
+  EXPECT_EQ(a.injector().activations(), 1u);
+  EXPECT_EQ(b.injector().activations(), 1u);
+
+  // A restart re-locks with fresh noise: the stream may differ, but the
+  // adapter must keep serving bits and keep absolute time moving forward.
+  const Time before = a.now();
+  a.restart(1);
+  for (int i = 0; i < 16; ++i) (void)a.next_bit();
+  EXPECT_GT(a.now(), before);
+}

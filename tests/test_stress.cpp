@@ -244,11 +244,13 @@ TEST(Stress, PerStageRoutingIroPeriodIsExact) {
 TEST(Stress, ExperimentsRejectNonsense) {
   using namespace ringent::core;
   const auto& cal = cyclone_iii();
-  EXPECT_THROW(run_voltage_sweep(RingSpec::iro(5), cal, {}),
+  EXPECT_THROW(run_voltage_sweep(VoltageSweepSpec{RingSpec::iro(5), {}}, cal),
                PreconditionError);
-  EXPECT_THROW(run_mode_map(16, {4}, cal, {},
-                            ring::TokenPlacement::clustered, -1.0),
-               PreconditionError);
+  ModeMapSpec bad_map;
+  bad_map.stages = 16;
+  bad_map.token_counts = {4};
+  bad_map.charlie_scale = -1.0;
+  EXPECT_THROW(run_mode_map(bad_map, cal), PreconditionError);
   EXPECT_THROW(collect_periods_ps(RingSpec::str(8), cal, 0),
                PreconditionError);
   BuildOptions bad;
