@@ -6,29 +6,11 @@
 
 namespace ringent {
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   // Seed expansion through SplitMix64 as recommended by the xoshiro authors;
   // guarantees a nonzero state for any seed, including zero.
   SplitMix64 sm(seed);
   for (auto& s : s_) s = sm.next();
-}
-
-Xoshiro256::result_type Xoshiro256::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256::jump() {
@@ -53,32 +35,9 @@ void Xoshiro256::jump() {
   s_[3] = s3;
 }
 
-double Xoshiro256::uniform01() {
-  // 53 top bits -> [0,1) with full double precision.
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 double Xoshiro256::uniform(double lo, double hi) {
   RINGENT_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
   return lo + (hi - lo) * uniform01();
-}
-
-double Xoshiro256::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  // Marsaglia polar method: exact, branchy but fast enough for our volumes.
-  double u, v, s;
-  do {
-    u = 2.0 * uniform01() - 1.0;
-    v = 2.0 * uniform01() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double factor = std::sqrt(-2.0 * std::log(s) / s);
-  cached_normal_ = v * factor;
-  has_cached_normal_ = true;
-  return u * factor;
 }
 
 std::uint64_t Xoshiro256::below(std::uint64_t n) {

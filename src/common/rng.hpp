@@ -9,6 +9,8 @@
 // distributions.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -42,28 +44,97 @@ class Xoshiro256 {
   static constexpr result_type max() { return ~0ULL; }
 
   result_type operator()() { return next(); }
-  result_type next();
+
+  /// Defined inline (and in the header) so the simulation hot loops — block
+  /// noise refills draw millions of deviates — inline the generator instead
+  /// of paying a cross-TU call per draw.
+  result_type next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Jump function: advances the state by 2^128 steps — used to split one
   /// seed into provably non-overlapping parallel streams.
   void jump();
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform01();
+  double uniform01() {
+    // 53 top bits -> [0,1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
   /// Standard normal deviate (Marsaglia polar method, internally cached).
-  double normal();
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    const auto [first, second] = normal_pair();
+    cached_normal_ = second;
+    has_cached_normal_ = true;
+    return first;
+  }
 
   /// Normal deviate with the given mean and standard deviation.
   double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Fill `out[0..n)` with standard normal deviates — the exact sequence n
+  /// calls to normal() would produce (the polar method's pair cache is
+  /// honoured and left in the same state), but with the rejection loop
+  /// inlined and the per-call cache branch amortized over the block.
+  void normals(double* out, std::size_t n) {
+    std::size_t i = 0;
+    if (i < n && has_cached_normal_) {
+      has_cached_normal_ = false;
+      out[i++] = cached_normal_;
+    }
+    while (i < n) {
+      const auto [first, second] = normal_pair();
+      out[i++] = first;
+      if (i < n) {
+        out[i++] = second;
+      } else {
+        cached_normal_ = second;
+        has_cached_normal_ = true;
+      }
+    }
+  }
 
   /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t below(std::uint64_t n);
 
  private:
+  struct Pair {
+    double first;
+    double second;
+  };
+
+  /// One Marsaglia polar round: two fresh standard normals.
+  Pair normal_pair() {
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    return Pair{u * factor, v * factor};
+  }
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

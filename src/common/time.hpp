@@ -73,7 +73,20 @@ class Time {
  private:
   constexpr explicit Time(std::int64_t fs) : fs_(fs) {}
   static std::int64_t to_i64(double fs) {
-    return static_cast<std::int64_t>(std::llround(fs));
+    // llround semantics (round half away from zero), via the single-cycle
+    // round-to-nearest-even conversion plus an exact-tie fixup. Ties are the
+    // only inputs where the two rounding rules differ, and a tie at +-0.5
+    // can only occur below 2^52 where the subtraction is exact — asserted
+    // equivalent to std::llround over ties and a dense value sweep by
+    // tests/test_hot_path.cpp.
+    auto i = static_cast<std::int64_t>(std::rint(fs));
+    const double diff = fs - static_cast<double>(i);
+    if (diff == 0.5 && fs > 0.0) {
+      ++i;
+    } else if (diff == -0.5 && fs < 0.0) {
+      --i;
+    }
+    return i;
   }
 
   std::int64_t fs_ = 0;

@@ -12,9 +12,9 @@
 //
 // XSpec declares WHAT to run (rings, sweep axes, durations — the science);
 // ExperimentOptions declares HOW to run it (seed, jobs, noise toggle — the
-// execution policy). The historical signatures with trailing positional
-// knobs remain as thin deprecated wrappers; new code and the experiment
-// registry (core/registry.hpp) use the spec forms exclusively.
+// execution policy). The experiment registry (core/registry.hpp) and all
+// callers use the spec forms exclusively; the historical positional-knob
+// signatures have been removed.
 #pragma once
 
 #include <cstdint>
@@ -81,15 +81,6 @@ VoltageSweepResult run_voltage_sweep(const VoltageSweepSpec& spec,
                                      const Calibration& calibration,
                                      const ExperimentOptions& options = {});
 
-[[deprecated("pass a VoltageSweepSpec")]] inline VoltageSweepResult
-run_voltage_sweep(const RingSpec& spec, const Calibration& calibration,
-                  const std::vector<double>& voltages,
-                  const ExperimentOptions& options = {},
-                  std::size_t periods = 400) {
-  return run_voltage_sweep(VoltageSweepSpec{spec, voltages, periods},
-                           calibration, options);
-}
-
 // --- extension: sensitivity to temperature ----------------------------------
 
 struct TemperatureSweepPoint {
@@ -118,15 +109,6 @@ TemperatureSweepResult run_temperature_sweep(
     const TemperatureSweepSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
 
-[[deprecated("pass a TemperatureSweepSpec")]] inline TemperatureSweepResult
-run_temperature_sweep(const RingSpec& spec, const Calibration& calibration,
-                      const std::vector<double>& temperatures,
-                      const ExperimentOptions& options = {},
-                      std::size_t periods = 400) {
-  return run_temperature_sweep(
-      TemperatureSweepSpec{spec, temperatures, periods}, calibration, options);
-}
-
 // --- Table II: sensitivity to process variability --------------------------
 
 struct BoardFrequency {
@@ -153,16 +135,6 @@ ProcessVariabilityResult run_process_variability(
     const ProcessVariabilitySpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
 
-[[deprecated("pass a ProcessVariabilitySpec")]] inline ProcessVariabilityResult
-run_process_variability(const RingSpec& spec, const Calibration& calibration,
-                        unsigned board_count = 5,
-                        const ExperimentOptions& options = {},
-                        std::size_t periods = 400) {
-  return run_process_variability(
-      ProcessVariabilitySpec{spec, board_count, periods}, calibration,
-      options);
-}
-
 // --- Figs. 9, 11, 12: jitter -------------------------------------------------
 
 /// Ground-truth period population (no instrument in the path).
@@ -179,11 +151,6 @@ struct JitterPoint {
   double sigma_direct_ps = 0.0;  ///< ground-truth sigma of the periods
 };
 
-struct JitterVsStagesConfig {
-  unsigned divider_n = 8;        ///< divide by 2^n in the measurement method
-  std::size_t mes_periods = 150; ///< osc_mes periods per point
-};
-
 struct JitterSweepSpec {
   RingKind kind = RingKind::iro;
   std::vector<std::size_t> stage_counts;
@@ -197,18 +164,6 @@ struct JitterSweepSpec {
 std::vector<JitterPoint> run_jitter_vs_stages(
     const JitterSweepSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
-
-[[deprecated("pass a JitterSweepSpec")]] inline std::vector<JitterPoint>
-run_jitter_vs_stages(RingKind kind,
-                     const std::vector<std::size_t>& stage_counts,
-                     const Calibration& calibration,
-                     const ExperimentOptions& options = {},
-                     const JitterVsStagesConfig& config = {}) {
-  return run_jitter_vs_stages(
-      JitterSweepSpec{kind, stage_counts, config.divider_n,
-                      config.mes_periods},
-      calibration, options);
-}
 
 // --- Fig. 5 / Sec. V-A: oscillation modes -----------------------------------
 
@@ -233,17 +188,6 @@ struct ModeMapSpec {
 std::vector<ModeMapEntry> run_mode_map(const ModeMapSpec& spec,
                                        const Calibration& calibration,
                                        const ExperimentOptions& options = {});
-
-[[deprecated("pass a ModeMapSpec")]] inline std::vector<ModeMapEntry>
-run_mode_map(std::size_t stages, const std::vector<std::size_t>& token_counts,
-             const Calibration& calibration,
-             const ExperimentOptions& options = {},
-             ring::TokenPlacement placement = ring::TokenPlacement::clustered,
-             double charlie_scale = 1.0, std::size_t periods = 600) {
-  return run_mode_map(
-      ModeMapSpec{stages, token_counts, placement, charlie_scale, periods},
-      calibration, options);
-}
 
 // --- extension: the restart technique ----------------------------------------
 
@@ -278,14 +222,6 @@ struct RestartSpec {
 RestartResult run_restart_experiment(const RestartSpec& spec,
                                      const Calibration& calibration,
                                      const ExperimentOptions& options = {});
-
-[[deprecated("pass a RestartSpec")]] inline RestartResult
-run_restart_experiment(const RingSpec& spec, const Calibration& calibration,
-                       unsigned restarts = 64, std::size_t edges = 256,
-                       const ExperimentOptions& options = {}) {
-  return run_restart_experiment(RestartSpec{spec, restarts, edges},
-                                calibration, options);
-}
 
 // --- conclusion / ref [7]: coherent sampling across devices -----------------
 
@@ -322,18 +258,6 @@ CoherentSweepResult run_coherent_across_boards(
     const CoherentSweepSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
 
-[[deprecated("pass a CoherentSweepSpec")]] inline CoherentSweepResult
-run_coherent_across_boards(const RingSpec& spec,
-                           const Calibration& calibration,
-                           double design_detune = 0.01,
-                           unsigned board_count = 5,
-                           const ExperimentOptions& options = {},
-                           std::size_t periods = 60000) {
-  return run_coherent_across_boards(
-      CoherentSweepSpec{spec, design_detune, board_count, periods},
-      calibration, options);
-}
-
 // --- Sec. IV-B: global deterministic jitter ---------------------------------
 
 struct DeterministicJitterPoint {
@@ -342,12 +266,6 @@ struct DeterministicJitterPoint {
   double tone_ps = 0.0;       ///< amplitude of the modulation tone in T(k)
   double tone_relative = 0.0; ///< tone_ps / mean_period_ps
   double random_ps = 0.0;     ///< residual white jitter per period
-};
-
-struct DeterministicJitterConfig {
-  double modulation_amplitude_v = 0.05;
-  double modulation_frequency_hz = 2.0e6;
-  std::size_t periods = 8192;
 };
 
 struct DeterministicJitterSpec {
@@ -365,19 +283,6 @@ struct DeterministicJitterSpec {
 std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     const DeterministicJitterSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
-
-[[deprecated("pass a DeterministicJitterSpec")]] inline std::vector<
-    DeterministicJitterPoint>
-run_deterministic_jitter(RingKind kind,
-                         const std::vector<std::size_t>& stage_counts,
-                         const Calibration& calibration,
-                         const DeterministicJitterConfig& config = {},
-                         const ExperimentOptions& options = {}) {
-  return run_deterministic_jitter(
-      DeterministicJitterSpec{kind, stage_counts, config.modulation_amplitude_v,
-                              config.modulation_frequency_hz, config.periods},
-      calibration, options);
-}
 
 // --- attack resilience: fault injection + online-health degradation ----------
 

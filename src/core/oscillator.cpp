@@ -154,6 +154,16 @@ Oscillator Oscillator::build(const RingSpec& spec,
   return osc;
 }
 
+void Oscillator::advance_to(Time t) {
+  // The kernel hosts exactly one process (the ring), so run_until_on can
+  // devirtualize Process::fire into a direct call on the concrete ring type.
+  if (iro_ != nullptr) {
+    kernel_->run_until_on(*iro_, t);
+  } else {
+    kernel_->run_until_on(*str_, t);
+  }
+}
+
 void Oscillator::run_periods(std::size_t n) {
   const sim::metrics::ScopedPhase phase("run");
   RINGENT_REQUIRE(started_, "oscillator not started");
@@ -165,11 +175,11 @@ void Oscillator::run_periods(std::size_t n) {
   };
   const Time target =
       warmup_time_ + estimated_period_.scaled(static_cast<double>(n + 8));
-  if (kernel_->now() < target) kernel_->run_until(target);
+  if (kernel_->now() < target) advance_to(target);
   double topup = 64.0;
   while (!enough()) {
     RINGENT_REQUIRE(!kernel_->idle(), "ring deadlocked (no pending events)");
-    kernel_->run_until(kernel_->now() + estimated_period_.scaled(topup));
+    advance_to(kernel_->now() + estimated_period_.scaled(topup));
     topup *= 2.0;
   }
 }
@@ -177,7 +187,7 @@ void Oscillator::run_periods(std::size_t n) {
 void Oscillator::run_for(Time span) {
   const sim::metrics::ScopedPhase phase("run");
   RINGENT_REQUIRE(started_, "oscillator not started");
-  kernel_->run_until(kernel_->now() + span);
+  advance_to(kernel_->now() + span);
 }
 
 sim::SignalTrace& Oscillator::output() {

@@ -111,6 +111,8 @@ class Oscillator {
  private:
   Oscillator() = default;
 
+  void advance_to(Time t);
+
   RingSpec spec_;
   Time nominal_period_;
   Time estimated_period_;  ///< nominal period scaled to the operating point

@@ -1,0 +1,75 @@
+// Memoized delay-law scale factors for one (Supply, VoltageLaws) pair.
+//
+// The ring hot loops used to query Supply::operating_point_at and evaluate
+// three DelayVoltageLaw::scale divisions on every event. Both are pure
+// functions of (supply state, query time), so their results are cacheable
+// with exact invalidation:
+//
+//  * the Supply bumps a generation counter on every setter call, and
+//  * a time-invariant supply (no modulation waveform, no regulator ripple —
+//    the common case: every static voltage/temperature sweep) yields the
+//    same operating point for every t, so one computation serves the whole
+//    generation.
+//
+// For a time-varying supply the cache still collapses same-timestamp queries
+// (an STR evaluates up to two stages per event time) and otherwise
+// recomputes — bit-identical to the uncached path, since the inputs are
+// identical. This is deliberately NOT an approximating time-bucket cache:
+// fidelity of the supply-tone experiments (paper Sec. IV-B) requires the
+// exact per-event voltage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "fpga/delay_model.hpp"
+#include "fpga/supply.hpp"
+
+namespace ringent::fpga {
+
+class SupplyScaleCache {
+ public:
+  struct Scales {
+    double lut = 1.0;
+    double routing = 1.0;
+    double charlie = 1.0;
+  };
+
+  /// Either both null (fixed nominal: at() always returns unit scales) or
+  /// both non-null; the referents must outlive the cache.
+  SupplyScaleCache(const Supply* supply, const VoltageLaws* laws)
+      : supply_(supply), laws_(laws) {}
+
+  /// Scale factors at absolute time `now` — exactly what evaluating the
+  /// three laws at supply->operating_point_at(now) returns.
+  const Scales& at(Time now) {
+    if (supply_ == nullptr) return scales_;
+    const std::uint64_t generation = supply_->generation();
+    if (generation != cached_generation_) {
+      cached_generation_ = generation;
+      invariant_ = supply_->time_invariant();
+      refresh(now);
+    } else if (!invariant_ && now.fs() != cached_at_fs_) {
+      refresh(now);
+    }
+    return scales_;
+  }
+
+ private:
+  void refresh(Time now) {
+    cached_at_fs_ = now.fs();
+    const OperatingPoint op = supply_->operating_point_at(now);
+    scales_.lut = laws_->lut.scale(op);
+    scales_.routing = laws_->routing.scale(op);
+    scales_.charlie = laws_->charlie.scale(op);
+  }
+
+  const Supply* supply_;
+  const VoltageLaws* laws_;
+  Scales scales_{};
+  std::uint64_t cached_generation_ = ~std::uint64_t{0};
+  std::int64_t cached_at_fs_ = 0;
+  bool invariant_ = false;
+};
+
+}  // namespace ringent::fpga

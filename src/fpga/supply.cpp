@@ -66,6 +66,7 @@ Supply::Supply(double nominal_v) : nominal_v_(nominal_v), level_(nominal_v) {
 void Supply::set_level(double volts) {
   RINGENT_REQUIRE(volts > 0.0, "supply level must be positive");
   level_ = volts;
+  ++generation_;
 }
 
 double Supply::voltage_at(Time t) const {

@@ -58,10 +58,16 @@ class Supply {
   void set_level(double volts);
   double level() const { return level_; }
 
-  void set_modulation(const Modulation& m) { modulation_ = m; }
+  void set_modulation(const Modulation& m) {
+    modulation_ = m;
+    ++generation_;
+  }
   const Modulation& modulation() const { return modulation_; }
 
-  void set_regulator(const Regulator& r) { regulator_ = r; }
+  void set_regulator(const Regulator& r) {
+    regulator_ = r;
+    ++generation_;
+  }
 
   /// Effective core voltage at absolute time t.
   double voltage_at(Time t) const;
@@ -69,13 +75,30 @@ class Supply {
   /// Operating point (voltage + temperature) at time t.
   OperatingPoint operating_point_at(Time t) const;
 
-  void set_temperature_c(double t) { temperature_c_ = t; }
+  void set_temperature_c(double t) {
+    temperature_c_ = t;
+    ++generation_;
+  }
   double temperature_c() const { return temperature_c_; }
+
+  /// Bumped by every setter. Consumers caching derived quantities (the ring
+  /// models' delay-scale caches, fpga/op_cache.hpp) revalidate against this
+  /// instead of recomputing the operating point per event.
+  std::uint64_t generation() const { return generation_; }
+
+  /// True when voltage_at() does not depend on t at all (no modulation
+  /// waveform, no regulator ripple): the operating point — and everything
+  /// derived from it — is a constant until the next setter call.
+  bool time_invariant() const {
+    return modulation_.kind == Modulation::Kind::none &&
+           regulator_.ripple_v <= 0.0;
+  }
 
  private:
   double nominal_v_;
   double level_;
   double temperature_c_ = 25.0;
+  std::uint64_t generation_ = 0;
   Modulation modulation_{};
   Regulator regulator_{};
 };

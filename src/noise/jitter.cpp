@@ -14,6 +14,17 @@ GaussianNoise::GaussianNoise(double sigma_ps, std::uint64_t seed)
 
 double GaussianNoise::sample_ps() { return rng_.normal(0.0, sigma_ps_); }
 
+void GaussianNoise::fill_ps(double* out, std::size_t n) {
+  // Identical draw sequence to n sample_ps() calls: normals() replicates
+  // repeated rng_.normal(), and each sample applies the same
+  // mean + sigma * deviate arithmetic (mean is literally 0.0 — kept in the
+  // expression so the result is bit-identical, -0.0 handling included).
+  rng_.normals(out, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = 0.0 + sigma_ps_ * out[i];
+  }
+}
+
 FlickerNoise::FlickerNoise(double amplitude_ps, unsigned octaves,
                            std::uint64_t seed)
     : rng_(seed) {
@@ -45,6 +56,18 @@ double CompositeNoise::sample_ps() {
   double sum = 0.0;
   for (auto& s : sources_) sum += s->sample_ps();
   return sum;
+}
+
+void CompositeNoise::fill_ps(double* out, std::size_t n) {
+  // Per-source streams are independent, so drawing source k's next n samples
+  // in one go yields the same values as interleaved draws; accumulating in
+  // source order reproduces sample_ps()'s ((0.0 + s0) + s1) + ... sum.
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+  scratch_.resize(n);
+  for (auto& s : sources_) {
+    s->fill_ps(scratch_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) out[i] += scratch_[i];
+  }
 }
 
 }  // namespace ringent::noise

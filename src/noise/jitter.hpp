@@ -9,6 +9,7 @@
 // on to show where the sqrt-accumulation law bends.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -24,6 +25,14 @@ class NoiseSource {
 
   /// Noise contribution of the next gate firing (may be negative).
   virtual double sample_ps() = 0;
+
+  /// Draw the next `n` samples into `out` — the exact sequence n sample_ps()
+  /// calls would produce. The hot loops batch their draws through this (see
+  /// BlockSampler) so the per-event virtual call amortizes to 1/n; sources
+  /// with a cheap inlinable core override the default loop.
+  virtual void fill_ps(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sample_ps();
+  }
 };
 
 /// White Gaussian noise: the paper's local jitter model.
@@ -32,6 +41,7 @@ class GaussianNoise final : public NoiseSource {
   GaussianNoise(double sigma_ps, std::uint64_t seed);
 
   double sample_ps() override;
+  void fill_ps(double* out, std::size_t n) override;
 
   double sigma_ps() const { return sigma_ps_; }
 
@@ -64,17 +74,44 @@ class CompositeNoise final : public NoiseSource {
   void add(std::unique_ptr<NoiseSource> source);
 
   double sample_ps() override;
+  void fill_ps(double* out, std::size_t n) override;
 
   std::size_t size() const { return sources_.size(); }
 
  private:
   std::vector<std::unique_ptr<NoiseSource>> sources_;
+  std::vector<double> scratch_;  ///< per-source block buffer for fill_ps
 };
 
 /// The zero source, for noise-free deterministic runs.
 class NoNoise final : public NoiseSource {
  public:
   double sample_ps() override { return 0.0; }
+};
+
+/// Block buffer over a NoiseSource: one virtual fill_ps() call refills
+/// `block` draws, so the ring hot loops pay the dispatch (and the source's
+/// per-call overhead) once per block instead of once per event. Draw order
+/// per source is preserved exactly; drawing a block ahead of consumption is
+/// unobservable because each source owns an independent RNG stream.
+class BlockSampler {
+ public:
+  explicit BlockSampler(NoiseSource* source, std::size_t block = 64)
+      : source_(source), buffer_(block), pos_(block) {}
+
+  /// The next sample of the underlying source's stream.
+  double next() {
+    if (pos_ == buffer_.size()) {
+      source_->fill_ps(buffer_.data(), buffer_.size());
+      pos_ = 0;
+    }
+    return buffer_[pos_++];
+  }
+
+ private:
+  NoiseSource* source_;
+  std::vector<double> buffer_;
+  std::size_t pos_;
 };
 
 }  // namespace ringent::noise

@@ -7,12 +7,6 @@
 
 namespace ringent::ring {
 
-namespace {
-/// Causality floor: an enabled gate never fires sooner than this after its
-/// last enabling input, however large a negative noise excursion is drawn.
-constexpr double min_response_ps = 1.0;
-}  // namespace
-
 CharlieParams CharlieParams::symmetric(Time d_static, Time d_charlie) {
   return CharlieParams{d_static, d_static, d_charlie};
 }
@@ -21,12 +15,6 @@ DraftingParams DraftingParams::asic(double amplitude_ps, double tau_ps) {
   RINGENT_REQUIRE(amplitude_ps >= 0.0 && tau_ps > 0.0,
                   "drafting parameters out of range");
   return DraftingParams{true, amplitude_ps, tau_ps};
-}
-
-double charlie_delay_ps(double d_mean_ps, double d_charlie_ps, double s_ps,
-                        double s_offset_ps) {
-  const double ds = s_ps - s_offset_ps;
-  return d_mean_ps + std::sqrt(d_charlie_ps * d_charlie_ps + ds * ds);
 }
 
 CharlieModel::CharlieModel(const CharlieParams& params,
@@ -43,32 +31,11 @@ Time CharlieModel::fire_time(Time tf, Time tr, Time last_output,
                              double charlie_scale) const {
   RINGENT_REQUIRE(static_scale > 0.0 && charlie_scale >= 0.0,
                   "invalid delay scales");
-  const double mean_arrival_ps = (tf.ps() + tr.ps()) / 2.0;
-  const double s_ps = (tf.ps() - tr.ps()) / 2.0;
-
   const double d_mean_ps = params_.d_mean().ps() * static_scale;
   const double s_offset_ps = params_.s_offset().ps() * static_scale;
   const double dch_ps = params_.d_charlie.ps() * charlie_scale;
-
-  double delay_ps = charlie_delay_ps(d_mean_ps, dch_ps, s_ps, s_offset_ps);
-
-  if (drafting_.enabled) {
-    // Delay shrinks when the stage's output toggled recently. Evaluated at
-    // the nominal (pre-drafting) firing instant.
-    const double elapsed_ps =
-        mean_arrival_ps + delay_ps - last_output.ps();
-    if (elapsed_ps > 0.0) {
-      delay_ps -= drafting_.amplitude_ps * std::exp(-elapsed_ps /
-                                                    drafting_.tau_ps);
-    }
-  }
-
-  delay_ps += extra_ps;
-
-  const double latest_input_ps = std::max(tf.ps(), tr.ps());
-  const double fire_ps =
-      std::max(mean_arrival_ps + delay_ps, latest_input_ps + min_response_ps);
-  return Time::from_ps(fire_ps);
+  return fire_time_prescaled(tf, tr, last_output, extra_ps, d_mean_ps,
+                             s_offset_ps, dch_ps);
 }
 
 }  // namespace ringent::ring

@@ -22,6 +22,9 @@
 // finds it negligible in FPGAs and our calibrations disable it by default.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/time.hpp"
 
 namespace ringent::ring {
@@ -49,8 +52,18 @@ struct DraftingParams {
 };
 
 /// charlie(s) in picoseconds for explicit parameters (analysis/plots).
-double charlie_delay_ps(double d_mean_ps, double d_charlie_ps, double s_ps,
-                        double s_offset_ps = 0.0);
+/// Inline: this is the innermost arithmetic of every STR event.
+inline double charlie_delay_ps(double d_mean_ps, double d_charlie_ps,
+                               double s_ps, double s_offset_ps = 0.0) {
+  const double ds = s_ps - s_offset_ps;
+  return d_mean_ps + std::sqrt(d_charlie_ps * d_charlie_ps + ds * ds);
+}
+
+namespace detail {
+/// Causality floor: an enabled gate never fires sooner than this after its
+/// last enabling input, however large a negative noise excursion is drawn.
+inline constexpr double min_response_ps = 1.0;
+}  // namespace detail
 
 class CharlieModel {
  public:
@@ -68,6 +81,38 @@ class CharlieModel {
   /// to max(tf, tr) + a small causality floor.
   Time fire_time(Time tf, Time tr, Time last_output, double extra_ps,
                  double static_scale = 1.0, double charlie_scale = 1.0) const;
+
+  /// fire_time with the parameter scaling already applied: the caller passes
+  /// D_mean, s0 and Dch in picoseconds after multiplying by its scales. The
+  /// STR hot path precomputes those products per stage (static case) or per
+  /// scale refresh (supply case) instead of per event; fire_time delegates
+  /// here, so both entry points share one arithmetic sequence — asserted
+  /// bit-identical by tests/test_hot_path.cpp.
+  Time fire_time_prescaled(Time tf, Time tr, Time last_output, double extra_ps,
+                           double d_mean_ps, double s_offset_ps,
+                           double dch_ps) const {
+    const double mean_arrival_ps = (tf.ps() + tr.ps()) / 2.0;
+    const double s_ps = (tf.ps() - tr.ps()) / 2.0;
+
+    double delay_ps = charlie_delay_ps(d_mean_ps, dch_ps, s_ps, s_offset_ps);
+
+    if (drafting_.enabled) {
+      // Delay shrinks when the stage's output toggled recently. Evaluated at
+      // the nominal (pre-drafting) firing instant.
+      const double elapsed_ps = mean_arrival_ps + delay_ps - last_output.ps();
+      if (elapsed_ps > 0.0) {
+        delay_ps -=
+            drafting_.amplitude_ps * std::exp(-elapsed_ps / drafting_.tau_ps);
+      }
+    }
+
+    delay_ps += extra_ps;
+
+    const double latest_input_ps = std::max(tf.ps(), tr.ps());
+    const double fire_ps = std::max(mean_arrival_ps + delay_ps,
+                                    latest_input_ps + detail::min_response_ps);
+    return Time::from_ps(fire_ps);
+  }
 
  private:
   CharlieParams params_;

@@ -17,6 +17,7 @@ Iro::Iro(sim::Kernel& kernel, const IroConfig& config,
     : kernel_(kernel),
       config_(config),
       stage_noise_(std::move(stage_noise)),
+      scale_cache_(config.supply, config.laws),
       output_("iro_out") {
   RINGENT_REQUIRE(config.stages >= 1, "IRO needs at least one stage");
   RINGENT_REQUIRE(config.lut_delay > Time::zero(), "LUT delay must be positive");
@@ -38,32 +39,70 @@ Iro::Iro(sim::Kernel& kernel, const IroConfig& config,
   for (double f : config_.stage_factors) {
     RINGENT_REQUIRE(f > 0.0, "stage factors must be positive");
   }
+
+  // Per-stage precompute. The original per-event expression was
+  //   lut_delay.ps() * factor * lut_scale + routing_ps * factor * routing_scale
+  // which associates as ((lut*factor)*lut_scale) + ((routing*factor)*scale),
+  // so folding (lut*factor) and (routing*factor) ahead of time — and, at
+  // unit scales, the whole sum — reproduces the exact same rounding.
+  lut_part_.reserve(config_.stages);
+  routing_part_.reserve(config_.stages);
+  static_ps_.reserve(config_.stages);
+  for (std::size_t i = 0; i < config_.stages; ++i) {
+    const double factor =
+        config_.stage_factors.empty() ? 1.0 : config_.stage_factors[i];
+    const double routing_ps = config_.routing_per_stage.empty()
+                                  ? config_.routing_per_hop.ps()
+                                  : config_.routing_per_stage[i].ps();
+    lut_part_.push_back(config_.lut_delay.ps() * factor);
+    routing_part_.push_back(routing_ps * factor);
+    static_ps_.push_back(lut_part_[i] + routing_part_[i]);
+  }
+  if (!stage_noise_.empty()) {
+    noise_.reserve(config_.stages);
+    for (auto& source : stage_noise_) noise_.emplace_back(source.get());
+  }
+  fully_static_ = config_.supply == nullptr && stage_noise_.empty() &&
+                  config_.modulation == nullptr;
+  if (fully_static_) {
+    const_hop_.reserve(config_.stages);
+    for (std::size_t i = 0; i < config_.stages; ++i) {
+      const_hop_.push_back(Time::from_ps(std::max(static_ps_[i], min_hop_ps)));
+    }
+  }
+
   node_ = kernel_.add_process(this);
 }
 
 Time Iro::hop_delay(std::size_t stage, Time now) {
-  const double factor =
-      config_.stage_factors.empty() ? 1.0 : config_.stage_factors[stage];
-
-  double lut_scale = 1.0;
-  double routing_scale = 1.0;
-  if (config_.supply != nullptr) {
-    const fpga::OperatingPoint op = config_.supply->operating_point_at(now);
-    lut_scale = config_.laws->lut.scale(op);
-    routing_scale = config_.laws->routing.scale(op);
+  if (config_.supply == nullptr) {
+    // Unit voltage scales: multiplying by 1.0 is exact, so the scale factors
+    // vanish into the precomputed static delay. With gamma != 0 the noise
+    // scale pow(1.0, gamma) == 1.0 exactly as well.
+    if (fully_static_) return const_hop_[stage];
+    double delay_ps = static_ps_[stage];
+    if (!noise_.empty()) delay_ps += noise_[stage].next();
+    if (config_.modulation != nullptr) {
+      delay_ps += config_.modulation->offset_ps(now, stage);
+    }
+    return Time::from_ps(std::max(delay_ps, min_hop_ps));
   }
 
-  const double routing_ps = config_.routing_per_stage.empty()
-                                ? config_.routing_per_hop.ps()
-                                : config_.routing_per_stage[stage].ps();
-  double delay_ps = config_.lut_delay.ps() * factor * lut_scale +
-                    routing_ps * factor * routing_scale;
-  if (stage < stage_noise_.size()) {
+  const fpga::SupplyScaleCache::Scales& scales = scale_cache_.at(now);
+  double delay_ps = lut_part_[stage] * scales.lut +
+                    routing_part_[stage] * scales.routing;
+  if (!noise_.empty()) {
     double noise_scale = 1.0;
     if (config_.jitter_delay_exponent != 0.0) {
-      noise_scale = std::pow(lut_scale, config_.jitter_delay_exponent);
+      // Memoized on the lut scale: pow of an identical input is identical.
+      if (scales.lut != noise_scale_key_) {
+        noise_scale_key_ = scales.lut;
+        noise_scale_ =
+            std::pow(noise_scale_key_, config_.jitter_delay_exponent);
+      }
+      noise_scale = noise_scale_;
     }
-    delay_ps += stage_noise_[stage]->sample_ps() * noise_scale;
+    delay_ps += noise_[stage].next() * noise_scale;
   }
   if (config_.modulation != nullptr) {
     delay_ps += config_.modulation->offset_ps(now, stage);

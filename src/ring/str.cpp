@@ -17,6 +17,7 @@ Str::Str(sim::Kernel& kernel, const StrConfig& config, RingState initial,
       state_(std::move(initial)),
       tokens_(token_count(state_)),
       stage_noise_(std::move(stage_noise)),
+      scale_cache_(config.supply, config.laws),
       observe_trace_("str_out") {
   RINGENT_REQUIRE(config_.stages >= 3, "STR needs at least three stages");
   RINGENT_REQUIRE(state_.size() == config_.stages,
@@ -46,7 +47,36 @@ Str::Str(sim::Kernel& kernel, const StrConfig& config, RingState initial,
   }
 
   last_change_.assign(config_.stages, Time::zero());
-  scheduled_.assign(config_.stages, false);
+  scheduled_.assign(config_.stages, 0);
+
+  // Per-stage precompute for try_schedule, association order preserved.
+  d_mean_nom_ps_ = config_.charlie.d_mean().ps();
+  s_offset_nom_ps_ = config_.charlie.s_offset().ps();
+  dch_nom_ps_ = config_.charlie.d_charlie.ps();
+  factor_.reserve(config_.stages);
+  routing_ps_.reserve(config_.stages);
+  extra_base_.reserve(config_.stages);
+  d_mean_scaled_.reserve(config_.stages);
+  s_offset_scaled_.reserve(config_.stages);
+  dch_scaled_.reserve(config_.stages);
+  for (std::size_t i = 0; i < config_.stages; ++i) {
+    const double factor =
+        config_.stage_factors.empty() ? 1.0 : config_.stage_factors[i];
+    const double routing_ps = config_.routing_per_stage.empty()
+                                  ? config_.routing_per_hop.ps()
+                                  : config_.routing_per_stage[i].ps();
+    factor_.push_back(factor);
+    routing_ps_.push_back(routing_ps);
+    extra_base_.push_back(routing_ps * factor);
+    d_mean_scaled_.push_back(d_mean_nom_ps_ * factor);
+    s_offset_scaled_.push_back(s_offset_nom_ps_ * factor);
+    dch_scaled_.push_back(dch_nom_ps_ * factor);
+  }
+  if (!stage_noise_.empty()) {
+    noise_.reserve(config_.stages);
+    for (auto& source : stage_noise_) noise_.emplace_back(source.get());
+  }
+
   if (config_.trace_all_stages) {
     traces_.reserve(config_.stages);
     for (std::size_t i = 0; i < config_.stages; ++i) {
@@ -73,41 +103,52 @@ void Str::try_schedule(std::size_t i, Time now) {
   const Time tf = last_change_[prev(i)];  // token-side enabling event
   const Time tr = last_change_[next(i)];  // bubble-side enabling event
 
-  const double factor =
-      config_.stage_factors.empty() ? 1.0 : config_.stage_factors[i];
-  double static_scale = factor;
-  double charlie_scale = factor;
-  double routing_scale = factor;
-  if (config_.supply != nullptr) {
-    const fpga::OperatingPoint op = config_.supply->operating_point_at(now);
-    static_scale *= config_.laws->lut.scale(op);
-    charlie_scale *= config_.laws->charlie.scale(op);
-    routing_scale *= config_.laws->routing.scale(op);
-  }
-
-  const double routing_ps = config_.routing_per_stage.empty()
-                                ? config_.routing_per_hop.ps()
-                                : config_.routing_per_stage[i].ps();
-  double extra_ps = routing_ps * routing_scale;
-  if (i < stage_noise_.size()) {
-    double noise_scale = 1.0;
-    if (config_.jitter_delay_exponent != 0.0) {
-      // static_scale already contains the mismatch factor; couple the noise
-      // to the voltage part only (static_scale / factor).
-      noise_scale = std::pow(static_scale / factor,
-                             config_.jitter_delay_exponent);
+  Time fire_at;
+  if (config_.supply == nullptr) {
+    // Unit voltage scales: the per-stage products collapse into the
+    // constructor-time precompute (multiplying by 1.0 is exact, and with
+    // gamma != 0 the noise scale pow(1.0, gamma) == 1.0 exactly).
+    double extra_ps = extra_base_[i];
+    if (!noise_.empty()) extra_ps += noise_[i].next();
+    if (config_.modulation != nullptr) {
+      extra_ps += config_.modulation->offset_ps(now, i);
     }
-    extra_ps += stage_noise_[i]->sample_ps() * noise_scale;
+    sim::metrics::bump(sim::metrics::Counter::charlie_evaluations);
+    fire_at = charlie_model_.fire_time_prescaled(
+        tf, tr, last_change_[i], extra_ps, d_mean_scaled_[i],
+        s_offset_scaled_[i], dch_scaled_[i]);
+  } else {
+    const fpga::SupplyScaleCache::Scales& scales = scale_cache_.at(now);
+    const double static_scale = factor_[i] * scales.lut;
+    const double charlie_scale = factor_[i] * scales.charlie;
+    const double routing_scale = factor_[i] * scales.routing;
+    double extra_ps = routing_ps_[i] * routing_scale;
+    if (!noise_.empty()) {
+      double noise_scale = 1.0;
+      if (config_.jitter_delay_exponent != 0.0) {
+        // static_scale already contains the mismatch factor; couple the noise
+        // to the voltage part only (static_scale / factor). The quotient of
+        // the exact product equals scales.lut only up to rounding, so memoize
+        // on the quotient itself to keep the pow input bit-identical.
+        const double key = static_scale / factor_[i];
+        if (key != noise_scale_key_) {
+          noise_scale_key_ = key;
+          noise_scale_ = std::pow(key, config_.jitter_delay_exponent);
+        }
+        noise_scale = noise_scale_;
+      }
+      extra_ps += noise_[i].next() * noise_scale;
+    }
+    if (config_.modulation != nullptr) {
+      extra_ps += config_.modulation->offset_ps(now, i);
+    }
+    sim::metrics::bump(sim::metrics::Counter::charlie_evaluations);
+    fire_at = charlie_model_.fire_time_prescaled(
+        tf, tr, last_change_[i], extra_ps, d_mean_nom_ps_ * static_scale,
+        s_offset_nom_ps_ * static_scale, dch_nom_ps_ * charlie_scale);
   }
-  if (config_.modulation != nullptr) {
-    extra_ps += config_.modulation->offset_ps(now, i);
-  }
-
-  sim::metrics::bump(sim::metrics::Counter::charlie_evaluations);
-  const Time fire_at = charlie_model_.fire_time(
-      tf, tr, last_change_[i], extra_ps, static_scale, charlie_scale);
   kernel_.schedule_at(fire_at, node_, static_cast<std::uint32_t>(i));
-  scheduled_[i] = true;
+  scheduled_[i] = 1;
 }
 
 void Str::start() {

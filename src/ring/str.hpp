@@ -23,6 +23,7 @@
 
 #include "common/time.hpp"
 #include "fpga/delay_model.hpp"
+#include "fpga/op_cache.hpp"
 #include "fpga/supply.hpp"
 #include "noise/jitter.hpp"
 #include "noise/modulation.hpp"
@@ -123,7 +124,24 @@ class Str final : public sim::Process {
   std::size_t tokens_;
   std::vector<std::unique_ptr<noise::NoiseSource>> stage_noise_;
   std::vector<Time> last_change_;
-  std::vector<bool> scheduled_;
+  std::vector<std::uint8_t> scheduled_;
+
+  // Hot-path precompute (see try_schedule): per-stage products hoisted out
+  // of the per-event path in the exact association order of the original
+  // expressions — bit-identical, pinned by tests/test_hot_path.cpp.
+  std::vector<double> factor_;          ///< per-stage process factor
+  std::vector<double> routing_ps_;      ///< per-stage routed delay (ps)
+  std::vector<double> extra_base_;      ///< routing_ps_i * factor_i
+  std::vector<double> d_mean_scaled_;   ///< D_mean.ps() * factor_i
+  std::vector<double> s_offset_scaled_; ///< s0.ps() * factor_i
+  std::vector<double> dch_scaled_;      ///< Dch.ps() * factor_i
+  double d_mean_nom_ps_ = 0.0;          ///< D_mean.ps() (supply path)
+  double s_offset_nom_ps_ = 0.0;
+  double dch_nom_ps_ = 0.0;
+  std::vector<noise::BlockSampler> noise_;  ///< block-buffered stage noise
+  fpga::SupplyScaleCache scale_cache_;
+  double noise_scale_key_ = 1.0;  ///< voltage-scale quotient of the memo
+  double noise_scale_ = 1.0;      ///< pow(noise_scale_key_, gamma)
   std::vector<sim::SignalTrace> traces_;
   sim::SignalTrace* output_;
   sim::SignalTrace observe_trace_;

@@ -1,61 +1,35 @@
 #include "sim/kernel.hpp"
 
-#include "common/require.hpp"
-#include "sim/metrics.hpp"
-
 namespace ringent::sim {
 
-Kernel::Kernel(QueueKind queue_kind) : queue_(make_event_queue(queue_kind)) {}
-
-NodeId Kernel::add_process(Process* process) {
-  RINGENT_REQUIRE(process != nullptr, "null process");
-  processes_.push_back(process);
-  return static_cast<NodeId>(processes_.size() - 1);
-}
-
-void Kernel::schedule_in(Time delay, NodeId node, std::uint32_t tag) {
-  RINGENT_REQUIRE(!delay.is_negative(), "negative delay");
-  schedule_at(now_ + delay, node, tag);
-}
-
-void Kernel::schedule_at(Time at, NodeId node, std::uint32_t tag) {
-  RINGENT_REQUIRE(node < processes_.size(), "unknown node id");
-  RINGENT_REQUIRE(at >= now_, "cannot schedule in the past");
-  metrics::bump(metrics::Counter::events_scheduled);
-  queue_->push(QueuedEvent{at, next_seq_++, node, tag});
-}
-
-void Kernel::fire_one() {
-  const QueuedEvent ev = queue_->pop_min();
-  now_ = ev.at;
-  ++events_fired_;
-  metrics::bump(metrics::Counter::events_fired);
-  processes_[ev.node]->fire(*this, ev.tag);
-}
-
 std::uint64_t Kernel::run_until(Time t_end) {
-  RINGENT_REQUIRE(t_end >= now_, "horizon in the past");
-  std::uint64_t fired = 0;
-  while (!queue_->empty() && queue_->peek_min().at <= t_end) {
-    fire_one();
-    ++fired;
+  const auto fire = [this](const QueuedEvent& event) {
+    processes_[event.node]->fire(*this, event.tag);
+  };
+  if (kind_ == QueueKind::binary_heap) {
+    return drain_until(heap_, t_end, fire);
   }
-  now_ = t_end;
-  return fired;
+  return drain_until(calendar_, t_end, fire);
 }
 
 std::uint64_t Kernel::run_events(std::uint64_t max_events) {
-  std::uint64_t fired = 0;
-  while (fired < max_events && !queue_->empty()) {
-    fire_one();
-    ++fired;
+  const auto fire = [this](const QueuedEvent& event) {
+    processes_[event.node]->fire(*this, event.tag);
+  };
+  if (kind_ == QueueKind::binary_heap) {
+    return drain_events(heap_, max_events, fire);
   }
-  return fired;
+  return drain_events(calendar_, max_events, fire);
 }
 
 void Kernel::reset_time() {
-  metrics::bump(metrics::Counter::events_cancelled, queue_->size());
-  queue_->clear();
+  if (kind_ == QueueKind::binary_heap) {
+    metrics::bump(metrics::Counter::events_cancelled, heap_.size());
+    heap_.clear();
+  } else {
+    metrics::bump(metrics::Counter::events_cancelled, calendar_.size());
+    calendar_.clear();
+  }
   now_ = Time::zero();
 }
 

@@ -8,18 +8,28 @@
 //
 // Components implement Process and are registered with add_process(); events
 // address them by NodeId plus a component-defined 32-bit tag, so the hot loop
-// performs no allocation and no type erasure beyond one virtual call.
+// performs no allocation.
+//
+// Hot-path structure: the kernel owns its two pending-event sets directly —
+// a FlatHeap4 (the default) and a CalendarQueue — and selects between them
+// with a branch on QueueKind instead of a virtual call per push/pop. The
+// generic run loops dispatch Process::fire virtually; a single-process
+// simulation (every Oscillator — one ring per kernel) can instead use
+// run_until_on<P>(), which devirtualizes the fire call so a `final` ring
+// model inlines its event handler straight into the drain loop. Both paths
+// pop the identical (time, seq) sequence and bump the identical counters.
 // The kernel does not own processes: a ring model owns its stages and
 // registers them for the duration of a run (see ring/iro.hpp, ring/str.hpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
+#include "common/require.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
 
 namespace ringent::sim {
 
@@ -41,17 +51,22 @@ class Process {
 
 class Kernel {
  public:
-  /// The pending-event set is pluggable (sim/event_queue.hpp): the default
-  /// binary heap, or a calendar queue for large stationary workloads. Both
-  /// give bit-identical simulations — asserted by tests.
-  explicit Kernel(QueueKind queue_kind = QueueKind::binary_heap);
+  /// The pending-event set is selectable: the default flat 4-ary heap, or a
+  /// calendar queue for large stationary workloads. Both give bit-identical
+  /// simulations — asserted by tests.
+  explicit Kernel(QueueKind queue_kind = QueueKind::binary_heap)
+      : kind_(queue_kind) {}
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   /// Register a process; the returned id addresses it in schedule calls.
   /// The caller keeps ownership and must keep the process alive until the
   /// kernel is destroyed or reset.
-  NodeId add_process(Process* process);
+  NodeId add_process(Process* process) {
+    RINGENT_REQUIRE(process != nullptr, "null process");
+    processes_.push_back(process);
+    return static_cast<NodeId>(processes_.size() - 1);
+  }
 
   /// Number of registered processes.
   std::size_t process_count() const { return processes_.size(); }
@@ -59,10 +74,23 @@ class Kernel {
   /// Schedule an event `delay` after the current time. Delays must be
   /// non-negative; zero-delay events fire after already-queued events with
   /// the same timestamp.
-  void schedule_in(Time delay, NodeId node, std::uint32_t tag = 0);
+  void schedule_in(Time delay, NodeId node, std::uint32_t tag = 0) {
+    RINGENT_REQUIRE(!delay.is_negative(), "negative delay");
+    schedule_at(now_ + delay, node, tag);
+  }
 
   /// Schedule an event at an absolute time >= now().
-  void schedule_at(Time at, NodeId node, std::uint32_t tag = 0);
+  void schedule_at(Time at, NodeId node, std::uint32_t tag = 0) {
+    RINGENT_REQUIRE(node < processes_.size(), "unknown node id");
+    RINGENT_REQUIRE(at >= now_, "cannot schedule in the past");
+    metrics::bump(metrics::Counter::events_scheduled);
+    const QueuedEvent event{at, next_seq_++, node, tag};
+    if (kind_ == QueueKind::binary_heap) {
+      heap_.push(event);
+    } else {
+      calendar_.push(event);
+    }
+  }
 
   /// Current simulation time (the timestamp of the last fired event).
   Time now() const { return now_; }
@@ -71,7 +99,9 @@ class Kernel {
   std::uint64_t events_fired() const { return events_fired_; }
 
   /// True if no events are pending.
-  bool idle() const { return queue_->empty(); }
+  bool idle() const {
+    return kind_ == QueueKind::binary_heap ? heap_.empty() : calendar_.empty();
+  }
 
   /// Fire events until the queue is empty or the next event is later than
   /// `t_end`. Events exactly at `t_end` are fired. Returns events fired by
@@ -81,6 +111,25 @@ class Kernel {
   /// Fire at most `max_events` events. Returns events fired.
   std::uint64_t run_events(std::uint64_t max_events);
 
+  /// run_until for a simulation whose only registered process is `process`:
+  /// the Process::fire dispatch devirtualizes, so a `final` process type
+  /// inlines its handler into the drain loop. Falls back to the generic
+  /// run_until when other processes are registered. Identical semantics and
+  /// counters either way.
+  template <class P>
+  std::uint64_t run_until_on(P& process, Time t_end) {
+    if (processes_.size() != 1 || processes_[0] != &process) {
+      return run_until(t_end);
+    }
+    const auto fire = [this, &process](const QueuedEvent& event) {
+      process.fire(*this, event.tag);
+    };
+    if (kind_ == QueueKind::binary_heap) {
+      return drain_until(heap_, t_end, fire);
+    }
+    return drain_until(calendar_, t_end, fire);
+  }
+
   /// Drop all pending events and reset the clock to zero. Registered
   /// processes stay registered.
   void reset_time();
@@ -88,14 +137,52 @@ class Kernel {
   /// Pre-size the pending-event set for an expected steady population
   /// (e.g. ~1 event per ring stage) so the hot loop never reallocates.
   void reserve_events(std::size_t expected_events) {
-    queue_->reserve(expected_events);
+    if (kind_ == QueueKind::binary_heap) {
+      heap_.reserve(expected_events);
+    } else {
+      calendar_.reserve(expected_events);
+    }
   }
 
  private:
-  void fire_one();
+  /// The shared drain loop, templated over the concrete queue type and the
+  /// fire dispatcher: the generic run loops route by event.node through the
+  /// virtual Process::fire, run_until_on passes a devirtualized handler.
+  template <class Q, class Fire>
+  std::uint64_t drain_until(Q& queue, Time t_end, const Fire& fire) {
+    RINGENT_REQUIRE(t_end >= now_, "horizon in the past");
+    std::uint64_t fired = 0;
+    while (!queue.empty() && queue.min_at() <= t_end) {
+      const QueuedEvent event = queue.pop_min();
+      now_ = event.at;
+      ++events_fired_;
+      metrics::bump(metrics::Counter::events_fired);
+      fire(event);
+      ++fired;
+    }
+    now_ = t_end;
+    return fired;
+  }
+
+  template <class Q, class Fire>
+  std::uint64_t drain_events(Q& queue, std::uint64_t max_events,
+                             const Fire& fire) {
+    std::uint64_t fired = 0;
+    while (fired < max_events && !queue.empty()) {
+      const QueuedEvent event = queue.pop_min();
+      now_ = event.at;
+      ++events_fired_;
+      metrics::bump(metrics::Counter::events_fired);
+      fire(event);
+      ++fired;
+    }
+    return fired;
+  }
 
   std::vector<Process*> processes_;
-  std::unique_ptr<EventQueueBase> queue_;
+  QueueKind kind_;
+  FlatHeap4 heap_;
+  CalendarQueue calendar_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;

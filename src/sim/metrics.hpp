@@ -41,8 +41,8 @@ enum class Counter : std::size_t {
   events_scheduled,        ///< Kernel::schedule_at calls
   events_fired,            ///< events delivered to a Process
   events_cancelled,        ///< pending events dropped by Kernel::reset_time
-  heap_pushes,             ///< BinaryHeapQueue::push
-  heap_pops,               ///< BinaryHeapQueue::pop_min
+  heap_pushes,             ///< heap pushes (FlatHeap4 + BinaryHeapQueue)
+  heap_pops,               ///< heap pops (FlatHeap4 + BinaryHeapQueue)
   calendar_pushes,         ///< CalendarQueue::push
   calendar_pops,           ///< CalendarQueue::pop_min
   charlie_evaluations,     ///< CharlieModel::fire_time calls from the STR

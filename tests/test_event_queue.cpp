@@ -17,6 +17,7 @@ using namespace ringent;
 using namespace ringent::literals;
 using sim::BinaryHeapQueue;
 using sim::CalendarQueue;
+using sim::FlatHeap4;
 using sim::QueuedEvent;
 
 namespace {
@@ -25,7 +26,8 @@ QueuedEvent ev(std::int64_t fs, std::uint64_t seq) {
   return QueuedEvent{Time::from_fs(fs), seq, 0, 0};
 }
 
-void basic_order_check(sim::EventQueueBase& queue) {
+template <class Queue>
+void basic_order_check(Queue& queue) {
   queue.push(ev(300, 0));
   queue.push(ev(100, 1));
   queue.push(ev(200, 2));
@@ -37,7 +39,8 @@ void basic_order_check(sim::EventQueueBase& queue) {
   EXPECT_TRUE(queue.empty());
 }
 
-void tie_break_check(sim::EventQueueBase& queue) {
+template <class Queue>
+void tie_break_check(Queue& queue) {
   for (std::uint64_t seq = 0; seq < 20; ++seq) {
     queue.push(ev(5000, 19 - seq));
   }
@@ -60,6 +63,26 @@ TEST(CalendarQueue, OrderAndTieBreak) {
   basic_order_check(queue);
   tie_break_check(queue);
   EXPECT_THROW(queue.pop_min(), PreconditionError);
+}
+
+TEST(FlatHeap4Queue, OrderAndTieBreak) {
+  FlatHeap4 queue;
+  basic_order_check(queue);
+  tie_break_check(queue);
+  EXPECT_THROW(queue.pop_min(), PreconditionError);
+}
+
+TEST(FlatHeap4Queue, PreservesNodeAndTagPayload) {
+  // The SoA layout packs (node, tag) into one word; round-trip both limits.
+  FlatHeap4 queue;
+  queue.push(QueuedEvent{Time::from_fs(10), 0, 0xFFFFFFFFu, 0u});
+  queue.push(QueuedEvent{Time::from_fs(5), 1, 7u, 0xFFFFFFFFu});
+  const QueuedEvent first = queue.pop_min();
+  EXPECT_EQ(first.node, 7u);
+  EXPECT_EQ(first.tag, 0xFFFFFFFFu);
+  const QueuedEvent second = queue.pop_min();
+  EXPECT_EQ(second.node, 0xFFFFFFFFu);
+  EXPECT_EQ(second.tag, 0u);
 }
 
 TEST(CalendarQueue, SurvivesResizeCycles) {
@@ -213,6 +236,67 @@ TEST(EventQueues, RandomizedWorkloadEquivalence) {
       ASSERT_EQ(a.at.fs(), b.at.fs());
       ASSERT_EQ(a.seq, b.seq);
     }
+    EXPECT_TRUE(calendar.empty());
+  }
+}
+
+TEST(EventQueues, ThreeQueueHoldModelEquivalence) {
+  // All three implementations — flat 4-ary heap (the kernel's default
+  // in-process queue), virtual binary heap and calendar queue — must pop
+  // the identical (time, seq) sequence under hold-model workloads: pop one
+  // event, push a few events at times >= the popped time (how a simulated
+  // ring actually drives the queue). Compared pairwise on every pop.
+  for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+    FlatHeap4 flat;
+    BinaryHeapQueue heap;
+    CalendarQueue calendar;
+    Xoshiro256 rng(seed);
+    std::uint64_t seq = 0;
+    std::int64_t watermark = 0;
+    const auto push_all = [&](std::int64_t fs) {
+      const QueuedEvent event = ev(fs, seq++);
+      flat.push(event);
+      heap.push(event);
+      calendar.push(event);
+    };
+    // Seed population: clustered times so ties force the seq tie-break.
+    for (int i = 0; i < 512; ++i) {
+      push_all(static_cast<std::int64_t>(rng.below(2000) * 100));
+    }
+    for (int round = 0; round < 20000; ++round) {
+      ASSERT_EQ(flat.empty(), heap.empty());
+      ASSERT_EQ(flat.empty(), calendar.empty());
+      if (flat.empty()) break;
+      ASSERT_EQ(flat.peek_min().at.fs(), heap.peek_min().at.fs());
+      ASSERT_EQ(flat.peek_min().seq, heap.peek_min().seq);
+      ASSERT_EQ(flat.min_at().fs(), calendar.peek_min().at.fs());
+      const QueuedEvent a = flat.pop_min();
+      const QueuedEvent b = heap.pop_min();
+      const QueuedEvent c = calendar.pop_min();
+      ASSERT_EQ(a.at.fs(), b.at.fs()) << "seed " << seed << " round " << round;
+      ASSERT_EQ(a.seq, b.seq) << "seed " << seed << " round " << round;
+      ASSERT_EQ(a.at.fs(), c.at.fs()) << "seed " << seed << " round " << round;
+      ASSERT_EQ(a.seq, c.seq) << "seed " << seed << " round " << round;
+      ASSERT_GE(a.at.fs(), watermark);
+      watermark = a.at.fs();
+      // Hold model: reschedule 0-3 events at or after the popped time, with
+      // occasional far-future jumps (the calendar's fallback-scan path).
+      const std::uint64_t pushes = rng.below(4);
+      for (std::uint64_t p = 0; p < pushes; ++p) {
+        const std::int64_t ahead =
+            rng.below(20) == 0
+                ? static_cast<std::int64_t>(rng.below(80'000'000))
+                : static_cast<std::int64_t>(rng.below(900) * 50);
+        push_all(watermark + ahead);
+      }
+    }
+    // Drain to the end: the tails must agree too.
+    while (!flat.empty()) {
+      const QueuedEvent a = flat.pop_min();
+      ASSERT_EQ(heap.pop_min().seq, a.seq);
+      ASSERT_EQ(calendar.pop_min().seq, a.seq);
+    }
+    EXPECT_TRUE(heap.empty());
     EXPECT_TRUE(calendar.empty());
   }
 }
