@@ -1,0 +1,180 @@
+// check_bench: machine-check a perf_kernel run against the committed
+// performance trajectory.
+//
+// Usage:
+//   check_bench <measured.json> <baseline.json> [--tolerance PCT]
+//               [--scale FACTOR]
+//
+// Both inputs accept either format the repo produces:
+//   * a google-benchmark JSON report ("benchmarks" array; items_per_second
+//     becomes ns_per_event, exactly as record_bench folds it), or
+//   * a BENCH_kernel.json trajectory ("runs" array; the newest run is used).
+//
+// Every benchmark present in BOTH files is compared on ns_per_event; a
+// measured value more than --tolerance percent slower than the baseline is
+// a regression and the exit status is 1 (0 when everything holds, 2 on
+// usage errors). --scale multiplies the measured ns_per_event first — it
+// exists so the test suite can prove the sentinel actually fails on an
+// injected slowdown rather than vacuously passing.
+//
+// The tier-2 ctest wiring (bench/CMakeLists.txt) runs this three ways: a
+// live perf_kernel run gated with a generous tolerance (shared CI boxes are
+// noisy; the gate is for catastrophic regressions and broken wiring), a
+// deterministic self-comparison of the committed trajectory, and a
+// WILL_FAIL self-comparison with an injected 20 % slowdown.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ringent::Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Measurement {
+  std::string name;
+  double ns_per_event = 0.0;
+};
+
+/// Extract name -> ns_per_event from either supported file format.
+std::vector<Measurement> load_measurements(const std::string& path) {
+  const ringent::Json doc = ringent::Json::parse(read_file(path));
+  std::vector<Measurement> out;
+
+  const ringent::Json* runs = doc.find("runs");
+  if (runs != nullptr) {
+    // Trajectory file: the newest run is the reference.
+    RINGENT_REQUIRE(runs->is_array() && runs->size() > 0,
+                    path + ": trajectory has no runs");
+    const ringent::Json& benchmarks = runs->at(runs->size() - 1).at("benchmarks");
+    RINGENT_REQUIRE(benchmarks.is_object(),
+                    path + ": run benchmarks must be an object");
+    for (const auto& [name, entry] : benchmarks.items()) {
+      Measurement m;
+      m.name = name;
+      m.ns_per_event = entry.at("ns_per_event").as_number();
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  const ringent::Json* benchmarks = doc.find("benchmarks");
+  RINGENT_REQUIRE(benchmarks != nullptr && benchmarks->is_array(),
+                  path + ": neither a trajectory (\"runs\") nor a "
+                         "google-benchmark report (\"benchmarks\")");
+  for (std::size_t i = 0; i < benchmarks->size(); ++i) {
+    const ringent::Json& row = benchmarks->at(i);
+    const ringent::Json* name = row.find("name");
+    const ringent::Json* items = row.find("items_per_second");
+    if (name == nullptr || !name->is_string()) continue;
+    if (items == nullptr || !items->is_number()) continue;
+    const ringent::Json* run_type = row.find("run_type");
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->as_string() != "iteration") {
+      continue;
+    }
+    const double events_per_sec = items->as_number();
+    if (events_per_sec <= 0.0) continue;
+    Measurement m;
+    m.name = name->as_string();
+    m.ns_per_event = 1e9 / events_per_sec;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: check_bench <measured.json> <baseline.json> "
+               "[--tolerance PCT] [--scale FACTOR]\n");
+  return 2;
+}
+
+bool parse_positive(const char* text, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v > 0.0)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string measured_path, baseline_path;
+  double tolerance_pct = 25.0;
+  double scale = 1.0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      if (!parse_positive(argv[++i], tolerance_pct)) return usage();
+    } else if (arg == "--scale" && i + 1 < argc) {
+      if (!parse_positive(argv[++i], scale)) return usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    } else if (positional == 0) {
+      measured_path = arg;
+      ++positional;
+    } else if (positional == 1) {
+      baseline_path = arg;
+      ++positional;
+    } else {
+      return usage();
+    }
+  }
+  if (positional != 2) return usage();
+
+  try {
+    const auto measured = load_measurements(measured_path);
+    const auto baseline = load_measurements(baseline_path);
+
+    std::size_t compared = 0;
+    std::size_t regressions = 0;
+    std::printf("# check_bench: measured %s vs baseline %s "
+                "(tolerance %.1f%%, scale %.3f)\n",
+                measured_path.c_str(), baseline_path.c_str(), tolerance_pct,
+                scale);
+    for (const auto& m : measured) {
+      const Measurement* base = nullptr;
+      for (const auto& b : baseline) {
+        if (b.name == m.name) {
+          base = &b;
+          break;
+        }
+      }
+      if (base == nullptr) continue;
+      ++compared;
+      const double ns = m.ns_per_event * scale;
+      const double delta_pct =
+          (ns - base->ns_per_event) / base->ns_per_event * 100.0;
+      const bool regressed = delta_pct > tolerance_pct;
+      if (regressed) ++regressions;
+      std::printf("%-42s %12.2f ns  baseline %12.2f ns  %+7.1f%%%s\n",
+                  m.name.c_str(), ns, base->ns_per_event, delta_pct,
+                  regressed ? "  REGRESSION" : "");
+    }
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "check_bench: no benchmark appears in both files\n");
+      return 1;
+    }
+    std::printf("# %zu compared, %zu regression(s)\n", compared, regressions);
+    return regressions == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "check_bench: %s\n", error.what());
+    return 1;
+  }
+}

@@ -7,6 +7,11 @@
 //                            (equivalent to RINGENT_METRICS=1)
 //   --trace FILE|--trace=FILE  write a Chrome-trace JSON of driver/axis/pool
 //                            spans to FILE (equivalent to RINGENT_TRACE=FILE)
+//   --telemetry FILE|--telemetry=FILE  stream "ringent.telemetry/1" snapshots
+//                            to FILE — JSONL per driver run plus one
+//                            "<bench>-total" line at exit; a .prom suffix
+//                            selects the Prometheus text format instead
+//                            (equivalent to RINGENT_TELEMETRY=FILE)
 //   --list                   print the experiment registry (the same
 //                            listing `ringent_cli --list` gives) and exit 0
 //
@@ -26,20 +31,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <optional>
 #include <string>
 
+#include "core/export.hpp"
 #include "core/registry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace ringent::bench {
 
 struct CliOptions {
-  std::size_t jobs = 0;    ///< 0 = resolve via RINGENT_JOBS / hardware
-  bool metrics = false;    ///< --metrics given
-  std::string trace_path;  ///< empty = no --trace flag
+  std::size_t jobs = 0;        ///< 0 = resolve via RINGENT_JOBS / hardware
+  bool metrics = false;        ///< --metrics given
+  std::string trace_path;      ///< empty = no --trace flag
+  std::string telemetry_path;  ///< empty = no --telemetry flag
 };
 
 /// Print the experiment registry — one line per registered driver — to
@@ -100,12 +109,24 @@ inline CliOptions parse_cli(int argc, char** argv,
       } else {
         options.trace_path = arg + 8;
       }
+    } else if (std::strcmp(arg, "--telemetry") == 0) {
+      if (i + 1 >= argc) {
+        warn("--telemetry requires a file path; flag ignored", nullptr);
+      } else {
+        options.telemetry_path = argv[++i];
+      }
+    } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
+      if (arg[12] == '\0') {
+        warn("--telemetry= requires a file path; flag ignored", nullptr);
+      } else {
+        options.telemetry_path = arg + 12;
+      }
     } else if (std::strcmp(arg, "--list") == 0) {
       print_experiment_list(stdout);
       std::exit(0);
     } else if (std::strncmp(arg, "--", 2) == 0) {
       warn("unknown flag ignored (supported: --jobs, --metrics, --trace, "
-           "--list)",
+           "--telemetry, --list)",
            arg);
     }
   }
@@ -115,8 +136,7 @@ inline CliOptions parse_cli(int argc, char** argv,
 /// Applies the observability flags for the lifetime of a bench run.
 class Session {
  public:
-  Session(const CliOptions& options, std::string name)
-      : owns_trace_(false) {
+  Session(const CliOptions& options, std::string name) : name_(name) {
     if (options.metrics) {
       sim::metrics::set_enabled(true);
     } else {
@@ -130,6 +150,15 @@ class Session {
     } else {
       sim::trace::init_from_env();
     }
+    if (!options.telemetry_path.empty()) {
+      core::set_telemetry_path(options.telemetry_path);
+    } else {
+      core::init_telemetry_from_env();
+    }
+    if (core::telemetry_active()) {
+      telemetry_before_ = sim::telemetry::snapshot();
+      wall_start_ = sim::metrics::wall_seconds();
+    }
     if (sim::trace::enabled()) span_.emplace(std::move(name), "bench");
   }
 
@@ -139,11 +168,27 @@ class Session {
   ~Session() {
     span_.reset();  // close the bench span before serializing
     if (owns_trace_) sim::trace::stop();
+    if (core::telemetry_active()) {
+      // One whole-binary summary line after the per-driver snapshots, so a
+      // sink file always ends with the run's total distribution.
+      try {
+        core::append_telemetry_snapshot(core::collect_telemetry(
+            name_ + "-total",
+            sim::telemetry::snapshot().delta_since(telemetry_before_),
+            (sim::metrics::wall_seconds() - wall_start_) * 1e3));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "# cli: dropping bench telemetry snapshot: %s\n",
+                     error.what());
+      }
+    }
   }
 
  private:
-  bool owns_trace_;
+  std::string name_;
+  bool owns_trace_ = false;
   std::optional<sim::trace::Span> span_;
+  sim::telemetry::Snapshot telemetry_before_;
+  double wall_start_ = 0.0;
 };
 
 /// Directory where run manifests land (RINGENT_OUT_DIR or the cwd).
@@ -162,6 +207,10 @@ inline void print_banner(const CliOptions& options) {
   if (sim::trace::enabled()) {
     std::printf("# trace: %s (open in chrome://tracing or Perfetto)\n",
                 sim::trace::current_path().c_str());
+  }
+  if (core::telemetry_active()) {
+    std::printf("# telemetry: %s (ringent.telemetry/1 snapshots)\n",
+                core::telemetry_path().c_str());
   }
 }
 

@@ -16,6 +16,7 @@
 #include "sim/kernel.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace ringent;
 using namespace ringent::literals;
@@ -71,6 +72,31 @@ void BM_KernelEventThroughputMetrics(benchmark::State& state) {
   sim::metrics::reset();
 }
 BENCHMARK(BM_KernelEventThroughputMetrics)->Arg(1)->Arg(16)->Arg(256);
+
+/// The same workload with telemetry histograms live: the delta vs
+/// BM_KernelEventThroughput prices the distribution layer on the hottest
+/// path (per event: a log-linear bucket_index plus two relaxed fetch_adds
+/// for the gap histogram, and the same again per push for queue depth).
+/// With collection off the probes cost a single predicted-not-taken branch;
+/// BM_ParallelSweep guards that case.
+void BM_KernelEventThroughputTelemetry(benchmark::State& state) {
+  sim::telemetry::set_enabled(true);
+  sim::Kernel kernel;
+  kernel.reserve_events(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::unique_ptr<Ticker>> tickers;
+  for (int i = 0; i < state.range(0); ++i) {
+    tickers.push_back(std::make_unique<Ticker>());
+    tickers.back()->self = kernel.add_process(tickers.back().get());
+    kernel.schedule_in(1_ps, tickers.back()->self, 0);
+  }
+  for (auto _ : state) {
+    kernel.run_events(10000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  sim::telemetry::set_enabled(false);
+  sim::telemetry::reset();
+}
+BENCHMARK(BM_KernelEventThroughputTelemetry)->Arg(1)->Arg(16)->Arg(256);
 
 void BM_CharlieFireTime(benchmark::State& state) {
   const ring::CharlieModel model(
@@ -213,6 +239,33 @@ void BM_ParallelSweepMetrics(benchmark::State& state) {
   sim::metrics::reset();
 }
 BENCHMARK(BM_ParallelSweepMetrics)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// BM_ParallelSweep with telemetry histograms live (event gaps, queue
+/// depths, Charlie delays and pool-task durations recorded on every
+/// worker). Compare against BM_ParallelSweep at the same arg to price the
+/// enabled distribution layer on a real driver.
+void BM_ParallelSweepTelemetry(benchmark::State& state) {
+  sim::telemetry::set_enabled(true);
+  const auto& cal = core::cyclone_iii();
+  const std::vector<std::size_t> stages = {3, 5, 9, 15, 25, 40, 60, 80};
+  core::ExperimentOptions options;
+  options.board_index = 0;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto points = core::run_jitter_vs_stages(
+        core::JitterSweepSpec{core::RingKind::iro, stages}, cal, options);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stages.size()));
+  sim::telemetry::set_enabled(false);
+  sim::telemetry::reset();
+}
+BENCHMARK(BM_ParallelSweepTelemetry)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)

@@ -12,6 +12,11 @@
 // stays a pure JSON transformer — no git or clock dependency, and reruns are
 // reproducible. See docs/architecture.md §Kernel performance for how the
 // numbers are meant to be (re)generated and read.
+//
+// --telemetry <file> additionally folds the newest "ringent.telemetry/1"
+// snapshot from that JSONL sink (as written by --telemetry/RINGENT_TELEMETRY
+// runs) into the recorded entry as quantile summaries, so the committed
+// trajectory can carry distribution shape next to the throughput numbers.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +24,7 @@
 
 #include "common/json.hpp"
 #include "common/require.hpp"
+#include "core/export.hpp"
 
 namespace {
 
@@ -32,14 +38,42 @@ std::string read_file(const std::string& path) {
 
 int usage() {
   std::cerr << "usage: record_bench <benchmark.json> <BENCH_kernel.json> "
-               "--sha <sha> --date <YYYY-MM-DD> [--note <text>]\n";
+               "--sha <sha> --date <YYYY-MM-DD> [--note <text>] "
+               "[--telemetry <snapshots.jsonl>]\n";
   return 2;
+}
+
+/// Quantile summaries of the newest snapshot in a telemetry JSONL sink,
+/// ready to embed in the trajectory entry. Throws on malformed snapshots.
+ringent::Json telemetry_summaries(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ringent::Error("cannot open " + path);
+  std::string line, last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  RINGENT_REQUIRE(!last.empty(), path + ": no telemetry snapshots");
+  const auto snapshot =
+      ringent::core::TelemetrySnapshot::from_json(ringent::Json::parse(last));
+  ringent::Json out = ringent::Json::array();
+  for (const auto& summary : snapshot.summaries()) {
+    ringent::Json entry = ringent::Json::object();
+    entry.set("name", summary.name);
+    entry.set("count", summary.count);
+    entry.set("mean", summary.mean);
+    entry.set("p50", summary.p50);
+    entry.set("p90", summary.p90);
+    entry.set("p99", summary.p99);
+    entry.set("p999", summary.p999);
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string bench_path, out_path, sha, date, note;
+  std::string bench_path, out_path, sha, date, note, telemetry_path;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +83,8 @@ int main(int argc, char** argv) {
       date = argv[++i];
     } else if (arg == "--note" && i + 1 < argc) {
       note = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return usage();
@@ -104,6 +140,9 @@ int main(int argc, char** argv) {
     record.set("sha", sha);
     if (!note.empty()) record.set("note", note);
     record.set("benchmarks", std::move(results));
+    if (!telemetry_path.empty()) {
+      record.set("telemetry", telemetry_summaries(telemetry_path));
+    }
 
     // Append to the existing trajectory (or start one).
     ringent::Json trajectory = ringent::Json::object();

@@ -8,11 +8,16 @@
 //   ringent_cli trng str 24 [--rate-mhz 4] [--bits 16384]
 //   ringent_cli vcd str 16 --out ring.vcd [--tokens 4] [--clustered]
 //   ringent_cli --list                   (enumerate registered experiments)
-//   ringent_cli run <experiment> [--seed S] [--jobs N]
+//   ringent_cli run <experiment> [--seed S] [--jobs N] [--metrics]
+//               [--telemetry FILE]
 //
 // `run` dispatches through core::experiment_registry(): it executes the
 // named driver's small default spec with metrics on and prints the run
 // manifest the driver emitted (also written to RINGENT_OUT_DIR or cwd).
+// --telemetry streams a "ringent.telemetry/1" snapshot of the run to FILE;
+// --metrics additionally prints the full counter/phase/histogram breakdown
+// as a human-readable table on stderr (stdout keeps the stable manifest
+// summary, so scripts scraping it are unaffected).
 //
 // Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
 #include <algorithm>
@@ -389,6 +394,46 @@ int cmd_list() {
   return 0;
 }
 
+/// The --metrics table: every non-zero counter, every phase timer and every
+/// histogram summary of the run, on `out` (stderr — stdout keeps the stable
+/// manifest summary).
+void print_metrics_table(const RunManifest& manifest, std::FILE* out) {
+  std::fprintf(out, "== metrics: %s ==\n", manifest.experiment.c_str());
+  std::fprintf(out, "-- counters --\n");
+  for (std::size_t i = 0; i < sim::metrics::counter_count; ++i) {
+    const auto counter = static_cast<sim::metrics::Counter>(i);
+    const std::uint64_t value = manifest.metrics.counter(counter);
+    if (value == 0) continue;
+    std::fprintf(out, "  %-26s %14llu\n",
+                 std::string(sim::metrics::counter_name(counter)).c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  if (!manifest.metrics.phases.empty()) {
+    std::fprintf(out, "-- phases --\n");
+    std::fprintf(out, "  %-26s %10s %10s %8s\n", "name", "wall ms", "cpu ms",
+                 "calls");
+    for (const auto& phase : manifest.metrics.phases) {
+      std::fprintf(out, "  %-26s %10.2f %10.2f %8llu\n", phase.name.c_str(),
+                   phase.wall_ms, phase.cpu_ms,
+                   static_cast<unsigned long long>(phase.calls));
+    }
+  }
+  if (!manifest.telemetry.empty()) {
+    std::fprintf(out, "-- histograms --\n");
+    std::fprintf(out, "  %-26s %10s %12s %10s %10s %10s %10s\n", "name",
+                 "count", "mean", "p50", "p90", "p99", "p99.9");
+    for (const auto& h : manifest.telemetry) {
+      std::fprintf(out,
+                   "  %-26s %10llu %12.1f %10llu %10llu %10llu %10llu\n",
+                   h.name.c_str(), static_cast<unsigned long long>(h.count),
+                   h.mean, static_cast<unsigned long long>(h.p50),
+                   static_cast<unsigned long long>(h.p90),
+                   static_cast<unsigned long long>(h.p99),
+                   static_cast<unsigned long long>(h.p999));
+    }
+  }
+}
+
 int cmd_run(const Args& args) {
   const std::string& name = args.positional().at(0);
   const ExperimentDescriptor* exp = find_experiment(name);
@@ -400,6 +445,9 @@ int cmd_run(const Args& args) {
   ExperimentOptions options;
   options.seed = static_cast<std::uint64_t>(args.integer("seed", 20120312));
   options.jobs = static_cast<std::size_t>(args.integer("jobs", 0));
+
+  const std::string telemetry = args.text("telemetry", "");
+  if (!telemetry.empty()) core::set_telemetry_path(telemetry);
 
   const RunManifest manifest = exp->run_small(cyclone_iii(), options);
   std::printf("%s — %s (%s)\n", exp->name.c_str(), exp->summary.c_str(),
@@ -424,6 +472,10 @@ int cmd_run(const Args& args) {
   }
   std::printf("  manifest: %s.manifest.json (in RINGENT_OUT_DIR or cwd)\n",
               manifest.experiment.c_str());
+  if (!telemetry.empty()) {
+    std::printf("  telemetry: %s\n", telemetry.c_str());
+  }
+  if (args.flag("metrics")) print_metrics_table(manifest, stderr);
   return 0;
 }
 
@@ -442,7 +494,8 @@ int usage() {
       "  vcd str <stages> [--out FILE] [--tokens N] [--clustered] "
       "[--periods N]\n"
       "  --list | list                (registered experiments)\n"
-      "  run <experiment> [--seed S] [--jobs N]\n");
+      "  run <experiment> [--seed S] [--jobs N] [--metrics] "
+      "[--telemetry FILE]\n");
   return 2;
 }
 

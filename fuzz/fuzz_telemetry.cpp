@@ -1,0 +1,48 @@
+// libFuzzer harness for the telemetry-snapshot reader path: each input is
+// treated as a JSONL sink file — split on newlines, every non-empty line
+// goes through Json::parse followed by core::TelemetrySnapshot::from_json,
+// exactly what record_bench --telemetry and any snapshot consumer do.
+//
+// Contract enforced on every line:
+//  * schema violations (unknown histogram names, out-of-range or unordered
+//    bucket indices, a count that disagrees with its buckets, negative
+//    integers) fail with ringent::Error;
+//  * an accepted snapshot is a parse → dump fixpoint: the derived quantile
+//    fields from_json ignores are recomputed from the buckets, so
+//    from_json(to_json(s)) must serialize to the identical document.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "core/export.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    if (line.empty()) continue;
+
+    ringent::core::TelemetrySnapshot snapshot;
+    try {
+      snapshot = ringent::core::TelemetrySnapshot::from_json(
+          ringent::Json::parse(line));
+    } catch (const ringent::Error&) {
+      continue;  // rejected cleanly
+    }
+    // Accepted snapshots must survive a full write → read → write cycle.
+    const std::string dumped = snapshot.to_json().dump();
+    const ringent::core::TelemetrySnapshot reloaded =
+        ringent::core::TelemetrySnapshot::from_json(ringent::Json::parse(dumped));
+    if (reloaded.to_json().dump() != dumped) std::abort();
+  }
+  return 0;
+}

@@ -52,6 +52,35 @@ ringent::core::RunManifest sample_manifest() {
   return manifest;
 }
 
+ringent::core::TelemetrySnapshot sample_telemetry() {
+  namespace histo = ringent::sim::telemetry;
+  ringent::core::TelemetrySnapshot snap;
+  snap.experiment = "attack_resilience";
+  snap.sequence = 3;
+  snap.wall_ms = 42.5;
+  histo::HistogramSnapshot gaps;
+  gaps.name = histo::histogram_name(histo::Histogram::event_gap_fs);
+  gaps.buckets = {{2, 10}, {31, 5}, {40, 7}, {1919, 1}};
+  gaps.count = 23;
+  gaps.sum = 123456;
+  snap.histograms.push_back(std::move(gaps));
+  histo::HistogramSnapshot runs;
+  runs.name = histo::histogram_name(histo::Histogram::rct_run_length);
+  runs.buckets = {{1, 900}, {2, 450}, {3, 220}};
+  runs.count = 1570;
+  runs.sum = 2460;
+  snap.histograms.push_back(std::move(runs));
+  ringent::trng::telemetry::StreamStats stream;
+  stream.label = "str255/supply-tone:raw";
+  stream.bits = 4096;
+  stream.bias = 0.503;
+  stream.window_bias = 0.48;
+  stream.autocorrelation = {0.01, -0.02, 0.005, 0.0};
+  stream.markov_min_entropy = 0.97;
+  snap.streams.push_back(std::move(stream));
+  return snap;
+}
+
 std::string sample_vcd(bool second_signal) {
   using ringent::Time;
   ringent::sim::SignalTrace ring("ring_out");
@@ -131,5 +160,18 @@ int main(int argc, char** argv) {
   write_file(root + "/corpus/manifest/pretty", manifest_pretty);
   write_file(root + "/corpus/manifest/compact",
              sample_manifest().to_json().dump());
+
+  // --- telemetry: JSONL sink files for the snapshot reader path ------------
+  const std::string snapshot_line = sample_telemetry().to_json().dump();
+  write_file(root + "/corpus/telemetry/single_line", snapshot_line + "\n");
+  write_file(root + "/corpus/telemetry/multi_line",
+             snapshot_line + "\n" + snapshot_line + "\n");
+  {
+    // An empty snapshot (no histograms, no streams) is also valid.
+    ringent::core::TelemetrySnapshot empty;
+    empty.experiment = "idle";
+    write_file(root + "/corpus/telemetry/empty_snapshot",
+               empty.to_json().dump() + "\n");
+  }
   return 0;
 }

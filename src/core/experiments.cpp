@@ -38,21 +38,27 @@ RingSpec spec_for(RingKind kind, std::size_t stages) {
 }
 
 /// Observability bracket around one driver invocation: a "driver" trace span
-/// for the whole call and, when metrics collection is on, a run manifest
-/// carrying the counter/phase delta attributable to this run (written from
-/// the destructor, i.e. after the result is complete).
+/// for the whole call; when metrics collection is on, a run manifest
+/// carrying the counter/phase delta attributable to this run; and when a
+/// telemetry sink is configured, one "ringent.telemetry/1" snapshot with the
+/// histogram delta and any stream observables the driver published. Both are
+/// written from the destructor, i.e. after the result is complete, and the
+/// histogram summaries are embedded in the manifest when both are on.
 class DriverScope {
  public:
   DriverScope(std::string experiment, std::string spec,
               const ExperimentOptions& options, std::size_t tasks)
-      : span_(experiment, "driver"), active_(sim::metrics::enabled()) {
-    if (!active_) return;
+      : span_(experiment, "driver"),
+        active_(sim::metrics::enabled()),
+        telemetry_active_(telemetry_active()) {
+    if (!active_ && !telemetry_active_) return;
     manifest_.experiment = std::move(experiment);
     manifest_.spec = std::move(spec);
     manifest_.seed = options.seed;
     manifest_.jobs = sim::resolve_jobs(options.jobs);
     manifest_.tasks = tasks;
     before_ = sim::metrics::snapshot();
+    if (telemetry_active_) telemetry_before_ = sim::telemetry::snapshot();
     wall_start_ = sim::metrics::wall_seconds();
     cpu_start_ = sim::metrics::process_cpu_seconds();
   }
@@ -61,18 +67,26 @@ class DriverScope {
   DriverScope& operator=(const DriverScope&) = delete;
 
   ~DriverScope() {
-    if (!active_) return;
+    if (!active_ && !telemetry_active_) return;
     manifest_.wall_ms = (sim::metrics::wall_seconds() - wall_start_) * 1e3;
     manifest_.cpu_ms =
         (sim::metrics::process_cpu_seconds() - cpu_start_) * 1e3;
     manifest_.metrics = sim::metrics::snapshot().delta_since(before_);
     manifest_.version = std::string(version_string());
     try {
-      write_run_manifest(manifest_);
+      if (telemetry_active_) {
+        const TelemetrySnapshot snapshot = collect_telemetry(
+            manifest_.experiment,
+            sim::telemetry::snapshot().delta_since(telemetry_before_),
+            manifest_.wall_ms);
+        manifest_.telemetry = snapshot.summaries();
+        append_telemetry_snapshot(snapshot);
+      }
+      if (active_) write_run_manifest(manifest_);
     } catch (const std::exception& error) {
-      // A destructor must not throw; a manifest that cannot be written is
-      // diagnostic output lost, not a failed experiment.
-      std::fprintf(stderr, "ringent: dropping run manifest: %s\n",
+      // A destructor must not throw; a manifest or snapshot that cannot be
+      // written is diagnostic output lost, not a failed experiment.
+      std::fprintf(stderr, "ringent: dropping run observability: %s\n",
                    error.what());
     }
   }
@@ -80,8 +94,10 @@ class DriverScope {
  private:
   sim::trace::Span span_;
   bool active_ = false;
+  bool telemetry_active_ = false;
   RunManifest manifest_;
   sim::metrics::Snapshot before_;
+  sim::telemetry::Snapshot telemetry_before_;
   double wall_start_ = 0.0;
   double cpu_start_ = 0.0;
 };
@@ -580,6 +596,17 @@ AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
     trng::ResilientGenerator generator(primary, backup ? &*backup : nullptr,
                                        spec.policy);
 
+    // When a telemetry sink is live, watch both the DFF-sampled raw stream
+    // (pre-monitor) and the supervised stream the generator actually sees;
+    // both readings are published under this cell's label.
+    const bool watch = telemetry_active();
+    trng::telemetry::StreamingEntropy raw_stream;
+    trng::telemetry::StreamingEntropy monitored_stream;
+    if (watch) {
+      primary.attach_telemetry(&raw_stream);
+      generator.attach_telemetry(&monitored_stream);
+    }
+
     // Phase 1 spans the scenario's fault windows; phase 2 is the post-attack
     // health check on whatever budget remains.
     const double end_samples = scenario.end() / spec.sampling_period;
@@ -624,6 +651,13 @@ AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
           static_cast<double>(ones) / static_cast<double>(after.size());
     }
     cell.transitions = generator.transitions();
+    if (watch) {
+      const std::string cell_label = ring.name() + "/" + scenario.name;
+      trng::telemetry::publish(trng::telemetry::StreamStats::capture(
+          cell_label + ":raw", raw_stream));
+      trng::telemetry::publish(trng::telemetry::StreamStats::capture(
+          cell_label + ":monitored", monitored_stream));
+    }
     return cell;
   });
 

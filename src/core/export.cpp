@@ -1,9 +1,12 @@
 #include "core/export.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <mutex>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -58,6 +61,58 @@ std::uint64_t non_negative(const Json& value, const char* what) {
 
 }  // namespace
 
+HistogramSummary HistogramSummary::of(
+    const sim::telemetry::HistogramSnapshot& h) {
+  HistogramSummary out;
+  out.name = std::string(h.name);
+  out.count = h.count;
+  out.mean = h.mean();
+  out.p50 = h.quantile(0.50);
+  out.p90 = h.quantile(0.90);
+  out.p99 = h.quantile(0.99);
+  out.p999 = h.quantile(0.999);
+  return out;
+}
+
+namespace {
+
+/// Json integers are exact only up to int64 max, but quantile bounds in the
+/// top half-octave of the uint64 range (bucket_high of the last buckets, up
+/// to UINT64_MAX) exceed it. Saturate on serialization — the bucket list
+/// still carries the precise distribution, so a clamped quantile only loses
+/// information where the bucket itself is already 2^58 wide.
+Json saturated(std::uint64_t v) {
+  constexpr auto limit =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return Json(v > limit ? limit : v);
+}
+
+Json summary_to_json(const HistogramSummary& s) {
+  Json entry = Json::object();
+  entry.set("name", s.name);
+  entry.set("count", saturated(s.count));
+  entry.set("mean", s.mean);
+  entry.set("p50", saturated(s.p50));
+  entry.set("p90", saturated(s.p90));
+  entry.set("p99", saturated(s.p99));
+  entry.set("p999", saturated(s.p999));
+  return entry;
+}
+
+HistogramSummary summary_from_json(const Json& entry) {
+  HistogramSummary s;
+  s.name = entry.at("name").as_string();
+  s.count = non_negative(entry.at("count"), "count");
+  s.mean = entry.at("mean").as_number();
+  s.p50 = non_negative(entry.at("p50"), "p50");
+  s.p90 = non_negative(entry.at("p90"), "p90");
+  s.p99 = non_negative(entry.at("p99"), "p99");
+  s.p999 = non_negative(entry.at("p999"), "p999");
+  return s;
+}
+
+}  // namespace
+
 Json RunManifest::to_json() const {
   Json root = Json::object();
   root.set("schema", std::string(schema));
@@ -88,6 +143,12 @@ Json RunManifest::to_json() const {
     phases.push_back(std::move(entry));
   }
   root.set("phases", std::move(phases));
+
+  if (!telemetry.empty()) {
+    Json summaries = Json::array();
+    for (const auto& s : telemetry) summaries.push_back(summary_to_json(s));
+    root.set("telemetry", std::move(summaries));
+  }
   return root;
 }
 
@@ -124,6 +185,15 @@ RunManifest RunManifest::from_json(const Json& json) {
     stat.calls = non_negative(entry.at("calls"), "calls");
     m.metrics.phases.push_back(std::move(stat));
   }
+
+  if (json.contains("telemetry")) {
+    const Json& summaries = json.at("telemetry");
+    RINGENT_REQUIRE(summaries.is_array(),
+                    "manifest telemetry must be an array");
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      m.telemetry.push_back(summary_from_json(summaries.at(i)));
+    }
+  }
   return m;
 }
 
@@ -159,6 +229,292 @@ std::string write_run_manifest(const RunManifest& manifest) {
 std::optional<RunManifest> last_run_manifest() {
   std::lock_guard<std::mutex> lock(last_manifest_mutex);
   return last_manifest_slot();
+}
+
+// --- telemetry snapshots ----------------------------------------------------
+
+namespace {
+
+// HistogramSnapshot::name is a string_view into static storage; parsed
+// snapshots must resolve their name against the known slugs (which doubles
+// as schema validation for hand-edited or fuzzed input).
+std::string_view histogram_slug(const std::string& name) {
+  for (std::size_t i = 0; i < sim::telemetry::histogram_count; ++i) {
+    const auto slug = sim::telemetry::histogram_name(
+        static_cast<sim::telemetry::Histogram>(i));
+    if (name == slug) return slug;
+  }
+  throw Error("unknown telemetry histogram '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<HistogramSummary> TelemetrySnapshot::summaries() const {
+  std::vector<HistogramSummary> out;
+  out.reserve(histograms.size());
+  for (const auto& h : histograms) out.push_back(HistogramSummary::of(h));
+  return out;
+}
+
+Json TelemetrySnapshot::to_json() const {
+  Json root = Json::object();
+  root.set("schema", std::string(schema));
+  root.set("experiment", experiment);
+  root.set("sequence", sequence);
+  root.set("wall_ms", wall_ms);
+
+  Json histos = Json::array();
+  for (const auto& h : histograms) {
+    Json entry = Json::object();
+    entry.set("name", std::string(h.name));
+    entry.set("count", saturated(h.count));
+    entry.set("sum", saturated(h.sum));
+    // Derived from the buckets; from_json ignores them (fixpoint contract).
+    entry.set("p50", saturated(h.quantile(0.50)));
+    entry.set("p90", saturated(h.quantile(0.90)));
+    entry.set("p99", saturated(h.quantile(0.99)));
+    entry.set("p999", saturated(h.quantile(0.999)));
+    Json buckets = Json::array();
+    for (const auto& [index, observations] : h.buckets) {
+      Json bucket = Json::array();
+      bucket.push_back(index);
+      bucket.push_back(observations);
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histos.push_back(std::move(entry));
+  }
+  root.set("histograms", std::move(histos));
+
+  Json stream_array = Json::array();
+  for (const auto& s : streams) stream_array.push_back(s.to_json());
+  root.set("streams", std::move(stream_array));
+  return root;
+}
+
+TelemetrySnapshot TelemetrySnapshot::from_json(const Json& json) {
+  RINGENT_REQUIRE(json.is_object(), "telemetry snapshot must be a JSON object");
+  RINGENT_REQUIRE(json.at("schema").as_string() == schema,
+                  "unknown telemetry schema");
+  TelemetrySnapshot snap;
+  snap.experiment = json.at("experiment").as_string();
+  snap.sequence = non_negative(json.at("sequence"), "sequence");
+  snap.wall_ms = json.at("wall_ms").as_number();
+
+  const Json& histos = json.at("histograms");
+  RINGENT_REQUIRE(histos.is_array(), "telemetry histograms must be an array");
+  for (std::size_t i = 0; i < histos.size(); ++i) {
+    const Json& entry = histos.at(i);
+    sim::telemetry::HistogramSnapshot h;
+    h.name = histogram_slug(entry.at("name").as_string());
+    h.count = non_negative(entry.at("count"), "count");
+    h.sum = non_negative(entry.at("sum"), "sum");
+    const Json& buckets = entry.at("buckets");
+    RINGENT_REQUIRE(buckets.is_array(), "histogram buckets must be an array");
+    std::uint64_t total = 0;
+    std::int64_t previous = -1;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const Json& bucket = buckets.at(b);
+      RINGENT_REQUIRE(bucket.is_array() && bucket.size() == 2,
+                      "histogram bucket must be an [index, count] pair");
+      const std::uint64_t index = non_negative(bucket.at(0), "bucket index");
+      const std::uint64_t observations =
+          non_negative(bucket.at(1), "bucket count");
+      RINGENT_REQUIRE(index < sim::telemetry::bucket_count,
+                      "bucket index out of range");
+      RINGENT_REQUIRE(static_cast<std::int64_t>(index) > previous,
+                      "bucket indices must be strictly ascending");
+      RINGENT_REQUIRE(observations > 0, "empty bucket in sparse histogram");
+      previous = static_cast<std::int64_t>(index);
+      total += observations;
+      h.buckets.emplace_back(static_cast<std::uint32_t>(index), observations);
+    }
+    RINGENT_REQUIRE(total == h.count,
+                    "histogram count disagrees with its buckets");
+    snap.histograms.push_back(std::move(h));
+  }
+
+  const Json& stream_array = json.at("streams");
+  RINGENT_REQUIRE(stream_array.is_array(),
+                  "telemetry streams must be an array");
+  for (std::size_t i = 0; i < stream_array.size(); ++i) {
+    snap.streams.push_back(
+        trng::telemetry::StreamStats::from_json(stream_array.at(i)));
+  }
+  return snap;
+}
+
+namespace {
+
+std::mutex telemetry_mutex;
+std::uint64_t telemetry_sequence = 0;
+
+std::string& telemetry_path_slot() {
+  static std::string* slot = new std::string();
+  return *slot;
+}
+
+std::optional<TelemetrySnapshot>& last_telemetry_slot() {
+  static std::optional<TelemetrySnapshot>* slot =
+      new std::optional<TelemetrySnapshot>();
+  return *slot;
+}
+
+}  // namespace
+
+void set_telemetry_path(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mutex);
+    telemetry_path_slot() = path;
+  }
+  sim::telemetry::set_enabled(!path.empty());
+}
+
+std::string telemetry_path() {
+  std::lock_guard<std::mutex> lock(telemetry_mutex);
+  return telemetry_path_slot();
+}
+
+bool telemetry_active() {
+  std::lock_guard<std::mutex> lock(telemetry_mutex);
+  return !telemetry_path_slot().empty() && sim::telemetry::enabled();
+}
+
+bool init_telemetry_from_env() {
+  const char* env = std::getenv("RINGENT_TELEMETRY");
+  if (env != nullptr && env[0] != '\0') {
+    bool configured = false;
+    {
+      std::lock_guard<std::mutex> lock(telemetry_mutex);
+      configured = !telemetry_path_slot().empty();
+    }
+    if (!configured) set_telemetry_path(env);
+  }
+  return telemetry_active();
+}
+
+TelemetrySnapshot collect_telemetry(const std::string& experiment,
+                                    const sim::telemetry::Snapshot& delta,
+                                    double wall_ms) {
+  TelemetrySnapshot snap;
+  snap.experiment = experiment;
+  snap.wall_ms = wall_ms;
+  snap.histograms = delta.non_empty();
+  snap.streams = trng::telemetry::take_published();
+  return snap;
+}
+
+std::string append_telemetry_snapshot(TelemetrySnapshot snapshot) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mutex);
+    path = telemetry_path_slot();
+    snapshot.sequence = telemetry_sequence++;
+  }
+  if (!path.empty()) {
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0) {
+      // Scrape-file mode: the latest snapshot replaces the previous one.
+      std::ofstream out(path);
+      RINGENT_REQUIRE(out.good(), "cannot open telemetry sink " + path);
+      out << prometheus_exposition(snapshot);
+      out.flush();
+      if (!out.good()) throw Error("I/O error writing telemetry sink " + path);
+    } else {
+      std::ofstream out(path, std::ios::app);
+      RINGENT_REQUIRE(out.good(), "cannot open telemetry sink " + path);
+      out << snapshot.to_json().dump() << "\n";
+      out.flush();
+      if (!out.good()) throw Error("I/O error writing telemetry sink " + path);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mutex);
+    last_telemetry_slot() = std::move(snapshot);
+  }
+  return path;
+}
+
+std::optional<TelemetrySnapshot> last_telemetry_snapshot() {
+  std::lock_guard<std::mutex> lock(telemetry_mutex);
+  return last_telemetry_slot();
+}
+
+namespace {
+
+std::string prom_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Prometheus text-format label values escape backslash, quote and newline.
+std::string prom_label(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_exposition(const TelemetrySnapshot& snapshot) {
+  std::string out;
+  out += "# ringent telemetry exposition (schema " + std::string(
+             TelemetrySnapshot::schema) + ", experiment \"" +
+         snapshot.experiment + "\")\n";
+  for (const auto& h : snapshot.histograms) {
+    const std::string metric = "ringent_" + std::string(h.name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, observations] : h.buckets) {
+      cumulative += observations;
+      out += metric + "_bucket{le=\"" +
+             std::to_string(sim::telemetry::bucket_high(index)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += metric + "_sum " + std::to_string(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  if (!snapshot.streams.empty()) {
+    out += "# TYPE ringent_stream_bits gauge\n";
+    for (const auto& s : snapshot.streams) {
+      out += "ringent_stream_bits{stream=\"" + prom_label(s.label) + "\"} " +
+             std::to_string(s.bits) + "\n";
+    }
+    out += "# TYPE ringent_stream_bias gauge\n";
+    for (const auto& s : snapshot.streams) {
+      out += "ringent_stream_bias{stream=\"" + prom_label(s.label) + "\"} " +
+             prom_number(s.bias) + "\n";
+    }
+    out += "# TYPE ringent_stream_window_bias gauge\n";
+    for (const auto& s : snapshot.streams) {
+      out += "ringent_stream_window_bias{stream=\"" + prom_label(s.label) +
+             "\"} " + prom_number(s.window_bias) + "\n";
+    }
+    out += "# TYPE ringent_stream_markov_min_entropy gauge\n";
+    for (const auto& s : snapshot.streams) {
+      out += "ringent_stream_markov_min_entropy{stream=\"" +
+             prom_label(s.label) + "\"} " + prom_number(s.markov_min_entropy) +
+             "\n";
+    }
+    out += "# TYPE ringent_stream_autocorrelation gauge\n";
+    for (const auto& s : snapshot.streams) {
+      for (std::size_t lag = 0; lag < s.autocorrelation.size(); ++lag) {
+        out += "ringent_stream_autocorrelation{stream=\"" +
+               prom_label(s.label) + "\",lag=\"" + std::to_string(lag + 1) +
+               "\"} " + prom_number(s.autocorrelation[lag]) + "\n";
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace ringent::core

@@ -95,6 +95,7 @@ void RingBitSource::refill() {
       last_value_ = transitions[ptr++].value;
     }
     buffer_.push_back(last_value_ ? 1 : 0);
+    if (raw_telemetry_ != nullptr) raw_telemetry_->feed(last_value_ ? 1 : 0);
     sample_next_abs_ += config_.sampling_period;
   }
   // Transitions past the last sample still decide the next chunk's start.

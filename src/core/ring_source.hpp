@@ -65,6 +65,13 @@ class RingBitSource final : public trng::BitSource {
   void restart(std::uint64_t attempt) override;
   std::string_view describe() const override { return label_; }
 
+  /// Attach a streaming-entropy observer fed with every DFF-sampled bit as
+  /// it is latched (pre-monitor, so muting upstream never censors it).
+  /// `stream` must outlive the source; nullptr detaches.
+  void attach_telemetry(trng::telemetry::StreamingEntropy* stream) {
+    raw_telemetry_ = stream;
+  }
+
   const noise::FaultInjector& injector() const { return *injector_; }
   const RingSourceConfig& config() const { return config_; }
 
@@ -87,6 +94,7 @@ class RingBitSource final : public trng::BitSource {
   std::vector<std::uint8_t> buffer_;
   std::size_t index_ = 0;
   std::uint64_t reported_activations_ = 0;
+  trng::telemetry::StreamingEntropy* raw_telemetry_ = nullptr;
 };
 
 }  // namespace ringent::core

@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 
 namespace ringent::ring {
 
@@ -147,6 +148,11 @@ void Str::try_schedule(std::size_t i, Time now) {
         tf, tr, last_change_[i], extra_ps, d_mean_nom_ps_ * static_scale,
         s_offset_nom_ps_ * static_scale, dch_nom_ps_ * charlie_scale);
   }
+  // The Charlie-resolved delay is the per-evaluation "cost" in the simulated
+  // domain — deterministic, so its histogram is bit-exact at any jobs count.
+  sim::telemetry::record(
+      sim::telemetry::Histogram::charlie_delay_fs,
+      fire_at > now ? static_cast<std::uint64_t>((fire_at - now).fs()) : 0);
   kernel_.schedule_at(fire_at, node_, static_cast<std::uint32_t>(i));
   scheduled_[i] = 1;
 }

@@ -30,6 +30,7 @@
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 
 namespace ringent::sim {
 
@@ -87,8 +88,10 @@ class Kernel {
     const QueuedEvent event{at, next_seq_++, node, tag};
     if (kind_ == QueueKind::binary_heap) {
       heap_.push(event);
+      telemetry::record(telemetry::Histogram::queue_depth, heap_.size());
     } else {
       calendar_.push(event);
+      telemetry::record(telemetry::Histogram::queue_depth, calendar_.size());
     }
   }
 
@@ -154,6 +157,8 @@ class Kernel {
     std::uint64_t fired = 0;
     while (!queue.empty() && queue.min_at() <= t_end) {
       const QueuedEvent event = queue.pop_min();
+      telemetry::record(telemetry::Histogram::event_gap_fs,
+                        static_cast<std::uint64_t>((event.at - now_).fs()));
       now_ = event.at;
       ++events_fired_;
       metrics::bump(metrics::Counter::events_fired);
@@ -170,6 +175,8 @@ class Kernel {
     std::uint64_t fired = 0;
     while (fired < max_events && !queue.empty()) {
       const QueuedEvent event = queue.pop_min();
+      telemetry::record(telemetry::Histogram::event_gap_fs,
+                        static_cast<std::uint64_t>((event.at - now_).fs()));
       now_ = event.at;
       ++events_fired_;
       metrics::bump(metrics::Counter::events_fired);

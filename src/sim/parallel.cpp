@@ -14,7 +14,31 @@
 #include <thread>
 
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
+
+namespace {
+
+/// Run one pool task, recording its wall-clock duration into the
+/// pool_task_ns histogram when telemetry is on (two clock reads — paid only
+/// when collecting; the off path is the task call alone).
+template <class Task>
+void run_timed_task(std::size_t i, const Task& task) {
+  namespace telemetry = ringent::sim::telemetry;
+  namespace metrics = ringent::sim::metrics;
+  if (!telemetry::enabled()) {
+    task(i);
+    return;
+  }
+  const double start = metrics::wall_seconds();
+  task(i);
+  const double elapsed = metrics::wall_seconds() - start;
+  telemetry::record(telemetry::Histogram::pool_task_ns,
+                    elapsed > 0.0 ? static_cast<std::uint64_t>(elapsed * 1e9)
+                                  : 0);
+}
+
+}  // namespace
 
 namespace ringent::sim {
 
@@ -105,9 +129,9 @@ struct ThreadPool::Impl {
       try {
         if (trace::enabled()) {
           trace::Span span("task " + std::to_string(i), "pool");
-          task(i);
+          run_timed_task(i, task);
         } else {
-          task(i);
+          run_timed_task(i, task);
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -172,9 +196,9 @@ void ThreadPool::for_each_index(std::size_t count,
       metrics::bump(metrics::Counter::pool_tasks);
       if (trace::enabled()) {
         trace::Span span("task " + std::to_string(i), "pool");
-        fn(i);
+        run_timed_task(i, fn);
       } else {
-        fn(i);
+        run_timed_task(i, fn);
       }
     }
     return;

@@ -15,12 +15,11 @@ namespace ringent::sim::trace {
 
 namespace {
 
-struct Event {
+/// A 'B' event whose 'E' has not been written yet; stop() balances these so
+/// the file closes well-formed even when spans are still open.
+struct OpenSpan {
   std::string name;
   std::string category;
-  char phase = 'B';  // 'B' begin / 'E' end
-  double ts_us = 0.0;
-  int tid = 0;
 };
 
 struct Collector {
@@ -29,14 +28,18 @@ struct Collector {
   std::uint64_t session = 0;  ///< bumped on every start(); stale spans no-op
   std::string path;
   std::chrono::steady_clock::time_point t0;
-  std::vector<Event> events;
-  std::vector<std::thread::id> tids;  ///< index = stable small tid
+  std::ofstream out;
+  bool first_event = true;
+  bool io_failed = false;
+  std::vector<std::thread::id> tids;       ///< index = stable small tid
+  std::vector<std::vector<OpenSpan>> open; ///< per-tid stack of open spans
 
   int tid_of(std::thread::id id) {
     for (std::size_t i = 0; i < tids.size(); ++i) {
       if (tids[i] == id) return static_cast<int>(i);
     }
     tids.push_back(id);
+    open.emplace_back();
     return static_cast<int>(tids.size() - 1);
   }
 };
@@ -52,40 +55,24 @@ double elapsed_us(const Collector& c) {
       .count();
 }
 
-/// Drop events that would leave a thread's B/E spans unbalanced (spans still
-/// open when the session stops). Walk each thread's events in order keeping
-/// a depth stack; unmatched 'B's at the end are removed.
-std::vector<Event> balanced(std::vector<Event> events) {
-  std::vector<std::size_t> drop;
-  std::vector<int> seen_tids;
-  for (const Event& e : events) {
-    bool known = false;
-    for (int t : seen_tids) known = known || t == e.tid;
-    if (!known) seen_tids.push_back(e.tid);
-  }
-  for (int tid : seen_tids) {
-    std::vector<std::size_t> open;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      if (events[i].tid != tid) continue;
-      if (events[i].phase == 'B') {
-        open.push_back(i);
-      } else if (!open.empty()) {
-        open.pop_back();
-      } else {
-        drop.push_back(i);  // stray 'E' (cannot happen; defensive)
-      }
-    }
-    drop.insert(drop.end(), open.begin(), open.end());
-  }
-  if (drop.empty()) return events;
-  std::vector<Event> out;
-  out.reserve(events.size());
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    bool dropped = false;
-    for (std::size_t d : drop) dropped = dropped || d == i;
-    if (!dropped) out.push_back(std::move(events[i]));
-  }
-  return out;
+/// Append one event object and flush, so a crashed process leaves every
+/// span recorded so far on disk (Perfetto loads truncated traces). Caller
+/// holds the collector mutex.
+void write_event(Collector& c, const std::string& name,
+                 const std::string& category, char phase, double ts_us,
+                 int tid) {
+  Json event = Json::object();
+  event.set("name", name);
+  event.set("cat", category);
+  event.set("ph", std::string(1, phase));
+  event.set("ts", ts_us);
+  event.set("pid", 1);
+  event.set("tid", tid);
+  if (!c.first_event) c.out << ",\n";
+  c.first_event = false;
+  c.out << event.dump();
+  c.out.flush();
+  if (!c.out.good()) c.io_failed = true;
 }
 
 }  // namespace
@@ -100,10 +87,16 @@ void start(const std::string& path) {
   std::lock_guard<std::mutex> lock(c.mutex);
   RINGENT_REQUIRE(!c.active.load(std::memory_order_relaxed),
                   "a trace session is already active");
+  c.out.open(path);
+  RINGENT_REQUIRE(c.out.good(), "cannot open trace file " + path);
+  c.out << "{\n \"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n";
+  c.out.flush();
   c.path = path;
   c.t0 = std::chrono::steady_clock::now();
-  c.events.clear();
+  c.first_event = true;
+  c.io_failed = !c.out.good();
   c.tids.clear();
+  c.open.clear();
   ++c.session;
   static bool atexit_registered = false;
   if (!atexit_registered) {
@@ -116,37 +109,33 @@ void start(const std::string& path) {
 void stop() {
   Collector& c = collector();
   std::string path;
-  std::vector<Event> events;
+  bool io_failed = false;
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     if (!c.active.load(std::memory_order_relaxed)) return;
     c.active.store(false, std::memory_order_relaxed);
+
+    // Balance whatever is still open (e.g. the process is exiting from
+    // inside a span) so the serialized file always parses.
+    const double now_us = elapsed_us(c);
+    for (std::size_t tid = 0; tid < c.open.size(); ++tid) {
+      while (!c.open[tid].empty()) {
+        const OpenSpan span = std::move(c.open[tid].back());
+        c.open[tid].pop_back();
+        write_event(c, span.name, span.category, 'E', now_us,
+                    static_cast<int>(tid));
+      }
+    }
+    c.out << "\n]}\n";
+    c.out.flush();
+    io_failed = c.io_failed || !c.out.good();
+    c.out.close();
     path = c.path;
-    events = balanced(std::move(c.events));
-    c.events.clear();
     c.path.clear();
+    c.tids.clear();
+    c.open.clear();
   }
-
-  Json root = Json::object();
-  Json trace_events = Json::array();
-  for (const Event& e : events) {
-    Json event = Json::object();
-    event.set("name", e.name);
-    event.set("cat", e.category);
-    event.set("ph", std::string(1, e.phase));
-    event.set("ts", e.ts_us);
-    event.set("pid", 1);
-    event.set("tid", e.tid);
-    trace_events.push_back(std::move(event));
-  }
-  root.set("traceEvents", std::move(trace_events));
-  root.set("displayTimeUnit", "ms");
-
-  std::ofstream out(path);
-  RINGENT_REQUIRE(out.good(), "cannot open trace file " + path);
-  out << root.dump(1) << "\n";
-  out.flush();
-  if (!out.good()) throw Error("I/O error writing trace file " + path);
+  if (io_failed) throw Error("I/O error writing trace file " + path);
 }
 
 std::string current_path() {
@@ -172,13 +161,9 @@ Span::Span(std::string_view name, std::string_view category) {
   session_ = c.session;
   name_ = name;
   category_ = category;
-  Event e;
-  e.name = name_;
-  e.category = category_;
-  e.phase = 'B';
-  e.ts_us = elapsed_us(c);
-  e.tid = c.tid_of(std::this_thread::get_id());
-  c.events.push_back(std::move(e));
+  const int tid = c.tid_of(std::this_thread::get_id());
+  write_event(c, name_, category_, 'B', elapsed_us(c), tid);
+  c.open[static_cast<std::size_t>(tid)].push_back({name_, category_});
 }
 
 Span::~Span() {
@@ -186,17 +171,14 @@ Span::~Span() {
   Collector& c = collector();
   std::lock_guard<std::mutex> lock(c.mutex);
   // The session that recorded our 'B' must still be collecting; otherwise
-  // the unmatched 'B' was (or will be) dropped by balanced().
+  // stop() already balanced (or will drop) that 'B'.
   if (!c.active.load(std::memory_order_relaxed) || c.session != session_) {
     return;
   }
-  Event e;
-  e.name = name_;
-  e.category = category_;
-  e.phase = 'E';
-  e.ts_us = elapsed_us(c);
-  e.tid = c.tid_of(std::this_thread::get_id());
-  c.events.push_back(std::move(e));
+  const int tid = c.tid_of(std::this_thread::get_id());
+  write_event(c, name_, category_, 'E', elapsed_us(c), tid);
+  auto& stack = c.open[static_cast<std::size_t>(tid)];
+  if (!stack.empty()) stack.pop_back();
 }
 
 }  // namespace ringent::sim::trace

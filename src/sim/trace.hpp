@@ -1,11 +1,15 @@
 // Optional Chrome-trace span collection for whole-run timelines.
 //
 // When a trace session is active, Span objects record begin/end ("B"/"E")
-// events into an in-memory buffer that stop() serializes as Chrome trace
-// JSON — load the file in chrome://tracing or https://ui.perfetto.dev to see
-// driver phases, experiment axes and parallel-pool tasks laid out per
-// thread. The span vocabulary, coarse by design (spans bracket whole
-// simulations, never kernel events):
+// events as Chrome trace JSON — load the file in chrome://tracing or
+// https://ui.perfetto.dev to see driver phases, experiment axes and
+// parallel-pool tasks laid out per thread. The writer streams: every event
+// is appended and flushed as it happens, so a crashed or killed process
+// leaves a truncated-but-loadable trace (Perfetto tolerates a missing
+// array terminator) instead of losing the whole buffer; stop() balances
+// any still-open spans with synthesized "E" events and closes the JSON so
+// a normal exit always yields a well-formed file. The span vocabulary,
+// coarse by design (spans bracket whole simulations, never kernel events):
 //
 //   cat "driver" — one span per experiment-driver invocation
 //   cat "axis"   — one span per sweep point (the body of a pool task)
@@ -31,12 +35,14 @@ namespace ringent::sim::trace {
 /// True while a session is collecting spans.
 bool enabled();
 
-/// Begin collecting; spans buffer in memory until stop(). Starting while a
-/// session is active throws (one file per run).
+/// Begin collecting; the file is opened immediately and events stream to it
+/// as they are recorded. Starting while a session is active throws (one
+/// file per run).
 void start(const std::string& path);
 
-/// Serialize all collected spans to the session's path and end the session.
-/// No-op when no session is active. Throws ringent::Error on I/O failure.
+/// Balance still-open spans, close the JSON and end the session. No-op when
+/// no session is active. Throws ringent::Error on I/O failure (including
+/// failures of earlier streamed writes).
 void stop();
 
 /// Path of the active session ("" when none).
@@ -48,8 +54,8 @@ bool init_from_env();
 
 /// RAII span: records a "B" event on construction and the matching "E" on
 /// destruction, tagged with the calling thread. Free (one relaxed load)
-/// when no session is active; spans whose session stops mid-life are
-/// dropped rather than left unbalanced.
+/// when no session is active; a span whose session stops mid-life was
+/// already balanced by stop() and its destructor no-ops.
 class Span {
  public:
   Span(std::string_view name, std::string_view category);

@@ -5,11 +5,13 @@
 
 #include "common/require.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace ringent::trng {
 
 namespace metrics = sim::metrics;
+namespace histo = sim::telemetry;
 
 const char* to_string(DegradationState state) {
   switch (state) {
@@ -57,6 +59,20 @@ std::vector<std::uint8_t> ResilientGenerator::generate(std::size_t raw_bits) {
 void ResilientGenerator::step(std::uint8_t bit,
                               std::vector<std::uint8_t>& out) {
   ++stats_.bits_in;
+  if (telemetry_ != nullptr) telemetry_->feed(bit);
+  if (histo::enabled()) {
+    // Completed same-bit run lengths of the raw stream (muted bits
+    // included: the histogram describes the source, not the monitors).
+    if (bit == tele_prev_bit_) {
+      ++tele_run_;
+    } else {
+      if (tele_prev_bit_ <= 1) {
+        histo::record(histo::Histogram::rct_run_length, tele_run_);
+      }
+      tele_prev_bit_ = bit;
+      tele_run_ = 1;
+    }
+  }
   switch (state_) {
     case DegradationState::healthy:
     case DegradationState::suspect: {
@@ -74,6 +90,10 @@ void ResilientGenerator::step(std::uint8_t bit,
           metrics::bump(metrics::Counter::health_apt_alarms);
         }
         return;
+      }
+      if (histo::enabled() && apt_.window_index() == 0) {
+        // index_ just wrapped: current_count() is the completed window's.
+        histo::record(histo::Histogram::apt_window_ones, apt_.current_count());
       }
       out.push_back(bit);
       ++stats_.bits_out;
@@ -108,8 +128,13 @@ void ResilientGenerator::step(std::uint8_t bit,
         }
         return;
       }
+      if (histo::enabled() && apt_.window_index() == 0) {
+        histo::record(histo::Histogram::apt_window_ones, apt_.current_count());
+      }
       if (probation_remaining_ > 0) --probation_remaining_;
       if (probation_remaining_ == 0) {
+        histo::record(histo::Histogram::relock_duration_bits,
+                      stats_.bits_in - outage_start_bit_);
         transition(DegradationState::healthy, "probation-clean");
         if (stats_.alarmed && !stats_.recovered) {
           stats_.recovered = true;
@@ -125,6 +150,11 @@ void ResilientGenerator::step(std::uint8_t bit,
 }
 
 void ResilientGenerator::on_alarm(const char* reason) {
+  // First interval measures from stream start — detection latency.
+  histo::record(histo::Histogram::bits_between_alarms,
+                stats_.bits_in - last_alarm_bit_);
+  last_alarm_bit_ = stats_.bits_in;
+  outage_start_bit_ = stats_.bits_in;
   if (!stats_.alarmed) {
     stats_.alarmed = true;
     stats_.first_alarm_bit = stats_.bits_in;

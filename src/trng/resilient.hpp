@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "trng/health.hpp"
+#include "trng/telemetry.hpp"
 
 namespace ringent::trng {
 
@@ -138,6 +139,16 @@ class ResilientGenerator {
   std::uint32_t rct_cutoff_used() const { return rct_.cutoff(); }
   std::uint32_t apt_cutoff_used() const { return apt_.cutoff(); }
 
+  /// Attach a streaming-entropy observer fed with every raw bit (including
+  /// muted ones — the observables describe the source, not the output).
+  /// `stream` must outlive the generator; nullptr detaches. Independent of
+  /// this, the generator records RCT run lengths, APT window counts, bits
+  /// between alarms and relock durations into the sim/telemetry histograms
+  /// whenever that collection is on.
+  void attach_telemetry(telemetry::StreamingEntropy* stream) {
+    telemetry_ = stream;
+  }
+
  private:
   void step(std::uint8_t bit, std::vector<std::uint8_t>& out);
   void transition(DegradationState to, std::string reason);
@@ -157,6 +168,12 @@ class ResilientGenerator {
   std::vector<StateTransition> transitions_;
   std::uint64_t backoff_remaining_ = 0;
   std::uint64_t probation_remaining_ = 0;
+  telemetry::StreamingEntropy* telemetry_ = nullptr;
+  // Histogram-telemetry trackers (maintained only while collection is on).
+  std::uint8_t tele_prev_bit_ = 2;
+  std::uint64_t tele_run_ = 0;
+  std::uint64_t last_alarm_bit_ = 0;
+  std::uint64_t outage_start_bit_ = 0;
 };
 
 }  // namespace ringent::trng

@@ -1,0 +1,170 @@
+#include "trng/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace ringent::trng::telemetry {
+
+StreamingEntropy::StreamingEntropy(StreamingEntropyConfig config)
+    : config_(config) {
+  RINGENT_REQUIRE(config_.window >= 8, "window must cover >= 8 bits");
+  RINGENT_REQUIRE(config_.max_lag >= 1 && config_.max_lag < config_.window,
+                  "lags must fit inside the window");
+  window_.assign(config_.window, 0);
+}
+
+void StreamingEntropy::feed(std::uint8_t bit) {
+  RINGENT_REQUIRE(bit <= 1, "bits must be 0 or 1");
+  ++total_bits_;
+  total_ones_ += bit;
+  if (prev_bit_ <= 1) ++transitions_[prev_bit_][bit];
+  prev_bit_ = bit;
+
+  if (filled_ == config_.window) {
+    window_ones_ -= window_[pos_];  // evict the oldest bit
+  } else {
+    ++filled_;
+  }
+  window_[pos_] = bit;
+  window_ones_ += bit;
+  pos_ = (pos_ + 1) % config_.window;
+}
+
+double StreamingEntropy::bias() const {
+  if (total_bits_ == 0) return 0.0;
+  return static_cast<double>(total_ones_) / static_cast<double>(total_bits_);
+}
+
+double StreamingEntropy::window_bias() const {
+  if (filled_ == 0) return 0.0;
+  return static_cast<double>(window_ones_) / static_cast<double>(filled_);
+}
+
+std::vector<double> StreamingEntropy::window_autocorrelation() const {
+  std::vector<double> out(config_.max_lag, 0.0);
+  if (filled_ < 2) return out;
+  // Chronological order: the oldest bit sits at pos_ when the buffer is
+  // full, at 0 otherwise.
+  const std::size_t n = filled_;
+  const std::size_t start = filled_ == config_.window ? pos_ : 0;
+  const auto at = [&](std::size_t i) -> double {
+    return static_cast<double>(window_[(start + i) % config_.window]);
+  };
+  const double mean =
+      static_cast<double>(window_ones_) / static_cast<double>(n);
+  double variance = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = at(i) - mean;
+    variance += d * d;
+  }
+  if (variance <= 0.0) return out;  // constant window: undefined, report 0
+  for (std::size_t lag = 1; lag <= config_.max_lag; ++lag) {
+    if (lag >= n) break;
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      acc += (at(i) - mean) * (at(i + lag) - mean);
+    }
+    out[lag - 1] = acc / variance;
+  }
+  return out;
+}
+
+double StreamingEntropy::markov_min_entropy() const {
+  const double from0 =
+      static_cast<double>(transitions_[0][0] + transitions_[0][1]);
+  const double from1 =
+      static_cast<double>(transitions_[1][0] + transitions_[1][1]);
+  if (from0 + from1 == 0.0) return 0.0;  // no transitions observed yet
+  // Missing rows (a stream that never visited one state) contribute no
+  // cycle; the asymptotic rate is then set by the visited state's self-loop.
+  const double p00 =
+      from0 > 0.0 ? static_cast<double>(transitions_[0][0]) / from0 : 0.0;
+  const double p01 =
+      from0 > 0.0 ? static_cast<double>(transitions_[0][1]) / from0 : 0.0;
+  const double p10 =
+      from1 > 0.0 ? static_cast<double>(transitions_[1][0]) / from1 : 0.0;
+  const double p11 =
+      from1 > 0.0 ? static_cast<double>(transitions_[1][1]) / from1 : 0.0;
+  const double p_max =
+      std::max({p00, p11, std::sqrt(p01 * p10)});
+  if (p_max <= 0.0) return 0.0;
+  const double h = -std::log2(p_max);
+  return std::min(1.0, std::max(0.0, h));
+}
+
+StreamStats StreamStats::capture(std::string label,
+                                 const StreamingEntropy& s) {
+  StreamStats out;
+  out.label = std::move(label);
+  out.bits = s.bits();
+  out.bias = s.bias();
+  out.window_bias = s.window_bias();
+  out.autocorrelation = s.window_autocorrelation();
+  out.markov_min_entropy = s.markov_min_entropy();
+  return out;
+}
+
+Json StreamStats::to_json() const {
+  Json root = Json::object();
+  root.set("label", label);
+  root.set("bits", bits);
+  root.set("bias", bias);
+  root.set("window_bias", window_bias);
+  Json lags = Json::array();
+  for (double r : autocorrelation) lags.push_back(r);
+  root.set("autocorrelation", std::move(lags));
+  root.set("markov_min_entropy", markov_min_entropy);
+  return root;
+}
+
+StreamStats StreamStats::from_json(const Json& json) {
+  RINGENT_REQUIRE(json.is_object(), "stream stats must be a JSON object");
+  StreamStats out;
+  out.label = json.at("label").as_string();
+  const std::int64_t bits = json.at("bits").as_integer();
+  RINGENT_REQUIRE(bits >= 0, "stream bit count must be non-negative");
+  out.bits = static_cast<std::uint64_t>(bits);
+  out.bias = json.at("bias").as_number();
+  out.window_bias = json.at("window_bias").as_number();
+  const Json& lags = json.at("autocorrelation");
+  RINGENT_REQUIRE(lags.is_array(), "autocorrelation must be an array");
+  for (std::size_t i = 0; i < lags.size(); ++i) {
+    out.autocorrelation.push_back(lags.at(i).as_number());
+  }
+  out.markov_min_entropy = json.at("markov_min_entropy").as_number();
+  return out;
+}
+
+namespace {
+
+std::mutex published_mutex;
+std::vector<StreamStats>& published_slot() {
+  static std::vector<StreamStats>* slot = new std::vector<StreamStats>();
+  return *slot;
+}
+
+}  // namespace
+
+void publish(StreamStats stats) {
+  std::lock_guard<std::mutex> lock(published_mutex);
+  published_slot().push_back(std::move(stats));
+}
+
+std::vector<StreamStats> take_published() {
+  std::vector<StreamStats> out;
+  {
+    std::lock_guard<std::mutex> lock(published_mutex);
+    out.swap(published_slot());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StreamStats& a, const StreamStats& b) {
+              return a.label < b.label;
+            });
+  return out;
+}
+
+}  // namespace ringent::trng::telemetry

@@ -23,7 +23,9 @@
 #include "noise/modulation.hpp"
 #include "ring/charlie.hpp"
 #include "ring/iro.hpp"
+#include "ring/str.hpp"
 #include "sim/kernel.hpp"
+#include "sim/metrics.hpp"
 
 using namespace ringent;
 
@@ -280,6 +282,53 @@ TEST(HotPath, SupplyScaleCacheMatchesDirectComputation) {
     ASSERT_EQ(scales.routing, laws.routing.scale(op)) << i;
     ASSERT_EQ(scales.charlie, laws.charlie.scale(op)) << i;
   }
+}
+
+TEST(HotPath, StrDevirtualizedRouteMatchesVirtualCounters) {
+  // run_until_on<P> + the flat 4-ary heap is a pure devirtualization of the
+  // generic run_until route: both must execute the identical event sequence.
+  // The structural counters (heap traffic, Charlie evaluations) therefore
+  // agree exactly between routes, and stay pinned to the golden values below
+  // — any drift means a hot-path change altered behaviour, not just speed.
+  namespace metrics = sim::metrics;
+  const auto run_route = [](bool devirtualized) {
+    sim::Kernel kernel;
+    ring::StrConfig config;
+    config.stages = 8;
+    config.charlie =
+        ring::CharlieParams::symmetric(Time::from_ps(260.0), Time::from_ps(120.0));
+    ring::Str str(
+        kernel, config,
+        ring::make_initial_state(8, 4, ring::TokenPlacement::evenly_spread),
+        gaussian_bank(8, 2.0, 777));
+    str.start();
+    const metrics::Snapshot before = metrics::snapshot();
+    const Time t_end = Time::from_ns(400.0);
+    if (devirtualized) {
+      kernel.run_until_on(str, t_end);
+    } else {
+      kernel.run_until(t_end);
+    }
+    return metrics::snapshot().delta_since(before);
+  };
+
+  const bool was_enabled = metrics::enabled();
+  metrics::set_enabled(true);
+  const metrics::Snapshot virtual_route = run_route(false);
+  const metrics::Snapshot devirt_route = run_route(true);
+  metrics::set_enabled(was_enabled);
+
+  for (const metrics::Counter c :
+       {metrics::Counter::heap_pushes, metrics::Counter::heap_pops,
+        metrics::Counter::charlie_evaluations}) {
+    EXPECT_EQ(devirt_route.counter(c), virtual_route.counter(c))
+        << "counter " << static_cast<int>(c);
+  }
+  // Golden pin: a 400 ns run of the 8-stage NT=NB ring with this noise seed.
+  EXPECT_EQ(virtual_route.counter(metrics::Counter::heap_pushes), 4208u);
+  EXPECT_EQ(virtual_route.counter(metrics::Counter::heap_pops), 4208u);
+  EXPECT_EQ(virtual_route.counter(metrics::Counter::charlie_evaluations),
+            4208u);
 }
 
 TEST(HotPath, TimeFromPsMatchesLlround) {

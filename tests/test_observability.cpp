@@ -376,6 +376,51 @@ TEST(Trace, FileIsWellFormedAndBalanced) {
   }
 }
 
+TEST(Trace, StopBalancesSpansStillOpen) {
+  // Crash-safe contract: stop() synthesizes an E event for every span still
+  // open, so a trace ended mid-measurement (signal handler, atexit) still
+  // loads in Perfetto with balanced nesting.
+  const OutDirGuard out_dir;
+  const std::string path = out_dir.dir() + "/open_spans.json";
+  trace::start(path);
+  auto open_span = std::make_unique<trace::Span>("still-open", "bench");
+  { const trace::Span closed("closed", "bench"); }
+  trace::stop();
+  open_span.reset();  // dtor after stop: session-stale, must be a no-op
+
+  const Json doc = Json::parse(read_file(path));
+  const Json& events = doc.at("traceEvents");
+  int balance = 0;
+  std::size_t still_open_events = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    if (event.at("name").as_string() == "still-open") ++still_open_events;
+    balance += event.at("ph").as_string() == "B" ? 1 : -1;
+  }
+  EXPECT_EQ(balance, 0);
+  EXPECT_EQ(still_open_events, 2u);  // the real B plus the synthesized E
+}
+
+TEST(Trace, PartialFileIsReadableMidSession) {
+  // Every event is appended and flushed as it happens: a reader (or a crash)
+  // that sees the file mid-session finds the header and all completed spans,
+  // not an empty buffer waiting for stop().
+  const OutDirGuard out_dir;
+  const std::string path = out_dir.dir() + "/partial.json";
+  trace::start(path);
+  { const trace::Span span("early", "bench"); }
+  const std::string partial = read_file(path);
+  trace::stop();
+
+  EXPECT_NE(partial.find("traceEvents"), std::string::npos);
+  EXPECT_NE(partial.find("\"early\""), std::string::npos);
+  EXPECT_NE(partial.find("\"B\""), std::string::npos);
+  EXPECT_NE(partial.find("\"E\""), std::string::npos);
+  // The closing bracket only lands at stop().
+  EXPECT_EQ(partial.find("]}"), std::string::npos);
+  EXPECT_NE(read_file(path).find("]}"), std::string::npos);
+}
+
 TEST(Trace, SpansAreFreeWhenInactive) {
   ASSERT_FALSE(trace::enabled());
   { const trace::Span span("ignored", "bench"); }
@@ -415,6 +460,54 @@ TEST(BenchCli, ParsesSharedFlags) {
       bench::parse_cli(4, const_cast<char**>(argv_bad), /*diagnostics=*/nullptr);
   EXPECT_EQ(bad.jobs, 0u);
   EXPECT_TRUE(bad.trace_path.empty());
+}
+
+TEST(BenchCli, ParsesTelemetryFlag) {
+  const char* argv_split[] = {"bench", "--telemetry", "t.jsonl"};
+  const bench::CliOptions split =
+      bench::parse_cli(3, const_cast<char**>(argv_split));
+  EXPECT_EQ(split.telemetry_path, "t.jsonl");
+
+  const char* argv_eq[] = {"bench", "--telemetry=scrape.prom"};
+  const bench::CliOptions eq =
+      bench::parse_cli(2, const_cast<char**>(argv_eq));
+  EXPECT_EQ(eq.telemetry_path, "scrape.prom");
+
+  // A trailing flag with no path degrades to "no telemetry", not a throw.
+  const char* argv_bad[] = {"bench", "--telemetry"};
+  const bench::CliOptions bad =
+      bench::parse_cli(2, const_cast<char**>(argv_bad), /*diagnostics=*/nullptr);
+  EXPECT_TRUE(bad.telemetry_path.empty());
+  const char* argv_bad_eq[] = {"bench", "--telemetry="};
+  const bench::CliOptions bad_eq = bench::parse_cli(
+      2, const_cast<char**>(argv_bad_eq), /*diagnostics=*/nullptr);
+  EXPECT_TRUE(bad_eq.telemetry_path.empty());
+}
+
+TEST(BenchCli, SessionStreamsBenchTotalSnapshot) {
+  const OutDirGuard out_dir;
+  const std::string path = out_dir.dir() + "/bench.jsonl";
+  {
+    bench::CliOptions options;
+    options.telemetry_path = path;
+    const bench::Session session(options, "unit-bench");
+    EXPECT_TRUE(core::telemetry_active());
+    EXPECT_TRUE(sim::telemetry::enabled());
+    sim::telemetry::record(sim::telemetry::Histogram::queue_depth, 3);
+  }
+  // Session's destructor appends the whole-binary summary snapshot.
+  const std::string content = read_file(path);
+  ASSERT_FALSE(content.empty());
+  const auto snapshot =
+      core::TelemetrySnapshot::from_json(Json::parse(content.substr(
+          0, content.find('\n'))));
+  EXPECT_EQ(snapshot.experiment, "unit-bench-total");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "queue_depth");
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  core::set_telemetry_path("");
+  sim::telemetry::reset();
+  EXPECT_FALSE(core::telemetry_active());
 }
 
 TEST(BenchCli, SessionAppliesFlagsAndFlushesTrace) {

@@ -3,11 +3,17 @@
 // back the driver's own run manifest without leaking global metrics state.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
+#include "common/json.hpp"
+#include "core/export.hpp"
 #include "core/registry.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace ringent;
 using namespace ringent::core;
@@ -60,4 +66,51 @@ TEST(Registry, RunSmallReturnsTheDriversManifestAndRestoresMetricsState) {
   EXPECT_EQ(manifest.seed, options.seed);
   EXPECT_GT(manifest.metrics.counter(sim::metrics::Counter::events_fired),
             0u);
+}
+
+TEST(Registry, EveryDriverStreamsATelemetrySnapshot) {
+  // With a sink configured, each of the 9 drivers must append exactly one
+  // "ringent.telemetry/1" line under its own experiment slug and embed the
+  // histogram summaries in its manifest.
+  const std::string path = "registry_telemetry_sink.jsonl";
+  std::remove(path.c_str());
+  set_telemetry_path(path);
+  ASSERT_TRUE(telemetry_active());
+
+  ExperimentOptions options;
+  options.jobs = 1;
+  std::size_t runs = 0;
+  for (const auto& entry : experiment_registry()) {
+    const RunManifest manifest = entry.run_small(cyclone_iii(), options);
+    ++runs;
+
+    const auto last = last_telemetry_snapshot();
+    ASSERT_TRUE(last.has_value()) << entry.name;
+    // Some drivers suffix the slug with the ring kind (jitter_vs_stages_iro).
+    EXPECT_EQ(last->experiment.rfind(entry.name, 0), 0u)
+        << last->experiment << " vs " << entry.name;
+    EXPECT_FALSE(last->histograms.empty()) << entry.name;
+    EXPECT_EQ(manifest.telemetry.size(), last->histograms.size())
+        << entry.name;
+  }
+
+  set_telemetry_path("");
+  sim::telemetry::reset();
+
+  // The sink file is one parseable snapshot line per driver run.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::set<std::string> experiments;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    experiments.insert(
+        TelemetrySnapshot::from_json(Json::parse(line)).experiment);
+  }
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, runs);
+  EXPECT_EQ(experiments.size(), runs);  // one distinct slug per driver
 }

@@ -1,0 +1,529 @@
+// The streaming telemetry layer: log-linear bucketing math, quantile
+// correctness against exact order statistics, zero-cost-when-off, the
+// windowed entropy observables, the versioned snapshot schema (golden-pinned
+// and round-tripped), the Prometheus exposition, and determinism of the
+// simulated-domain histograms across worker counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "core/calibration.hpp"
+#include "core/experiments.hpp"
+#include "core/export.hpp"
+#include "sim/telemetry.hpp"
+#include "trng/telemetry.hpp"
+
+using namespace ringent;
+namespace histo = ringent::sim::telemetry;
+namespace stream = ringent::trng::telemetry;
+
+namespace {
+
+/// RAII guard: telemetry collection on, registry clean before and after, and
+/// any sink path removed, so tests cannot leak state into each other.
+class TelemetryScope {
+ public:
+  TelemetryScope() {
+    histo::reset();
+    histo::set_enabled(true);
+  }
+  ~TelemetryScope() {
+    histo::set_enabled(false);
+    histo::reset();
+    core::set_telemetry_path("");
+    stream::take_published();  // drain anything a failed test left behind
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Exact order statistic with the same rank convention quantile() uses.
+std::uint64_t exact_quantile(std::vector<std::uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+// --- bucketing math ---------------------------------------------------------
+
+TEST(TelemetryBuckets, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < histo::sub_bucket_count; ++v) {
+    EXPECT_EQ(histo::bucket_index(v), v);
+    EXPECT_EQ(histo::bucket_low(v), v);
+    EXPECT_EQ(histo::bucket_high(v), v);
+  }
+}
+
+TEST(TelemetryBuckets, PinnedBoundaries) {
+  // First sub-bucketed group: width 1 (values 32..63 stay exact).
+  EXPECT_EQ(histo::bucket_index(32), 32u);
+  EXPECT_EQ(histo::bucket_index(63), 63u);
+  EXPECT_EQ(histo::bucket_high(63), 63u);
+  // Group 2: width 2.
+  EXPECT_EQ(histo::bucket_index(64), 64u);
+  EXPECT_EQ(histo::bucket_index(65), 64u);
+  EXPECT_EQ(histo::bucket_index(127), 95u);
+  EXPECT_EQ(histo::bucket_low(95), 126u);
+  EXPECT_EQ(histo::bucket_high(95), 127u);
+  // The top of the range still fits the table.
+  EXPECT_EQ(histo::bucket_index(~std::uint64_t{0}), histo::bucket_count - 1);
+}
+
+TEST(TelemetryBuckets, EveryValueFallsInsideItsBucket) {
+  // Sweep a deterministic mix of magnitudes including the exact power-of-two
+  // edges where off-by-ones would hide.
+  std::uint64_t v = 1;
+  for (int e = 0; e < 64; ++e, v <<= 1) {
+    for (const std::uint64_t probe : {v - 1, v, v + 1, v + (v >> 3)}) {
+      if (probe == 0) continue;
+      const std::size_t index = histo::bucket_index(probe);
+      ASSERT_LT(index, histo::bucket_count);
+      EXPECT_LE(histo::bucket_low(index), probe);
+      EXPECT_GE(histo::bucket_high(index), probe);
+      // Relative width bound: width <= low / sub_bucket_count for group >= 1.
+      if (probe >= histo::sub_bucket_count) {
+        const std::uint64_t width =
+            histo::bucket_high(index) - histo::bucket_low(index) + 1;
+        EXPECT_LE(width * histo::sub_bucket_count,
+                  histo::bucket_low(index) + histo::sub_bucket_count);
+      }
+    }
+  }
+}
+
+// --- quantiles --------------------------------------------------------------
+
+TEST(TelemetryQuantiles, ExactForSmallValues) {
+  TelemetryScope scope;
+  // All values < 32 get exact buckets, so quantiles equal order statistics.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t v = (i * 7) % 32;
+    values.push_back(v);
+    histo::record(histo::Histogram::queue_depth, v);
+  }
+  const auto h =
+      histo::snapshot().histogram(histo::Histogram::queue_depth);
+  ASSERT_EQ(h.count, values.size());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), exact_quantile(values, q)) << "q=" << q;
+  }
+  EXPECT_EQ(h.min_bound(), 0u);
+  EXPECT_EQ(h.max_bound(), 31u);
+}
+
+TEST(TelemetryQuantiles, RelativeErrorBoundedForLargeValues) {
+  TelemetryScope scope;
+  // Deterministic multiplicative congruential stream spanning ~6 decades.
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t v = x % 1000000000ULL;
+    values.push_back(v);
+    histo::record(histo::Histogram::event_gap_fs, v);
+  }
+  const auto h =
+      histo::snapshot().histogram(histo::Histogram::event_gap_fs);
+  ASSERT_EQ(h.count, values.size());
+  for (const double q : {0.05, 0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t exact = exact_quantile(values, q);
+    const std::uint64_t est = h.quantile(q);
+    // Never under-reports; over-reports by at most 2^-sub_bucket_bits.
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(exact) *
+                  (1.0 + 1.0 / histo::sub_bucket_count) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(TelemetryQuantiles, SumAndMeanAreExact) {
+  TelemetryScope scope;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 100; v < 200; ++v) {
+    histo::record(histo::Histogram::charlie_delay_fs, v);
+    sum += v;
+  }
+  const auto h =
+      histo::snapshot().histogram(histo::Histogram::charlie_delay_fs);
+  EXPECT_EQ(h.sum, sum);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 100.0);
+}
+
+// --- collection switch ------------------------------------------------------
+
+TEST(TelemetryRegistry, RecordIsIgnoredWhenDisabled) {
+  histo::set_enabled(false);
+  histo::reset();
+  ASSERT_FALSE(histo::enabled());
+  histo::record(histo::Histogram::event_gap_fs, 42);
+  const auto snap = histo::snapshot();
+  for (std::size_t h = 0; h < histo::histogram_count; ++h) {
+    EXPECT_EQ(snap.counts[h], 0u);
+  }
+}
+
+TEST(TelemetryRegistry, DeltaSinceIsolatesARun) {
+  TelemetryScope scope;
+  histo::record(histo::Histogram::queue_depth, 1);
+  const auto before = histo::snapshot();
+  histo::record(histo::Histogram::queue_depth, 2);
+  histo::record(histo::Histogram::queue_depth, 2);
+  const auto delta = histo::snapshot().delta_since(before);
+  const auto h = delta.histogram(histo::Histogram::queue_depth);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 4u);
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].first, 2u);
+  EXPECT_EQ(h.buckets[0].second, 2u);
+}
+
+// --- determinism across worker counts ---------------------------------------
+
+TEST(TelemetryRegistry, SimulatedDomainHistogramsAreBitExactAcrossJobs) {
+  TelemetryScope scope;
+  const auto& cal = core::cyclone_iii();
+  // An STR sweep exercises Charlie evaluations as well as the event path.
+  core::JitterSweepSpec sweep;
+  sweep.kind = core::RingKind::str;
+  sweep.stage_counts = {4, 8};
+  sweep.divider_n = 4;
+  sweep.mes_periods = 20;
+  core::ExperimentOptions options;
+
+  std::array<histo::Snapshot, 2> deltas;
+  std::size_t slot = 0;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    options.jobs = jobs;
+    const auto before = histo::snapshot();
+    core::run_jitter_vs_stages(sweep, cal, options);
+    deltas[slot++] = histo::snapshot().delta_since(before);
+  }
+
+  for (std::size_t h = 0; h < histo::histogram_count; ++h) {
+    const auto kind = static_cast<histo::Histogram>(h);
+    if (kind == histo::Histogram::pool_task_ns) continue;  // wall clock
+    EXPECT_EQ(deltas[0].counts[h], deltas[1].counts[h])
+        << histo::histogram_name(kind);
+    EXPECT_EQ(deltas[0].sums[h], deltas[1].sums[h])
+        << histo::histogram_name(kind);
+    EXPECT_EQ(deltas[0].buckets[h], deltas[1].buckets[h])
+        << histo::histogram_name(kind);
+  }
+  // The sweep actually recorded something deterministic.
+  EXPECT_GT(
+      deltas[0].counts[static_cast<std::size_t>(histo::Histogram::event_gap_fs)],
+      0u);
+  EXPECT_GT(deltas[0].counts[static_cast<std::size_t>(
+                histo::Histogram::charlie_delay_fs)],
+            0u);
+}
+
+// --- streaming entropy observables ------------------------------------------
+
+TEST(StreamingEntropy, BiasTracksCumulativeAndWindow) {
+  stream::StreamingEntropy s({16, 2});
+  for (int i = 0; i < 32; ++i) s.feed(1);
+  for (int i = 0; i < 16; ++i) s.feed(0);
+  EXPECT_EQ(s.bits(), 48u);
+  EXPECT_DOUBLE_EQ(s.bias(), 32.0 / 48.0);
+  EXPECT_DOUBLE_EQ(s.window_bias(), 0.0);  // trailing 16 bits are all zero
+}
+
+TEST(StreamingEntropy, AlternatingStreamHasZeroMinEntropy) {
+  stream::StreamingEntropy s({64, 4});
+  for (int i = 0; i < 256; ++i) s.feed(static_cast<std::uint8_t>(i % 2));
+  // Perfectly predictable: sqrt(p01 * p10) = 1.
+  EXPECT_DOUBLE_EQ(s.markov_min_entropy(), 0.0);
+  // Lag-1 autocorrelation of an alternating window is -1.
+  const auto r = s.window_autocorrelation();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_NEAR(r[0], -1.0, 0.05);
+  EXPECT_NEAR(r[1], 1.0, 0.05);
+}
+
+TEST(StreamingEntropy, ConstantStreamHasZeroMinEntropy) {
+  stream::StreamingEntropy s({16, 2});
+  for (int i = 0; i < 64; ++i) s.feed(1);
+  EXPECT_DOUBLE_EQ(s.markov_min_entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(s.bias(), 1.0);
+  // Constant window: autocorrelation degenerate, reported as 0.
+  for (double r : s.window_autocorrelation()) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(StreamingEntropy, BalancedMemorylessStreamIsNearOneBit) {
+  stream::StreamingEntropy s({256, 4});
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 8192; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    s.feed(static_cast<std::uint8_t>(x & 1));
+  }
+  EXPECT_NEAR(s.bias(), 0.5, 0.03);
+  EXPECT_GT(s.markov_min_entropy(), 0.9);
+}
+
+TEST(StreamingEntropy, PublishDrainsSortedByLabel) {
+  stream::take_published();  // start clean
+  stream::StreamingEntropy s({8, 1});
+  s.feed(1);
+  stream::publish(stream::StreamStats::capture("z-cell", s));
+  stream::publish(stream::StreamStats::capture("a-cell", s));
+  const auto drained = stream::take_published();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].label, "a-cell");
+  EXPECT_EQ(drained[1].label, "z-cell");
+  EXPECT_TRUE(stream::take_published().empty());
+}
+
+// --- snapshot schema --------------------------------------------------------
+
+namespace {
+
+core::TelemetrySnapshot sample_snapshot() {
+  core::TelemetrySnapshot snap;
+  snap.experiment = "attack_resilience";
+  snap.sequence = 7;
+  snap.wall_ms = 12.5;
+  histo::HistogramSnapshot h;
+  h.name = histo::histogram_name(histo::Histogram::rct_run_length);
+  h.buckets = {{1, 60}, {2, 30}, {3, 10}};
+  h.count = 100;
+  h.sum = 150;
+  snap.histograms.push_back(std::move(h));
+  stream::StreamStats s;
+  s.label = "str8/quiet:raw";
+  s.bits = 1024;
+  s.bias = 0.5;
+  s.window_bias = 0.25;
+  s.autocorrelation = {0.125, -0.5};
+  s.markov_min_entropy = 0.75;
+  snap.streams.push_back(std::move(s));
+  return snap;
+}
+
+}  // namespace
+
+TEST(TelemetrySnapshot, GoldenPinnedSerialization) {
+  // The wire format of schema "ringent.telemetry/1". Changing this string
+  // means bumping the schema version, not editing the expectation.
+  const std::string expected =
+      "{\"schema\":\"ringent.telemetry/1\","
+      "\"experiment\":\"attack_resilience\",\"sequence\":7,"
+      "\"wall_ms\":12.5,\"histograms\":[{\"name\":\"rct_run_length\","
+      "\"count\":100,\"sum\":150,\"p50\":1,\"p90\":2,\"p99\":3,"
+      "\"p999\":3,\"buckets\":[[1,60],[2,30],[3,10]]}],"
+      "\"streams\":[{\"label\":\"str8/quiet:raw\",\"bits\":1024,"
+      "\"bias\":0.5,\"window_bias\":0.25,"
+      "\"autocorrelation\":[0.125,-0.5],\"markov_min_entropy\":0.75}]}";
+  EXPECT_EQ(sample_snapshot().to_json().dump(), expected);
+}
+
+TEST(TelemetrySnapshot, RoundTripsThroughJson) {
+  const auto original = sample_snapshot();
+  const auto reloaded =
+      core::TelemetrySnapshot::from_json(original.to_json());
+  EXPECT_EQ(reloaded.to_json().dump(), original.to_json().dump());
+  ASSERT_EQ(reloaded.histograms.size(), 1u);
+  EXPECT_EQ(reloaded.histograms[0].count, 100u);
+  ASSERT_EQ(reloaded.streams.size(), 1u);
+  EXPECT_EQ(reloaded.streams[0].label, "str8/quiet:raw");
+}
+
+TEST(TelemetrySnapshot, DerivedQuantileFieldsAreIgnoredOnParse) {
+  Json doc = sample_snapshot().to_json();
+  // Tamper with a derived field: parse must recompute from the buckets, so
+  // the re-dump equals the honest serialization (the fuzz fixpoint).
+  std::string text = doc.dump();
+  const std::string honest = text;
+  const auto pos = text.find("\"p50\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "\"p50\":9");
+  const auto reloaded =
+      core::TelemetrySnapshot::from_json(Json::parse(text));
+  EXPECT_EQ(reloaded.to_json().dump(), honest);
+}
+
+TEST(TelemetrySnapshot, RejectsSchemaViolations) {
+  const auto reject = [](const std::string& mutate_from,
+                         const std::string& mutate_to) {
+    std::string text = sample_snapshot().to_json().dump();
+    const auto pos = text.find(mutate_from);
+    ASSERT_NE(pos, std::string::npos) << mutate_from;
+    text.replace(pos, mutate_from.size(), mutate_to);
+    EXPECT_THROW(core::TelemetrySnapshot::from_json(Json::parse(text)),
+                 Error)
+        << mutate_from << " -> " << mutate_to;
+  };
+  reject("ringent.telemetry/1", "ringent.telemetry/2");
+  reject("rct_run_length", "no_such_histogram");
+  reject("\"count\":100", "\"count\":99");       // disagrees with buckets
+  reject("[[1,60],[2,30]", "[[2,60],[1,30]");    // unordered
+  reject("\"sequence\":7", "\"sequence\":-7");
+}
+
+TEST(TelemetrySnapshot, ManifestEmbedsSummariesOnlyWhenPresent) {
+  core::RunManifest manifest;
+  manifest.experiment = "x";
+  manifest.spec = "y";
+  manifest.version = "v";
+  const std::string bare = manifest.to_json().dump();
+  EXPECT_EQ(bare.find("telemetry"), std::string::npos)
+      << "empty telemetry must not change the manifest wire format";
+
+  manifest.telemetry = sample_snapshot().summaries();
+  const Json doc = manifest.to_json();
+  ASSERT_TRUE(doc.contains("telemetry"));
+  const auto reloaded = core::RunManifest::from_json(doc);
+  ASSERT_EQ(reloaded.telemetry.size(), 1u);
+  EXPECT_EQ(reloaded.telemetry[0].name, "rct_run_length");
+  EXPECT_EQ(reloaded.telemetry[0].p50, 1u);
+  EXPECT_EQ(reloaded.telemetry[0].p999, 3u);
+  EXPECT_EQ(reloaded.to_json().dump(), doc.dump());
+}
+
+// --- sinks ------------------------------------------------------------------
+
+TEST(TelemetrySink, AppendsJsonlAndRemembersLastSnapshot) {
+  TelemetryScope scope;
+  const std::string path = "telemetry_test_sink.jsonl";
+  std::remove(path.c_str());
+  core::set_telemetry_path(path);
+  ASSERT_TRUE(core::telemetry_active());
+
+  core::append_telemetry_snapshot(sample_snapshot());
+  core::append_telemetry_snapshot(sample_snapshot());
+
+  const std::string content = read_file(path);
+  std::size_t lines = 0;
+  std::istringstream in(content);
+  std::string line;
+  std::vector<std::uint64_t> sequences;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    sequences.push_back(
+        core::TelemetrySnapshot::from_json(Json::parse(line)).sequence);
+  }
+  EXPECT_EQ(lines, 2u);
+  ASSERT_EQ(sequences.size(), 2u);
+  EXPECT_EQ(sequences[1], sequences[0] + 1);  // per-process counter
+
+  const auto last = core::last_telemetry_snapshot();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->sequence, sequences[1]);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySink, PromSuffixSelectsPrometheusExposition) {
+  TelemetryScope scope;
+  const std::string path = "telemetry_test_sink.prom";
+  std::remove(path.c_str());
+  core::set_telemetry_path(path);
+  core::append_telemetry_snapshot(sample_snapshot());
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("# TYPE ringent_rct_run_length histogram"),
+            std::string::npos);
+  EXPECT_NE(content.find("ringent_rct_run_length_count 100"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySink, PathSwitchFlipsCollection) {
+  core::set_telemetry_path("some_sink.jsonl");
+  EXPECT_TRUE(histo::enabled());
+  EXPECT_TRUE(core::telemetry_active());
+  core::set_telemetry_path("");
+  EXPECT_FALSE(histo::enabled());
+  EXPECT_FALSE(core::telemetry_active());
+}
+
+// --- prometheus exposition --------------------------------------------------
+
+TEST(TelemetryPrometheus, CumulativeBucketsAndGauges) {
+  const std::string text = core::prometheus_exposition(sample_snapshot());
+  // Cumulative le-buckets over the bucket upper bounds: 60, 90, 100.
+  EXPECT_NE(text.find("ringent_rct_run_length_bucket{le=\"1\"} 60"),
+            std::string::npos);
+  EXPECT_NE(text.find("ringent_rct_run_length_bucket{le=\"2\"} 90"),
+            std::string::npos);
+  EXPECT_NE(text.find("ringent_rct_run_length_bucket{le=\"3\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("ringent_rct_run_length_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("ringent_rct_run_length_sum 150"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "ringent_stream_bias{stream=\"str8/quiet:raw\"} 0.5"),
+      std::string::npos);
+  EXPECT_NE(text.find("ringent_stream_autocorrelation{stream=\"str8/"
+                      "quiet:raw\",lag=\"2\"} -0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("ringent_stream_markov_min_entropy"),
+            std::string::npos);
+}
+
+// --- attached streams on the resilience path --------------------------------
+
+TEST(TelemetryIntegration, AttackDriverPublishesStreamsAndHistograms) {
+  TelemetryScope scope;
+  const std::string path = "telemetry_test_attack.jsonl";
+  std::remove(path.c_str());
+  core::set_telemetry_path(path);
+
+  auto spec = core::AttackResilienceSpec::paper_default();
+  spec.rings = {spec.rings.front()};
+  spec.scenarios.resize(1);  // quiet baseline only
+  spec.total_bits = 1500;
+  spec.with_backup = false;
+  core::ExperimentOptions options;
+  options.jobs = 1;
+  const auto result =
+      core::run_attack_resilience(spec, core::cyclone_iii(), options);
+  ASSERT_EQ(result.cells.size(), 1u);
+
+  const auto last = core::last_telemetry_snapshot();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->experiment, "attack_resilience");
+  EXPECT_GT(last->wall_ms, 0.0);
+  // The health monitor feeds the run-length histogram while bits flow.
+  bool saw_rct = false;
+  for (const auto& h : last->histograms) {
+    EXPECT_GT(h.count, 0u);
+    if (h.name == "rct_run_length") saw_rct = true;
+  }
+  EXPECT_TRUE(saw_rct);
+  // One cell publishes a raw and a monitored stream, sorted by label.
+  ASSERT_EQ(last->streams.size(), 2u);
+  EXPECT_NE(last->streams[0].label.find(":monitored"), std::string::npos);
+  EXPECT_NE(last->streams[1].label.find(":raw"), std::string::npos);
+  EXPECT_GT(last->streams[1].bits, 0u);
+
+  // The sink file holds the same snapshot as the last JSONL line.
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"attack_resilience\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
