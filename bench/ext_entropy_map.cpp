@@ -1,0 +1,127 @@
+// Extension — SP 800-90B min-entropy map: sampling period × ring length.
+//
+// Runs the entropy_map driver over both topologies and a grid of sampling
+// periods, printing the per-cell battery results (the six §6.3 estimators'
+// minimum) and the restart-validated claim. The paper's qualitative story —
+// longer rings and slower sampling buy entropy — becomes a quantitative
+// table, with each cell backed by the same estimators a certification lab
+// would run.
+//
+// Beyond the shared observability flags (see cli.hpp), accepts
+//
+//   --spec FILE | --spec=FILE   load a "ringent.entropy90b-spec/1" JSON
+//                               document selecting which estimators run
+//                               (the same untrusted-input surface
+//                               fuzz_entropy90b exercises)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/entropy90b.hpp"
+#include "cli.hpp"
+#include "common/json.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace ringent;
+using namespace ringent::core;
+
+namespace {
+
+/// Pull --spec out of argv before the shared parser sees it (parse_cli
+/// warns on flags it does not know). Returns the path or an empty string.
+std::string extract_spec_flag(int argc, char** argv,
+                              std::vector<char*>& remaining) {
+  std::string path;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (i > 0 && std::strncmp(argv[i], "--spec=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      remaining.push_back(argv[i]);
+    }
+  }
+  return path;
+}
+
+analysis::Entropy90bConfig load_spec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open spec file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return analysis::Entropy90bConfig::from_json(Json::parse(buffer.str()));
+}
+
+const char* fmt_h(double h, char buffer[16]) {
+  if (h < 0.0) return "-";
+  std::snprintf(buffer, 16, "%.4f", h);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> remaining;
+  const std::string spec_path = extract_spec_flag(argc, argv, remaining);
+  const bench::CliOptions cli = bench::parse_cli(
+      static_cast<int>(remaining.size()), remaining.data());
+  const bench::Session session(cli, "ext_entropy_map");
+
+  EntropyMapSpec spec;
+  spec.stage_counts = {5, 9, 13};
+  spec.sampling_periods = {Time::from_ns(125.0), Time::from_ns(250.0),
+                           Time::from_ns(500.0), Time::from_ns(1000.0)};
+  spec.bits_per_cell = 4096;
+  spec.restart_rows = 8;
+  spec.restart_cols = 64;
+  if (!spec_path.empty()) {
+    try {
+      spec.battery = load_spec(spec_path);
+    } catch (const Error& error) {
+      std::fprintf(stderr, "ext_entropy_map: bad --spec: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  std::printf("# Extension: SP 800-90B min-entropy map, sampling period x "
+              "ring length\n");
+  if (!spec_path.empty()) {
+    std::printf("# battery spec: %s\n", spec_path.c_str());
+  }
+  bench::print_banner(cli);
+  std::printf("\n");
+
+  ExperimentOptions options;
+  options.jobs = cli.jobs;
+  const auto out = run_entropy_map(spec, cyclone_iii(), options);
+
+  Table table({"ring", "T_s (ns)", "H_mcv", "H_coll", "H_markov", "H_ttup",
+               "H_lrs", "H_min", "restart"});
+  for (const auto& cell : out.cells) {
+    char b[6][16];
+    table.add_row({cell.ring.name(), fmt_double(cell.sampling_period.ns(), 0),
+                   fmt_h(cell.estimate.h_mcv, b[0]),
+                   fmt_h(cell.estimate.h_collision, b[1]),
+                   fmt_h(cell.estimate.h_markov, b[2]),
+                   fmt_h(cell.estimate.h_t_tuple, b[3]),
+                   fmt_h(cell.estimate.h_lrs, b[4]),
+                   fmt_h(cell.estimate.min_entropy, b[5]),
+                   cell.restart_run
+                       ? fmt_double(cell.restart.validated, 4)
+                       : std::string("-")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("floor over the map: H_min = %s bits/bit\n",
+              fmt_double(out.floor_min_entropy, 4).c_str());
+  std::printf("checks: H_min trends upward toward slower sampling within\n"
+              "each ring (the paper's design rule made quantitative; local\n"
+              "wiggles come from the rational relationship between ring and\n"
+              "sampling frequencies changing per row). The restart column\n"
+              "only ever lowers a cell's claim — a validated value of 0\n"
+              "means the §3.1.4 sanity cutoffs tripped.\n");
+  return 0;
+}

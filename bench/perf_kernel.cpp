@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "analysis/entropy90b.hpp"
 #include "common/rng.hpp"
 #include "core/calibration.hpp"
 #include "core/experiments.hpp"
@@ -300,5 +301,24 @@ void BM_GaussianNoise(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GaussianNoise);
+
+/// Full SP 800-90B battery (all six estimators + lag-8 autocorrelation)
+/// over a balanced pseudo-random stream. Arg = stream length in bits; 4096
+/// is the entropy_map per-cell default, 65536 stresses the suffix-array
+/// t-tuple/LRS path (O(L log L)) and the compression bisection. "Items"
+/// are input bits, so events_per_sec reads as bits assessed per second.
+void BM_Entropy90B(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(0x90B);
+  analysis::BitStream stream;
+  stream.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) stream.append((rng.next() & 1) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::estimate_entropy90b(stream));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_Entropy90B)->Arg(4096)->Arg(65536);
 
 }  // namespace

@@ -1,0 +1,135 @@
+// libFuzzer harness for the SP 800-90B surface: the Entropy90bConfig JSON
+// spec loader, both BitStream loaders, the full estimator battery and the
+// restart-matrix validation.
+//
+// Input layout: everything before the first newline is a candidate spec
+// document for Entropy90bConfig::from_json (malformed specs must be
+// rejected with ringent::Error and fall back to the default battery); the
+// remainder is the stream payload, fed through BOTH loaders — as ASCII
+// '0'/'1' text (which may reject cleanly) and as raw LSB-first bytes
+// (which is total).
+//
+// Contract enforced on every input:
+//  * the battery is total — degenerate streams (empty, constant, one bit)
+//    produce a defined Entropy90bResult, never UB or an escaped exception;
+//  * every estimate is either the skip sentinel -1 or a finite value in
+//    [0, 1], and min_entropy is a lower bound on all estimates that ran;
+//  * an accepted spec is a to_json/from_json fixpoint;
+//  * results and restart validations serialize without throwing, and
+//    validate_restarts never claims more than min(h_initial, battery).
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "analysis/bitstream.hpp"
+#include "analysis/entropy90b.hpp"
+#include "common/json.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using ringent::analysis::BitStream;
+using ringent::analysis::Entropy90bConfig;
+using ringent::analysis::Entropy90bResult;
+
+bool entropy_ok(double h) {
+  return h == -1.0 || (std::isfinite(h) && h >= 0.0 && h <= 1.0);
+}
+
+/// Abort on any violation of the battery's documented output contract.
+void check_result(const Entropy90bResult& result,
+                  const Entropy90bConfig& config, std::size_t bits) {
+  if (result.bits != bits) std::abort();
+  const double estimates[] = {result.h_mcv,         result.h_collision,
+                              result.h_markov,      result.h_compression,
+                              result.h_t_tuple,     result.h_lrs};
+  for (const double h : estimates) {
+    if (!entropy_ok(h)) std::abort();
+  }
+  if (!entropy_ok(result.min_entropy)) std::abort();
+  bool any_ran = false;
+  for (const double h : estimates) {
+    if (h < 0.0) continue;
+    any_ran = true;
+    if (result.min_entropy > h) std::abort();  // not a lower bound
+  }
+  if (any_ran != (result.min_entropy >= 0.0)) std::abort();
+  if (result.autocorrelation.size() > config.autocorrelation_lags) {
+    std::abort();
+  }
+  for (const double r : result.autocorrelation) {
+    // Biased autocorrelation of a ±deviation sequence stays in [-1, 1].
+    if (!std::isfinite(r) || r < -1.0 || r > 1.0) std::abort();
+  }
+  (void)result.to_json().dump();  // serialization is total
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const std::size_t newline = text.find('\n');
+  const std::string_view spec_line =
+      newline == std::string_view::npos ? text : text.substr(0, newline);
+  const std::string_view payload =
+      newline == std::string_view::npos ? std::string_view()
+                                        : text.substr(newline + 1);
+
+  // --- spec loader: reject cleanly or round-trip exactly -------------------
+  Entropy90bConfig config;
+  try {
+    config = Entropy90bConfig::from_json(ringent::Json::parse(spec_line));
+    const std::string dumped = config.to_json().dump();
+    const Entropy90bConfig reloaded =
+        Entropy90bConfig::from_json(ringent::Json::parse(dumped));
+    if (reloaded.to_json().dump() != dumped) std::abort();
+  } catch (const ringent::Error&) {
+    config = Entropy90bConfig{};  // malformed spec: default battery
+  }
+
+  // --- ASCII loader path (may reject non-'0'/'1' bytes cleanly) ------------
+  try {
+    const BitStream s = BitStream::from_ascii(payload);
+    check_result(estimate_entropy90b(s, config), config, s.size());
+  } catch (const ringent::Error&) {
+    // rejected cleanly
+  }
+
+  // --- raw byte loader path (total) + battery ------------------------------
+  const std::vector<std::uint8_t> bytes(payload.begin(), payload.end());
+  const BitStream raw = BitStream::from_bytes(bytes, bytes.size() * 8);
+  check_result(estimate_entropy90b(raw, config), config, raw.size());
+
+  // --- restart validation over a fuzz-shaped matrix prefix -----------------
+  if (bytes.size() >= 2) {
+    const std::size_t rows = 2 + bytes[0] % 31;
+    const std::size_t cols = 2 + bytes[1] % 63;
+    if (raw.size() >= rows * cols) {
+      ringent::analysis::RestartMatrix matrix;
+      matrix.rows = rows;
+      matrix.cols = cols;
+      for (std::size_t i = 0; i < rows * cols; ++i) {
+        matrix.bits.append(raw.bit_unchecked(i));
+      }
+      const double h_initial =
+          static_cast<double>(bytes[0] ^ bytes[1]) / 255.0;
+      const auto v =
+          ringent::analysis::validate_restarts(matrix, h_initial, config);
+      if (!entropy_ok(v.h_row) || !entropy_ok(v.h_column)) std::abort();
+      if (!std::isfinite(v.validated) || v.validated < 0.0 ||
+          v.validated > h_initial) {
+        std::abort();  // the claim can only shrink
+      }
+      if (v.sanity_passed &&
+          (v.max_row_count >= v.cutoff_row ||
+           v.max_column_count >= v.cutoff_column)) {
+        std::abort();  // sanity contradicts its own counts
+      }
+      (void)v.to_json().dump();
+    }
+  }
+  return 0;
+}

@@ -12,8 +12,10 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/entropy90b.hpp"
 #include "common/json.hpp"
 #include "common/require.hpp"
+#include "common/rng.hpp"
 #include "core/export.hpp"
 #include "sim/probe.hpp"
 #include "sim/vcd.hpp"
@@ -172,6 +174,37 @@ int main(int argc, char** argv) {
     empty.experiment = "idle";
     write_file(root + "/corpus/telemetry/empty_snapshot",
                empty.to_json().dump() + "\n");
+  }
+
+  // --- entropy90b: spec line + bit-stream payload --------------------------
+  {
+    // Default spec over an alternating stream: every estimator runs except
+    // compression (needs 6012 bits), and the Markov path pins near zero.
+    std::string alternating;
+    for (int i = 0; i < 128; ++i) alternating += (i % 2 != 0) ? '1' : '0';
+    const ringent::analysis::Entropy90bConfig defaults;
+    write_file(root + "/corpus/entropy90b/spec_ascii_alternating",
+               defaults.to_json().dump() + "\n" + alternating);
+
+    // A partial battery (compression and LRS off, short autocorrelation)
+    // over a biased stream with every ASCII separator the loader skips.
+    ringent::analysis::Entropy90bConfig partial;
+    partial.compression = false;
+    partial.lrs = false;
+    partial.autocorrelation_lags = 2;
+    write_file(root + "/corpus/entropy90b/spec_partial_biased",
+               partial.to_json().dump() +
+                   "\n1110 1101\t1011\r\n0111 1110 1101 1110 1011 0111");
+
+    // No valid spec line: the harness falls back to the default battery and
+    // the payload exercises the raw-byte loader and the restart matrix.
+    std::string raw = "not-json";
+    raw += '\n';
+    ringent::SplitMix64 sm(0x90B);
+    for (int i = 0; i < 64; ++i) {
+      raw += static_cast<char>(sm.next() & 0xFF);
+    }
+    write_file(root + "/corpus/entropy90b/raw_bytes_restart", raw);
   }
   return 0;
 }

@@ -1,0 +1,138 @@
+// Packed bit-stream views for the SP 800-90B estimator suite.
+//
+// The existing estimators in analysis/entropy.hpp take byte-per-bit spans —
+// fine for the few-thousand-bit TRNG demos, wasteful for the 90B battery,
+// whose suffix-array and dictionary passes want contiguous, cheap-to-index
+// storage for hundreds of kilobits per sweep cell. BitStream packs bits into
+// 64-bit words (LSB-first within a word), tracks the ones count
+// incrementally, and owns the three loader paths untrusted input can arrive
+// through (fuzz/fuzz_entropy90b.cpp):
+//
+//  * from_bits   — byte-per-bit 0/1 values (the simulator's native output);
+//  * from_bytes  — packed bytes, LSB-first, with an explicit bit count;
+//  * from_ascii  — '0'/'1' text with whitespace ignored (the on-disk vector
+//                  format the reference-vector tests commit).
+//
+// All loaders validate and throw ringent::Error on malformed input; no
+// loader has undefined behaviour on any byte sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace ringent::analysis {
+
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// Build from byte-per-bit values; every element must be 0 or 1.
+  static BitStream from_bits(std::span<const std::uint8_t> bits) {
+    BitStream out;
+    out.reserve(bits.size());
+    for (std::uint8_t b : bits) {
+      RINGENT_REQUIRE(b <= 1, "bits must be 0 or 1");
+      out.append(b != 0);
+    }
+    return out;
+  }
+
+  /// Build from packed bytes, LSB-first (bit i lives in bytes[i / 8] at
+  /// position i % 8 — the layout analysis::pack_bits emits). `bit_count`
+  /// may trim the final byte; it must fit inside `bytes`.
+  static BitStream from_bytes(std::span<const std::uint8_t> bytes,
+                              std::size_t bit_count) {
+    RINGENT_REQUIRE(bit_count <= bytes.size() * 8,
+                    "bit count exceeds the packed buffer");
+    BitStream out;
+    out.reserve(bit_count);
+    for (std::size_t i = 0; i < bit_count; ++i) {
+      out.append(((bytes[i / 8] >> (i % 8)) & 1) != 0);
+    }
+    return out;
+  }
+
+  /// Build from '0'/'1' text; ASCII whitespace (space, tab, CR, LF) is
+  /// skipped, anything else throws. The committed reference vectors use
+  /// this format so they stay human-diffable.
+  static BitStream from_ascii(std::string_view text) {
+    BitStream out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '0' || c == '1') {
+        out.append(c == '1');
+      } else if (c != ' ' && c != '\t' && c != '\r' && c != '\n') {
+        throw Error("bit stream text must be '0'/'1'/whitespace, got byte " +
+                    std::to_string(static_cast<unsigned char>(c)));
+      }
+    }
+    return out;
+  }
+
+  void reserve(std::size_t bits) { words_.reserve((bits + 63) / 64); }
+
+  void append(bool bit) {
+    const std::size_t word = size_ / 64;
+    if (word == words_.size()) words_.push_back(0);
+    if (bit) {
+      words_[word] |= std::uint64_t{1} << (size_ % 64);
+      ++ones_;
+    }
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t ones() const { return ones_; }
+  std::uint64_t zeros() const { return size_ - ones_; }
+
+  /// Bit at `index` (precondition: index < size()).
+  bool bit(std::size_t index) const {
+    RINGENT_REQUIRE(index < size_, "bit index out of range");
+    return ((words_[index / 64] >> (index % 64)) & 1) != 0;
+  }
+
+  /// Unchecked accessor for estimator inner loops.
+  bool bit_unchecked(std::size_t index) const {
+    return ((words_[index / 64] >> (index % 64)) & 1) != 0;
+  }
+
+  /// Byte-per-bit copy (interop with the analysis/entropy.hpp estimators).
+  std::vector<std::uint8_t> unpacked() const {
+    std::vector<std::uint8_t> out(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out[i] = bit_unchecked(i) ? 1 : 0;
+    }
+    return out;
+  }
+
+  /// '0'/'1' text (inverse of from_ascii, no whitespace).
+  std::string to_ascii() const {
+    std::string out(size_, '0');
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (bit_unchecked(i)) out[i] = '1';
+    }
+    return out;
+  }
+
+  friend bool operator==(const BitStream& a, const BitStream& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.bit_unchecked(i) != b.bit_unchecked(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::uint64_t ones_ = 0;
+};
+
+}  // namespace ringent::analysis

@@ -1,0 +1,155 @@
+// SP 800-90B non-IID min-entropy battery for binary sources.
+//
+// Implements the six §6.3 estimators that apply to bit streams — most
+// common value (§6.3.1), collision (§6.3.2), Markov (§6.3.3), compression
+// (§6.3.4), t-tuple (§6.3.5), and longest repeated substring (§6.3.6) —
+// plus the §3.1.4 restart-matrix validation (row/column min-entropy and the
+// binomial sanity cutoff) and lag-1..k autocorrelation of the stream.
+//
+// Conventions shared by all estimators:
+//  * results are min-entropy per bit, in [0, 1];
+//  * each estimator throws ringent::PreconditionError below its documented
+//    minimum stream length (listed per function); the estimate_entropy90b()
+//    battery instead *skips* under-length estimators, reporting them as -1,
+//    so degenerate streams give a defined result rather than an exception;
+//  * everything is pure integer/double arithmetic on the input bits —
+//    deterministic across platforms and job counts.
+//
+// Deviations from the NIST reference implementation, for the record:
+//  * binary-only (the repo's sources emit bits; no 8-bit path);
+//  * t-tuple/LRS tuple widths are capped at kTupleCap (128). On degenerate
+//    near-constant streams the true LRS is O(L) long and the NIST tool
+//    spends O(L^2); the cap bounds work while leaving estimates unchanged
+//    for any stream whose longest 35-times-repeated tuple is shorter —
+//    p̂ grows monotonically with width only up to the plateau, and a
+//    128-bit repeated tuple already pins the estimate to ~0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bitstream.hpp"
+#include "common/json.hpp"
+
+namespace ringent::analysis {
+
+/// 99% two-sided normal quantile used by the §6.3 upper confidence bounds
+/// (the reference implementation's ZALPHA).
+inline constexpr double kZAlpha = 2.5758293035489008;
+
+/// Width cap for the t-tuple / LRS suffix scan (documented deviation).
+inline constexpr std::size_t kTupleCap = 128;
+
+// --- individual estimators (throw PreconditionError when too short) ------
+
+/// §6.3.1 most common value. Requires L >= 2.
+double mcv_estimate(const BitStream& s);
+
+/// §6.3.2 collision estimate. Requires L >= 8.
+double collision_estimate(const BitStream& s);
+
+/// §6.3.3 Markov estimate (128-step most-likely path). Requires L >= 2.
+double markov_estimate(const BitStream& s);
+
+/// §6.3.4 compression estimate (6-bit blocks, 1000-block dictionary).
+/// Requires floor(L / 6) >= 1002, i.e. L >= 6012.
+double compression_estimate(const BitStream& s);
+
+/// §6.3.5 t-tuple estimate. Requires a tuple that occurs >= 35 times,
+/// guaranteed when L >= 69; throws below that.
+double t_tuple_estimate(const BitStream& s);
+
+/// §6.3.6 longest repeated substring estimate. Requires L >= 69 and at
+/// least one repeated tuple wider than the t-tuple cutoff region.
+double lrs_estimate(const BitStream& s);
+
+/// Lag-1..max_lag autocorrelation of the bit stream (biased estimator,
+/// normalised by the lag-0 variance; constant streams return all zeros).
+/// Requires L > max_lag and max_lag >= 1.
+std::vector<double> bit_autocorrelation(const BitStream& s,
+                                        std::size_t max_lag);
+
+// --- battery --------------------------------------------------------------
+
+/// JSON-configurable battery spec ("ringent.entropy90b-spec/1"). This is
+/// the untrusted-input surface fuzz_entropy90b exercises: from_json
+/// validates ranges and throws ringent::Error on anything malformed.
+struct Entropy90bConfig {
+  bool mcv = true;
+  bool collision = true;
+  bool markov = true;
+  bool compression = true;
+  bool t_tuple = true;
+  bool lrs = true;
+  std::size_t autocorrelation_lags = 8;  ///< 0 disables; <= 64.
+
+  void validate() const;
+  Json to_json() const;
+  static Entropy90bConfig from_json(const Json& json);
+};
+
+/// Battery output. Estimators that were disabled, skipped for length, or
+/// (LRS) found no repeated tuple report -1; min_entropy is the minimum
+/// over the estimators that ran, or -1 if none ran.
+struct Entropy90bResult {
+  std::size_t bits = 0;
+  double h_mcv = -1.0;
+  double h_collision = -1.0;
+  double h_markov = -1.0;
+  double h_compression = -1.0;
+  double h_t_tuple = -1.0;
+  double h_lrs = -1.0;
+  double min_entropy = -1.0;
+  std::vector<double> autocorrelation;
+
+  Json to_json() const;
+};
+
+/// Run the configured battery; under-length estimators are skipped (never
+/// throw), so this is total over all bit streams including the empty one.
+Entropy90bResult estimate_entropy90b(const BitStream& s,
+                                     const Entropy90bConfig& config = {});
+
+// --- restart validation (§3.1.4) ------------------------------------------
+
+/// r restarts × c bits collected after each restart, row-major.
+struct RestartMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  BitStream bits;  ///< rows * cols bits, row-major.
+
+  /// All rows concatenated (== bits) — the per-restart time series.
+  BitStream row_stream() const;
+  /// Column-major traversal — the cross-restart series at each offset.
+  BitStream column_stream() const;
+};
+
+struct RestartValidation {
+  double h_row = -1.0;     ///< battery min-entropy of the row stream
+  double h_column = -1.0;  ///< battery min-entropy of the column stream
+  /// Highest count of any single symbol in a row/column (sanity inputs).
+  std::size_t max_row_count = 0;
+  std::size_t max_column_count = 0;
+  /// §3.1.4.3 binomial cutoffs for alpha = 0.01/2000 at p = 2^-h_initial:
+  /// the smallest u with P[Bin(n, p) >= u] <= alpha, n = cols for rows and
+  /// n = rows for columns. Sanity passes when every observed count is
+  /// strictly below its cutoff.
+  std::size_t cutoff_row = 0;
+  std::size_t cutoff_column = 0;
+  bool sanity_passed = false;
+  /// min(h_initial, h_row, h_column) when sane, else 0.
+  double validated = 0.0;
+
+  Json to_json() const;
+};
+
+/// Validate an initial estimate h_initial against restart data per §3.1.4.
+/// Requires a non-degenerate matrix (rows, cols >= 2) and h_initial in
+/// [0, 1].
+RestartValidation validate_restarts(const RestartMatrix& matrix,
+                                    double h_initial,
+                                    const Entropy90bConfig& config = {});
+
+}  // namespace ringent::analysis

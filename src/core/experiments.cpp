@@ -548,6 +548,111 @@ AttackResilienceSpec AttackResilienceSpec::paper_default() {
   return spec;
 }
 
+EntropyMapResult run_entropy_map(const EntropyMapSpec& spec,
+                                 const Calibration& calibration,
+                                 const ExperimentOptions& options) {
+  RINGENT_REQUIRE(!spec.kinds.empty(), "need at least one ring kind");
+  RINGENT_REQUIRE(!spec.stage_counts.empty(), "need at least one stage count");
+  RINGENT_REQUIRE(!spec.sampling_periods.empty(),
+                  "need at least one sampling period");
+  for (const Time period : spec.sampling_periods) {
+    RINGENT_REQUIRE(period > Time::zero(), "need a positive sampling period");
+  }
+  RINGENT_REQUIRE(spec.bits_per_cell >= 2, "need at least 2 bits per cell");
+  RINGENT_REQUIRE((spec.restart_rows == 0) == (spec.restart_cols == 0),
+                  "restart rows and cols must be enabled together");
+  RINGENT_REQUIRE(spec.restart_rows == 0 ||
+                      (spec.restart_rows >= 2 && spec.restart_cols >= 2),
+                  "restart validation needs a matrix of at least 2x2");
+  spec.battery.validate();
+
+  std::string label;
+  for (const RingKind kind : spec.kinds) {
+    if (!label.empty()) label += " + ";
+    label += kind == RingKind::iro ? "IRO" : "STR";
+  }
+  label += " stages x " + std::to_string(spec.stage_counts.size()) +
+           ", periods x " + std::to_string(spec.sampling_periods.size());
+
+  const std::size_t periods = spec.sampling_periods.size();
+  const std::size_t per_kind = spec.stage_counts.size() * periods;
+  const std::size_t cells = spec.kinds.size() * per_kind;
+  const DriverScope driver_scope("entropy_map", label, options, cells);
+
+  EntropyMapResult out;
+  out.cells = sim::parallel_index_map(cells, options.jobs, [&](std::size_t i) {
+    const RingKind kind = spec.kinds[i / per_kind];
+    const std::size_t stages = spec.stage_counts[(i / periods) %
+                                                 spec.stage_counts.size()];
+    const Time sampling_period = spec.sampling_periods[i % periods];
+    const RingSpec ring = spec_for(kind, stages);
+    char period_label[32];
+    std::snprintf(period_label, sizeof period_label, "%gns",
+                  sampling_period.ns());
+    const sim::trace::Span span(ring.name() + " @ " + period_label, "axis");
+
+    RingSourceConfig config;
+    config.spec = ring;
+    config.sampling_period = sampling_period;
+    config.seed = derive_seed(options.seed, "entropy-map", i);
+    config.warmup_periods = options.warmup_periods;
+    config.supply_nominal_v = calibration.nominal_voltage;
+    RingBitSource source(config, calibration, noise::FaultScenario{});
+
+    const bool watch = telemetry_active();
+    trng::telemetry::StreamingEntropy stream;
+    if (watch) source.attach_telemetry(&stream);
+
+    analysis::BitStream bits;
+    bits.reserve(spec.bits_per_cell);
+    for (std::size_t b = 0; b < spec.bits_per_cell; ++b) {
+      bits.append(source.next_bit() != 0);
+    }
+
+    // Restart matrix: `restart_rows` relock cycles through the source's
+    // deterministic relock machinery (fresh noise stream per row, fault
+    // schedule — here quiet — stays in absolute time).
+    analysis::RestartMatrix matrix;
+    if (spec.restart_rows > 0) {
+      matrix.rows = spec.restart_rows;
+      matrix.cols = spec.restart_cols;
+      matrix.bits.reserve(spec.restart_rows * spec.restart_cols);
+      for (std::size_t r = 0; r < spec.restart_rows; ++r) {
+        source.restart(r + 1);
+        for (std::size_t c = 0; c < spec.restart_cols; ++c) {
+          matrix.bits.append(source.next_bit() != 0);
+        }
+      }
+    }
+
+    const sim::metrics::ScopedPhase analyze("analyze");
+    EntropyMapCell cell;
+    cell.ring = ring;
+    cell.sampling_period = sampling_period;
+    cell.estimate = analysis::estimate_entropy90b(bits, spec.battery);
+    if (spec.restart_rows > 0) {
+      cell.restart_run = true;
+      cell.restart = analysis::validate_restarts(
+          matrix, std::max(0.0, cell.estimate.min_entropy), spec.battery);
+    }
+    if (watch) {
+      trng::telemetry::publish(trng::telemetry::StreamStats::capture(
+          ring.name() + "@" + period_label, stream));
+    }
+    return cell;
+  });
+
+  const sim::metrics::ScopedPhase analyze("analyze");
+  for (const auto& cell : out.cells) {
+    const double h = cell.estimate.min_entropy;
+    if (h >= 0.0 &&
+        (out.floor_min_entropy < 0.0 || h < out.floor_min_entropy)) {
+      out.floor_min_entropy = h;
+    }
+  }
+  return out;
+}
+
 AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
                                              const Calibration& calibration,
                                              const ExperimentOptions& options) {
@@ -612,7 +717,7 @@ AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
     const double end_samples = scenario.end() / spec.sampling_period;
     const std::size_t attack_bits = std::min<std::size_t>(
         spec.total_bits, static_cast<std::size_t>(std::ceil(end_samples)));
-    generator.generate(attack_bits);
+    const auto during = generator.generate(attack_bits);
     const auto after = generator.generate(spec.total_bits - attack_bits);
 
     const sim::metrics::ScopedPhase analyze("analyze");
@@ -651,6 +756,19 @@ AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
           static_cast<double>(ones) / static_cast<double>(after.size());
     }
     cell.transitions = generator.transitions();
+    // 90B battery over everything the consumer saw: measured entropy, to
+    // set against the health events above. Muting shortens this stream, so
+    // short cells legitimately report -1 (no estimator ran).
+    {
+      analysis::BitStream emitted;
+      emitted.reserve(during.size() + after.size());
+      for (const std::uint8_t b : during) emitted.append(b != 0);
+      for (const std::uint8_t b : after) emitted.append(b != 0);
+      const analysis::Entropy90bResult battery =
+          analysis::estimate_entropy90b(emitted);
+      cell.emitted_min_entropy = battery.min_entropy;
+      cell.emitted_h_markov = battery.h_markov;
+    }
     if (watch) {
       const std::string cell_label = ring.name() + "/" + scenario.name;
       trng::telemetry::publish(trng::telemetry::StreamStats::capture(

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/entropy90b.hpp"
 #include "analysis/jitter.hpp"
 #include "core/calibration.hpp"
 #include "core/oscillator.hpp"
@@ -284,6 +285,47 @@ std::vector<DeterministicJitterPoint> run_deterministic_jitter(
     const DeterministicJitterSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
 
+// --- entropy map: 90B min-entropy over sampling period x ring length ---------
+
+struct EntropyMapSpec {
+  /// Topologies to map; both paper families by default.
+  std::vector<RingKind> kinds = {RingKind::iro, RingKind::str};
+  std::vector<std::size_t> stage_counts;
+  /// Sampling-flip-flop reference periods (the sweep's frequency axis).
+  std::vector<Time> sampling_periods;
+  /// DFF-sampled bits fed to the battery per cell.
+  std::size_t bits_per_cell = 4096;
+  /// Restart validation per cell: `restart_rows` relock cycles of
+  /// `restart_cols` bits each (SP 800-90B §3.1.4, via the bit source's
+  /// deterministic relock machinery). rows = 0 disables.
+  std::size_t restart_rows = 0;
+  std::size_t restart_cols = 0;
+  analysis::Entropy90bConfig battery;
+};
+
+struct EntropyMapCell {
+  RingSpec ring;
+  Time sampling_period = Time::zero();
+  analysis::Entropy90bResult estimate;
+  bool restart_run = false;  ///< whether `restart` below carries data
+  analysis::RestartValidation restart;
+};
+
+struct EntropyMapResult {
+  /// kinds (outer) x stage_counts x sampling_periods (inner) order.
+  std::vector<EntropyMapCell> cells;
+  /// Lowest per-cell battery min-entropy, -1 if no estimator ran anywhere.
+  double floor_min_entropy = -1.0;
+};
+
+/// Sweep sampling period x ring length for each topology and estimate the
+/// SP 800-90B non-IID min-entropy of the sampled stream per cell, with
+/// optional restart-matrix validation. Cells run in parallel (index-sharded
+/// seeds), so the map is bit-identical for any `options.jobs`.
+EntropyMapResult run_entropy_map(const EntropyMapSpec& spec,
+                                 const Calibration& calibration,
+                                 const ExperimentOptions& options = {});
+
 // --- attack resilience: fault injection + online-health degradation ----------
 
 struct AttackResilienceSpec {
@@ -351,6 +393,15 @@ struct AttackResilienceCell {
   /// (0.5 when no bits were emitted there) — the post-attack health check.
   double post_attack_bias = 0.5;
   std::size_t post_attack_bits = 0;
+
+  /// SP 800-90B non-IID battery over the bits that actually reached the
+  /// consumer (the monitored stream): measured entropy loss to hold against
+  /// the health events above. -1 when too few bits were emitted for any
+  /// estimator to run.
+  double emitted_min_entropy = -1.0;
+  /// The battery's Markov component alone — directly comparable to the
+  /// online markov_min_entropy the telemetry layer tracks per window.
+  double emitted_h_markov = -1.0;
 
   std::vector<trng::StateTransition> transitions;
 };

@@ -134,6 +134,27 @@ std::vector<ExperimentDescriptor> build_registry() {
        }});
 
   registry.push_back(
+      {"entropy_map",
+       "SP 800-90B min-entropy over sampling period x ring length",
+       "NIST SP 800-90B Sec. 6.3 / ROADMAP deeper entropy claims",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           // Both topologies, one short ring, two sampling periods, a few
+           // hundred bits per cell plus a small restart matrix — enough for
+           // MCV/collision/Markov/t-tuple to run, small enough for a CLI
+           // smoke run.
+           EntropyMapSpec spec;
+           spec.stage_counts = {5};  // valid for both IRO and STR (NT = 2)
+           spec.sampling_periods = {Time::from_ns(250.0),
+                                    Time::from_ns(500.0)};
+           spec.bits_per_cell = 512;
+           spec.restart_rows = 4;
+           spec.restart_cols = 32;
+           run_entropy_map(spec, cal, options);
+         });
+       }});
+
+  registry.push_back(
       {"attack_resilience",
        "fault scenarios vs the health-monitored generator pipeline",
        "paper Sec. IV-B attack, AIS 31-style online tests",

@@ -89,9 +89,19 @@ double StreamingEntropy::markov_min_entropy() const {
       from1 > 0.0 ? static_cast<double>(transitions_[1][0]) / from1 : 0.0;
   const double p11 =
       from1 > 0.0 ? static_cast<double>(transitions_[1][1]) / from1 : 0.0;
-  const double p_max =
-      std::max({p00, p11, std::sqrt(p01 * p10)});
-  if (p_max <= 0.0) return 0.0;
+  // Recurrent structure is the self-loops (p00, p11) and the alternating
+  // cycle sqrt(p01*p10). On constant and near-constant windows the cycle
+  // term vanishes exactly (p01*p10 == 0) and the asymptotic rate is set by
+  // the self-loops alone; when not even a self-loop has been observed (a
+  // two-bit "01"/"10" history) there is no recurrent evidence at all, and
+  // an online health monitor must stay conservative: report 0. Note the
+  // offline §6.3.3 battery estimator (analysis/entropy90b.hpp) scores the
+  // same degenerate history as FULL entropy — that convention is right for
+  // an offline bound, wrong for a gate that mutes output.
+  const double cycle = p01 * p10;
+  const double p_max = cycle > 0.0 ? std::max({p00, p11, std::sqrt(cycle)})
+                                   : std::max(p00, p11);
+  if (p_max <= 0.0) return 0.0;  // no recurrent transition observed
   const double h = -std::log2(p_max);
   return std::min(1.0, std::max(0.0, h));
 }

@@ -285,6 +285,94 @@ TEST(Golden, DeterministicJitter) {
                });
 }
 
+TEST(Golden, EntropyMap) {
+  // Same small spec the registry smoke entry uses: both topologies, one
+  // 5-stage ring (valid for IRO and STR alike), two sampling periods, a
+  // 512-bit stream per cell plus a 4x32 restart matrix. Runs with metrics
+  // on so the manifest counter totals are pinned alongside the physics —
+  // the entropy_map driver gets the same exact-count treatment as the
+  // other drivers in ManifestEventCountsAreExact.
+  metrics::set_enabled(true);
+  metrics::reset();
+
+  EntropyMapSpec spec;
+  spec.stage_counts = {5};
+  spec.sampling_periods = {Time::from_ns(250.0), Time::from_ns(500.0)};
+  spec.bits_per_cell = 512;
+  spec.restart_rows = 4;
+  spec.restart_cols = 32;
+  const auto out = run_entropy_map(spec, cyclone_iii(), golden_options());
+
+  const auto manifest = last_run_manifest();
+  metrics::set_enabled(false);
+  metrics::reset();
+
+  ASSERT_EQ(out.cells.size(), 4u);  // {iro, str} x {5 stages} x {2 periods}
+  std::vector<double> actual = {out.floor_min_entropy};
+  for (const auto& cell : out.cells) {
+    actual.push_back(cell.estimate.h_mcv);
+    actual.push_back(cell.estimate.h_collision);
+    actual.push_back(cell.estimate.h_markov);
+    actual.push_back(cell.estimate.h_t_tuple);
+    actual.push_back(cell.estimate.h_lrs);
+    actual.push_back(cell.estimate.min_entropy);
+    actual.push_back(cell.restart.validated);
+  }
+  check_golden("EntropyMap", actual,
+               {
+                   0.0023436831891101616,
+                   0.78018750938945958,
+                   0.0023436831891101616,
+                   0.055965198652507181,
+                   0.050146733110447345,
+                   0.10998019465633711,
+                   0.0023436831891101616,
+                   0,
+                   0.81431841225142931,
+                   0.024646284705944356,
+                   0.10983945785081023,
+                   0.15199675975340474,
+                   0.20928693536527948,
+                   0.024646284705944356,
+                   0,
+                   0.83423981037554329,
+                   1,
+                   0.52513854239764757,
+                   0.2785975066830077,
+                   0.21964783322005649,
+                   0.21964783322005649,
+                   0.15490503088769089,
+                   0.82923026873648598,
+                   0.60900006357687131,
+                   0.7230784701853521,
+                   0.32628200729352885,
+                   0.31040617753911021,
+                   0.31040617753911021,
+                   0.2802301264720729,
+               });
+
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->experiment, "entropy_map");
+  EXPECT_EQ(manifest->tasks, 4u);
+  EXPECT_EQ(manifest->jobs, 2u);
+  EXPECT_EQ(manifest->metrics.counter(metrics::Counter::pool_tasks), 4u);
+  check_golden(
+      "EntropyMapManifestEventCounts",
+      {
+          static_cast<double>(
+              manifest->metrics.counter(metrics::Counter::events_scheduled)),
+          static_cast<double>(
+              manifest->metrics.counter(metrics::Counter::events_fired)),
+          static_cast<double>(
+              manifest->metrics.counter(metrics::Counter::heap_pops)),
+      },
+      {
+          11212830,
+          11212800,
+          11212800,
+      });
+}
+
 TEST(Golden, ManifestEventCountsAreExact) {
   // The acceptance hook for run manifests: with metrics on, the manifest a
   // driver emits carries event totals that are themselves golden — the

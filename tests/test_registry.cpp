@@ -20,7 +20,7 @@ using namespace ringent::core;
 
 TEST(Registry, CoversEveryDriverExactlyOnce) {
   const auto& registry = experiment_registry();
-  EXPECT_EQ(registry.size(), 9u);
+  EXPECT_EQ(registry.size(), 10u);
 
   std::set<std::string> names;
   for (const auto& entry : registry) {
@@ -31,11 +31,12 @@ TEST(Registry, CoversEveryDriverExactlyOnce) {
     EXPECT_TRUE(names.insert(entry.name).second)
         << "duplicate name: " << entry.name;
   }
-  // The full roster, including the attack-resilience pipeline.
+  // The full roster, including the attack-resilience pipeline and the
+  // 90B entropy map.
   for (const char* name :
        {"voltage_sweep", "temperature_sweep", "process_variability",
         "jitter_vs_stages", "mode_map", "restart", "coherent_boards",
-        "deterministic_jitter", "attack_resilience"}) {
+        "deterministic_jitter", "attack_resilience", "entropy_map"}) {
     EXPECT_TRUE(names.count(name)) << name;
   }
 }
@@ -69,7 +70,7 @@ TEST(Registry, RunSmallReturnsTheDriversManifestAndRestoresMetricsState) {
 }
 
 TEST(Registry, EveryDriverStreamsATelemetrySnapshot) {
-  // With a sink configured, each of the 9 drivers must append exactly one
+  // With a sink configured, each of the 10 drivers must append exactly one
   // "ringent.telemetry/1" line under its own experiment slug and embed the
   // histogram summaries in its manifest.
   const std::string path = "registry_telemetry_sink.jsonl";

@@ -272,6 +272,47 @@ TEST(StreamingEntropy, ConstantStreamHasZeroMinEntropy) {
   for (double r : s.window_autocorrelation()) EXPECT_DOUBLE_EQ(r, 0.0);
 }
 
+TEST(StreamingEntropy, NearConstantWindowsPinTheMarkovEdge) {
+  // Regression pins for the p01*p10 == 0 family (no alternating cycle):
+  // the estimate must come from the self-loops alone, and a history with no
+  // recurrent transition at all must report the conservative 0 explicitly —
+  // not via incidental float behaviour of -log2(0). (The offline §6.3.3
+  // battery estimator scores the same two-bit history as full entropy; the
+  // online monitor deliberately does not.)
+  {
+    // Two-bit "01" history: one 0->1 transition, no recurrence observed.
+    stream::StreamingEntropy s({8, 1});
+    s.feed(0);
+    s.feed(1);
+    EXPECT_DOUBLE_EQ(s.markov_min_entropy(), 0.0);
+  }
+  {
+    // Mirror image "10".
+    stream::StreamingEntropy s({8, 1});
+    s.feed(1);
+    s.feed(0);
+    EXPECT_DOUBLE_EQ(s.markov_min_entropy(), 0.0);
+  }
+  {
+    // Nine zeros then a one: p00 = 8/9, p01 = 1/9, no transitions out of
+    // state 1 — the 0->0 self-loop pins the rate.
+    stream::StreamingEntropy s({16, 1});
+    for (int i = 0; i < 9; ++i) s.feed(0);
+    s.feed(1);
+    EXPECT_DOUBLE_EQ(s.markov_min_entropy(), -std::log2(8.0 / 9.0));
+  }
+  {
+    // Zeros then a run of ones: the 1->1 self-loop saturates (p11 = 1), so
+    // the stream is asymptotically constant.
+    stream::StreamingEntropy s({8, 1});
+    s.feed(0);
+    s.feed(0);
+    s.feed(1);
+    s.feed(1);
+    EXPECT_DOUBLE_EQ(s.markov_min_entropy(), 0.0);
+  }
+}
+
 TEST(StreamingEntropy, BalancedMemorylessStreamIsNearOneBit) {
   stream::StreamingEntropy s({256, 4});
   std::uint64_t x = 0x9E3779B97F4A7C15ULL;
