@@ -7,6 +7,7 @@
 //   ringent_cli predict 32 10            (analytic steady state, no sim)
 //   ringent_cli trng str 24 [--rate-mhz 4] [--bits 16384]
 //   ringent_cli vcd str 16 --out ring.vcd [--tokens 4] [--clustered]
+//   ringent_cli serve-bench [--slots 4] [--max-workers 4] [--conditioner lfsr]
 //   ringent_cli --list                   (enumerate registered experiments)
 //   ringent_cli run <experiment> [--seed S] [--jobs N] [--metrics]
 //               [--telemetry FILE]
@@ -479,6 +480,63 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  // Sweep the entropy service's worker count and report throughput; then
+  // verify that the delivered stream is bit-identical at every worker count
+  // (the service's central determinism contract).
+  EntropyServiceSpec spec;
+  spec.slots = static_cast<std::size_t>(args.integer("slots", 4));
+  spec.raw_bits_per_slot =
+      static_cast<std::uint64_t>(args.integer("bits-per-slot", 1 << 18));
+  spec.conditioner =
+      service::parse_conditioner_kind(args.text("conditioner", "lfsr"));
+  spec.conditioner_ratio =
+      static_cast<std::size_t>(args.integer("ratio", 2));
+  spec.synthetic = !args.flag("real-rings");
+  if (spec.synthetic) {
+    // Real ring slots are simulation-rate-limited; keep their budget small.
+  } else if (!args.flag("bits-per-slot")) {
+    spec.raw_bits_per_slot = 1 << 14;
+  }
+  const std::size_t max_workers =
+      static_cast<std::size_t>(args.integer("max-workers", 4));
+  ExperimentOptions options;
+  options.seed = static_cast<std::uint64_t>(args.integer("seed", 20120312));
+
+  std::printf("entropy service saturation bench (%s sources, %zu slots, "
+              "%llu raw bits/slot, %s conditioner /%zu)\n",
+              spec.synthetic ? "synthetic" : spec.ring.name().c_str(),
+              spec.slots,
+              static_cast<unsigned long long>(spec.raw_bits_per_slot),
+              service::conditioner_kind_name(spec.conditioner),
+              spec.conditioner_ratio);
+  std::printf("  %-8s %-12s %-14s %-14s %-10s\n", "workers", "bytes",
+              "bytes/sec", "requests/sec", "stream-fnv");
+
+  std::uint64_t reference_fnv = 0;
+  std::uint64_t reference_bytes = 0;
+  bool identical = true;
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    options.jobs = workers;
+    const EntropyServiceResult result =
+        run_entropy_service(spec, cyclone_iii(), options);
+    std::printf("  %-8zu %-12llu %-14.3e %-14.3e %016llx\n", result.workers,
+                static_cast<unsigned long long>(result.bytes_delivered),
+                result.bytes_per_sec, result.requests_per_sec,
+                static_cast<unsigned long long>(result.stream_fnv));
+    if (workers == 1) {
+      reference_fnv = result.stream_fnv;
+      reference_bytes = result.bytes_delivered;
+    } else if (result.stream_fnv != reference_fnv ||
+               result.bytes_delivered != reference_bytes) {
+      identical = false;
+    }
+  }
+  std::printf("cross-worker bit-identity: %s\n",
+              identical ? "PASS" : "FAIL");
+  return identical ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -493,6 +551,9 @@ int usage() {
       "  analyze-vcd <file>\n"
       "  vcd str <stages> [--out FILE] [--tokens N] [--clustered] "
       "[--periods N]\n"
+      "  serve-bench [--slots N] [--bits-per-slot N] [--conditioner "
+      "lfsr|hash]\n"
+      "              [--ratio N] [--max-workers N] [--real-rings] [--seed S]\n"
       "  --list | list                (registered experiments)\n"
       "  run <experiment> [--seed S] [--jobs N] [--metrics] "
       "[--telemetry FILE]\n");
@@ -524,6 +585,7 @@ int main(int argc, char** argv) {
       return cmd_analyze_vcd(args);
     if (command == "vcd" && args.positional().size() >= 2)
       return cmd_vcd(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "--list" || command == "list") return cmd_list();
     if (command == "run" && args.positional().size() >= 1)
       return cmd_run(args);

@@ -1,0 +1,123 @@
+// libFuzzer harness for the trng/postproc.hpp surface — the bit-stream
+// correctors whose tail-bit truncation contract tests/test_postproc.cpp
+// pins on fixed vectors. The fuzzer checks the same contract over
+// arbitrary inputs:
+//
+// Input layout: byte 0 selects the xor_decimate factor, byte 1 the peres
+// depth, the remainder is the payload. The payload is used twice — masked
+// to valid bits (&1, totality path) and raw (validation path, where any
+// byte > 1 must be rejected with PreconditionError before any output).
+//
+// Contract enforced on every input:
+//  * von_neumann emits at most floor(n/2) bits, all 0/1, and the dangling
+//    last bit of an odd-length span is unobservable (flip-invariance);
+//  * xor_decimate(., f) emits exactly floor(n/f) parity bits for f >= 1
+//    and throws PreconditionError for f == 0 — never UB, never a partial
+//    group parity (checked against a direct recomputation);
+//  * peres at depth 1 equals von_neumann exactly; depths outside [1,16]
+//    throw; every emitted bit is 0/1 and the output is deterministic;
+//  * non-bit input values throw PreconditionError from all three.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+#include "trng/postproc.hpp"
+
+namespace {
+
+using ringent::trng::peres;
+using ringent::trng::von_neumann;
+using ringent::trng::xor_decimate;
+
+bool all_bits(const std::vector<std::uint8_t>& v) {
+  for (const std::uint8_t b : v) {
+    if (b > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::size_t factor = size > 0 ? data[0] : 1;
+  const unsigned depth = size > 1 ? data[1] : 1;
+  const std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(data, size).subspan(size < 2 ? size : 2);
+
+  std::vector<std::uint8_t> bits(payload.begin(), payload.end());
+  bool raw_valid = true;
+  for (auto& b : bits) {
+    raw_valid = raw_valid && b <= 1;
+    b &= 1;
+  }
+  const std::size_t n = bits.size();
+
+  // --- von Neumann: totality, output bound, tail-flip invariance -----------
+  const auto vn = von_neumann(bits);
+  if (vn.size() > n / 2) std::abort();
+  if (!all_bits(vn)) std::abort();
+  if (n % 2 == 1) {
+    std::vector<std::uint8_t> flipped = bits;
+    flipped.back() ^= 1;
+    if (von_neumann(flipped) != vn) std::abort();  // tail bit leaked
+  }
+
+  // --- xor_decimate: exact length, recomputed parities, factor == 0 --------
+  try {
+    const auto dec = xor_decimate(bits, factor);
+    if (factor == 0) std::abort();  // the guard must have thrown
+    if (dec.size() != n / factor) std::abort();
+    if (!all_bits(dec)) std::abort();
+    for (std::size_t g = 0; g < dec.size(); ++g) {
+      std::uint8_t parity = 0;
+      for (std::size_t i = 0; i < factor; ++i) parity ^= bits[g * factor + i];
+      if (dec[g] != parity) std::abort();
+    }
+  } catch (const ringent::PreconditionError&) {
+    if (factor != 0) std::abort();  // valid factor must not throw
+  }
+
+  // --- peres: depth bounds, depth-1 equivalence, determinism ---------------
+  try {
+    const auto p = peres(bits, depth);
+    if (depth < 1 || depth > 16) std::abort();  // bounds guard must throw
+    if (!all_bits(p)) std::abort();
+    if (depth == 1 && p != vn) std::abort();
+    if (peres(bits, depth) != p) std::abort();  // deterministic
+  } catch (const ringent::PreconditionError&) {
+    if (depth >= 1 && depth <= 16) std::abort();
+  }
+
+  // --- raw (unmasked) payload: reject or accept coherently -----------------
+  // von_neumann/peres validate pair-by-pair, so a non-bit byte in the
+  // dangling odd tail is never seen; xor_decimate validates every byte,
+  // including the partial trailing group.
+  const std::vector<std::uint8_t> raw(payload.begin(), payload.end());
+  // Bytes at indices < 2 * floor(n/2) are the ones the pair loop consumes.
+  bool pair_region_valid = true;
+  for (std::size_t i = 0; i < 2 * (raw.size() / 2); ++i) {
+    pair_region_valid = pair_region_valid && raw[i] <= 1;
+  }
+  try {
+    (void)von_neumann(raw);
+    if (!pair_region_valid) std::abort();  // non-bit pair went unrejected
+  } catch (const ringent::PreconditionError&) {
+    if (pair_region_valid) std::abort();
+  }
+  try {
+    (void)xor_decimate(raw, factor == 0 ? 1 : factor);
+    if (!raw_valid) std::abort();  // validates every byte, even tail group
+  } catch (const ringent::PreconditionError&) {
+    if (raw_valid) std::abort();
+  }
+  try {
+    (void)peres(raw, depth == 0 ? 1 : (depth > 16 ? 16 : depth));
+    if (!pair_region_valid) std::abort();
+  } catch (const ringent::PreconditionError&) {
+    if (pair_region_valid) std::abort();
+  }
+  return 0;
+}

@@ -206,5 +206,34 @@ int main(int argc, char** argv) {
     }
     write_file(root + "/corpus/entropy90b/raw_bytes_restart", raw);
   }
+
+  // --- postproc: [factor][depth][payload] corrector inputs -----------------
+  {
+    // factor 3, depth 4, a valid bit payload with an odd tail.
+    std::string seed1;
+    seed1 += static_cast<char>(3);
+    seed1 += static_cast<char>(4);
+    for (int i = 0; i < 33; ++i) {
+      seed1 += static_cast<char>((i * 5 + 1) % 3 == 0 ? 1 : 0);
+    }
+    write_file(root + "/corpus/postproc/factor3_depth4_odd_tail", seed1);
+
+    // factor 0 (must throw), depth 17 (must throw), non-bit payload bytes.
+    std::string seed2;
+    seed2 += static_cast<char>(0);
+    seed2 += static_cast<char>(17);
+    ringent::SplitMix64 sm(0x9057);
+    for (int i = 0; i < 24; ++i) {
+      seed2 += static_cast<char>(sm.next() & 0xFF);
+    }
+    write_file(root + "/corpus/postproc/invalid_params_raw_bytes", seed2);
+
+    // factor 1 (identity), depth 1 (== von Neumann) over alternating bits.
+    std::string seed3;
+    seed3 += static_cast<char>(1);
+    seed3 += static_cast<char>(1);
+    for (int i = 0; i < 40; ++i) seed3 += static_cast<char>(i & 1);
+    write_file(root + "/corpus/postproc/identity_depth1", seed3);
+  }
   return 0;
 }

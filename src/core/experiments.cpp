@@ -785,4 +785,107 @@ AttackResilienceResult run_attack_resilience(const AttackResilienceSpec& spec,
   return out;
 }
 
+EntropyServiceResult run_entropy_service(const EntropyServiceSpec& spec,
+                                         const Calibration& calibration,
+                                         const ExperimentOptions& options) {
+  RINGENT_REQUIRE(spec.slots >= 1, "need at least one slot");
+  RINGENT_REQUIRE(spec.request_bytes >= 1, "need a positive request size");
+
+  service::PoolConfig pool_config;
+  pool_config.slots = spec.slots;
+  pool_config.workers =
+      std::min(sim::resolve_jobs(options.jobs), spec.slots);
+  pool_config.seed = options.seed;
+  pool_config.raw_bits_per_slot = spec.raw_bits_per_slot;
+  pool_config.conditioner = spec.conditioner;
+  pool_config.conditioner_ratio = spec.conditioner_ratio;
+  pool_config.ring_capacity = spec.ring_capacity;
+  // Simulated rings emit ~1 bit per ms of wall time; keep the pump quantum
+  // small so conditioned bytes reach the ring long before the front-end's
+  // wait budget expires (a full-size quantum would starve the consumer).
+  pool_config.pump_raw_bits = spec.synthetic ? 4096 : 256;
+  pool_config.policy = spec.policy;
+
+  std::string label = spec.synthetic ? "synthetic" : spec.ring.name();
+  label += " x " + std::to_string(spec.slots) + " slots / " +
+           service::conditioner_kind_name(spec.conditioner);
+  const DriverScope driver_scope("entropy_service", label, options,
+                                 spec.slots);
+
+  // Real-ring slots own their RingBitSources through the BitSource pointers
+  // the factory hands back, so no extra lifetime bookkeeping is needed.
+  service::SourceFactory factory;
+  if (spec.synthetic) {
+    factory = [](std::size_t, std::uint64_t seed) {
+      service::SlotSources sources;
+      sources.primary = std::make_unique<service::PrngBitSource>(seed);
+      sources.backup = std::make_unique<service::PrngBitSource>(
+          derive_seed(seed, "backup"));
+      return sources;
+    };
+  } else {
+    factory = [&spec, &calibration](std::size_t, std::uint64_t seed) {
+      RingSourceConfig config;
+      config.spec = spec.ring;
+      config.sampling_period = spec.sampling_period;
+      config.seed = seed;
+      config.supply_nominal_v = calibration.nominal_voltage;
+      service::SlotSources sources;
+      sources.primary = std::make_unique<RingBitSource>(
+          config, calibration, noise::FaultScenario{});
+      RingSourceConfig backup_config = config;
+      backup_config.seed = derive_seed(seed, "backup");
+      sources.backup = std::make_unique<RingBitSource>(
+          backup_config, calibration, noise::FaultScenario{});
+      return sources;
+    };
+  }
+
+  service::GeneratorPool pool(pool_config, factory);
+  service::FrontendConfig frontend_config;
+  frontend_config.block_bytes = spec.block_bytes;
+  frontend_config.wait_budget = std::chrono::milliseconds(
+      spec.wait_budget_ms != 0 ? spec.wait_budget_ms
+                               : (spec.synthetic ? 250 : 10000));
+  service::EntropyService frontend(pool, frontend_config);
+
+  EntropyServiceResult out;
+  out.workers = pool.worker_count();
+
+  const double wall_start = sim::metrics::wall_seconds();
+  pool.start();
+  std::vector<std::uint8_t> request(spec.request_bytes);
+  std::uint64_t fnv = 1469598103934665603ull;  // FNV-1a offset basis
+  try {
+    for (;;) {
+      const std::size_t got =
+          frontend.acquire(std::span<std::uint8_t>(request));
+      for (std::size_t i = 0; i < got; ++i) {
+        if (out.head.size() < 32) out.head.push_back(request[i]);
+        fnv = (fnv ^ request[i]) * 1099511628211ull;
+      }
+    }
+  } catch (const service::StarvationError&) {
+    // The drain's normal end: every slot exhausted its budget.
+  }
+  pool.stop();
+  out.wall_seconds = sim::metrics::wall_seconds() - wall_start;
+
+  const service::FrontendStats& fstats = frontend.stats();
+  const service::PoolStats pstats = pool.stats();
+  out.requests = fstats.requests;
+  out.bytes_delivered = fstats.bytes_delivered;
+  out.starvations = fstats.starvations;
+  out.raw_bits_in = pstats.raw_bits_in;
+  out.slots_failed = pstats.slots_failed;
+  out.stream_fnv = fnv;
+  if (out.wall_seconds > 0.0) {
+    out.bytes_per_sec =
+        static_cast<double>(out.bytes_delivered) / out.wall_seconds;
+    out.requests_per_sec =
+        static_cast<double>(out.requests) / out.wall_seconds;
+  }
+  return out;
+}
+
 }  // namespace ringent::core

@@ -29,6 +29,7 @@
 #include "fpga/supply.hpp"
 #include "noise/fault.hpp"
 #include "ring/mode.hpp"
+#include "service/frontend.hpp"
 #include "trng/resilient.hpp"
 
 namespace ringent::core {
@@ -422,5 +423,60 @@ struct AttackResilienceResult {
 AttackResilienceResult run_attack_resilience(
     const AttackResilienceSpec& spec, const Calibration& calibration,
     const ExperimentOptions& options = {});
+
+// --- entropy service: conditioned streaming server layer ---------------------
+
+struct EntropyServiceSpec {
+  std::size_t slots = 4;
+
+  /// Raw-bit production budget per slot (the run's deterministic size).
+  std::uint64_t raw_bits_per_slot = 1u << 16;
+
+  service::ConditionerKind conditioner = service::ConditionerKind::lfsr;
+  std::size_t conditioner_ratio = 2;
+  std::size_t ring_capacity = 4096;  ///< bytes per slot ring (power of two)
+  std::size_t block_bytes = 64;      ///< front-end interleave unit
+  std::size_t request_bytes = 256;   ///< bytes per acquire() request
+
+  /// true: PRNG-backed slot sources (saturation mode — measures the service
+  /// layer, not the oscillator model). false: simulated rings below.
+  bool synthetic = true;
+  RingSpec ring = RingSpec::str(24);
+  Time sampling_period = Time::from_ns(250.0);
+
+  /// Front-end wait budget before an empty-but-live slot counts as starved.
+  /// 0 = auto: 250 ms for synthetic slots, 10 s for simulated rings (which
+  /// produce raw bits at simulation rate, ~1 ms/bit, not wire rate).
+  std::uint64_t wait_budget_ms = 0;
+
+  trng::DegradationPolicy policy;
+};
+
+struct EntropyServiceResult {
+  std::size_t workers = 0;          ///< pool worker threads actually used
+  std::uint64_t requests = 0;       ///< acquire() calls served
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t raw_bits_in = 0;    ///< raw bits pulled across all slots
+  std::uint64_t starvations = 0;    ///< StarvationError count (the drain end)
+  std::uint64_t slots_failed = 0;   ///< generators that latched `failed`
+  double wall_seconds = 0.0;
+  double bytes_per_sec = 0.0;
+  double requests_per_sec = 0.0;
+
+  /// FNV-1a over the delivered stream plus its first bytes: the cross-jobs
+  /// bit-identity witnesses (identical for any worker count).
+  std::uint64_t stream_fnv = 0;
+  std::vector<std::uint8_t> head;
+};
+
+/// Drive the service end to end: build a pool of `slots` supervised
+/// generators, start min(resolve_jobs(options.jobs), slots) workers, and
+/// drain the entire production through EntropyService::acquire in
+/// `request_bytes` units until the pool reports starvation. The conditioned
+/// stream content is bit-identical at any `options.jobs`; the throughput
+/// numbers are wall-clock and are not.
+EntropyServiceResult run_entropy_service(const EntropyServiceSpec& spec,
+                                         const Calibration& calibration,
+                                         const ExperimentOptions& options = {});
 
 }  // namespace ringent::core

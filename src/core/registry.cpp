@@ -172,6 +172,22 @@ std::vector<ExperimentDescriptor> build_registry() {
          });
        }});
 
+  registry.push_back(
+      {"entropy_service",
+       "conditioned streaming TRNG service: pool -> rings -> front-end",
+       "ROADMAP entropy-as-a-service tentpole",
+       [](const Calibration& cal, const Options& options) {
+         return with_manifest([&] {
+           // Synthetic sources keep the smoke run fast; the budget is small
+           // but big enough that every slot produces several blocks and the
+           // manifest carries non-trivial counters.
+           EntropyServiceSpec spec;
+           spec.slots = 2;
+           spec.raw_bits_per_slot = 1u << 14;
+           run_entropy_service(spec, cal, options);
+         });
+       }});
+
   return registry;
 }
 

@@ -1,0 +1,103 @@
+#include "service/frontend.hpp"
+
+#include <thread>
+
+#include "sim/telemetry.hpp"
+
+namespace ringent::service {
+
+namespace histo = sim::telemetry;
+
+EntropyService::EntropyService(GeneratorPool& pool, FrontendConfig config)
+    : pool_(pool), config_(config) {
+  RINGENT_REQUIRE(config.block_bytes >= 1, "block_bytes must be >= 1");
+  live_.reserve(pool.slot_count());
+  for (std::size_t i = 0; i < pool.slot_count(); ++i) live_.push_back(i);
+  block_left_ = config_.block_bytes;
+}
+
+bool EntropyService::pop_or_retire(std::size_t slot,
+                                   std::span<std::uint8_t> out,
+                                   std::size_t& popped) {
+  SpscRing& ring = pool_.ring(slot);
+  if (histo::enabled()) {
+    histo::record(histo::Histogram::service_buffer_depth, ring.size());
+  }
+  popped = ring.try_pop(out);
+  if (popped > 0) return true;
+  if (!pool_.exhausted(slot)) return true;  // empty for now, not forever
+  // The exhausted flag is set (release) after the producer's final push;
+  // one re-poll after the acquire load closes the race.
+  popped = ring.try_pop(out);
+  return popped > 0;
+}
+
+std::size_t EntropyService::acquire(std::span<std::uint8_t> out) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t filled = 0;
+  bool waiting = false;
+  std::chrono::steady_clock::time_point deadline{};
+  while (filled < out.size()) {
+    if (live_.empty()) {
+      if (filled > 0) break;  // end of stream: deliver what we have
+      ++stats_.starvations;
+      throw StarvationError("entropy pool starved: all slots exhausted");
+    }
+    const std::size_t slot = live_[rotation_];
+    const std::size_t want = std::min(out.size() - filled, block_left_);
+    std::size_t popped = 0;
+    if (!pop_or_retire(slot, out.subspan(filled, want), popped)) {
+      // Slot drained and exhausted: retire it. The retire point is
+      // deterministic — it happens exactly when the slot's (deterministic)
+      // total output has been consumed — so the interleave stays identical
+      // across worker counts.
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(rotation_));
+      if (rotation_ >= live_.size()) rotation_ = 0;
+      block_left_ = config_.block_bytes;
+      continue;
+    }
+    if (popped == 0) {
+      // Live but empty: bounded wait.
+      const auto now = std::chrono::steady_clock::now();
+      if (!waiting) {
+        waiting = true;
+        ++stats_.waits;
+        deadline = now + config_.wait_budget;
+      } else if (now >= deadline) {
+        if (filled > 0) break;  // partial; a later call may throw
+        ++stats_.starvations;
+        throw StarvationError(
+            "entropy pool starved: slot produced no bytes within the wait "
+            "budget");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    waiting = false;
+    filled += popped;
+    block_left_ -= popped;
+    if (block_left_ == 0) {
+      rotation_ = (rotation_ + 1) % live_.size();
+      block_left_ = config_.block_bytes;
+    }
+  }
+  ++stats_.requests;
+  stats_.bytes_delivered += filled;
+  if (histo::enabled()) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    histo::record(
+        histo::Histogram::service_acquire_ns,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+  return filled;
+}
+
+std::vector<std::uint8_t> EntropyService::acquire(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  out.resize(acquire(std::span<std::uint8_t>(out)));
+  return out;
+}
+
+}  // namespace ringent::service

@@ -1,0 +1,92 @@
+// Request front-end of the entropy service: the consumer half.
+//
+// EntropyService::acquire(out) fills the caller's buffer with conditioned
+// bytes drawn from the pool's slot rings. Consumption is a deterministic
+// round-robin over the live slots in fixed `block_bytes` units: slot order,
+// block size, per-slot stream content and per-slot total length are all
+// independent of worker count and scheduling, so the concatenated output is
+// bit-identical at any `--jobs` value — the property the cross-jobs identity
+// tests pin.
+//
+// Starvation is explicit, never silent. acquire() returns the number of
+// bytes written; a short return means the pool retired (end of stream) or
+// the wait budget expired after partial delivery — already-delivered bytes
+// are never thrown away. When acquire() can deliver NOTHING — every slot
+// retired, or a live slot stayed empty past `wait_budget` (all its
+// generators muted/stalled) — it throws StarvationError. It never blocks
+// forever, and unconditioned bits are unreachable from this API by
+// construction: the rings only ever contain conditioner output.
+//
+// acquire() is single-consumer: calls must come from one thread at a time
+// (the SPSC rings require it). Throughput scaling comes from pool workers,
+// not from concurrent acquirers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+#include "service/pool.hpp"
+
+namespace ringent::service {
+
+/// Thrown when the pool cannot supply bytes: every slot retired, or the
+/// bounded wait on a live slot expired.
+class StarvationError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct FrontendConfig {
+  /// Bytes taken from one slot before rotating to the next. Must divide the
+  /// interleave identically at every worker count — any constant works; 64
+  /// keeps pops cache-friendly.
+  std::size_t block_bytes = 64;
+  /// Longest wall-clock wait on one empty-but-live slot before declaring
+  /// starvation.
+  std::chrono::milliseconds wait_budget{250};
+};
+
+struct FrontendStats {
+  std::uint64_t requests = 0;        ///< acquire() calls that returned
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t starvations = 0;     ///< StarvationError throws
+  std::uint64_t waits = 0;           ///< empty-ring wait episodes survived
+};
+
+class EntropyService {
+ public:
+  explicit EntropyService(GeneratorPool& pool, FrontendConfig config = {});
+
+  /// Fill `out` with conditioned bytes; returns the count written (short
+  /// only at pool end-of-stream or wait-budget expiry after partial
+  /// delivery). Throws StarvationError when nothing can be delivered (see
+  /// file comment). Single-consumer.
+  std::size_t acquire(std::span<std::uint8_t> out);
+
+  /// Convenience: acquire up to `n` bytes into a fresh vector (sized to
+  /// what was actually delivered).
+  std::vector<std::uint8_t> acquire(std::size_t n);
+
+  const FrontendStats& stats() const { return stats_; }
+
+  /// Slots still in the rotation (live = not yet retired).
+  std::size_t live_slots() const { return live_.size(); }
+
+ private:
+  /// Pop up to `out.size()` bytes from slot `slot`; retires it (returns
+  /// false) when it is exhausted and drained.
+  bool pop_or_retire(std::size_t slot, std::span<std::uint8_t> out,
+                     std::size_t& popped);
+
+  GeneratorPool& pool_;
+  FrontendConfig config_;
+  FrontendStats stats_;
+  std::vector<std::size_t> live_;  ///< slot ids still rotating
+  std::size_t rotation_ = 0;       ///< index into live_
+  std::size_t block_left_ = 0;     ///< bytes left in the current block
+};
+
+}  // namespace ringent::service

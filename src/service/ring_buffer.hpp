@@ -1,0 +1,106 @@
+// Lock-free single-producer/single-consumer byte ring buffer.
+//
+// The service layer (service/pool.hpp) pairs every generator slot with one
+// of these: exactly one worker thread pushes conditioned bytes, exactly one
+// front-end thread pops them. Under that contract every operation is
+// wait-free — no locks, no CAS loops, just one acquire load of the remote
+// cursor and one release store of the local one per call.
+//
+// Positions are monotone 64-bit counters (they never wrap in any realistic
+// run: 2^64 bytes at 10 GB/s is ~58 years); the physical index is
+// position & (capacity - 1), which is why the capacity must be a power of
+// two. `size()` may be called from either side and returns a conservative
+// snapshot: never more than what the producer published, never less than
+// what the consumer left.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace ringent::service {
+
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), data_(capacity) {
+    RINGENT_REQUIRE(capacity >= 2 && std::has_single_bit(capacity),
+                    "ring capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return data_.size(); }
+
+  /// Bytes currently buffered (conservative from either thread).
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Producer side: free space as of this call (only shrinks under the
+  /// producer's feet if it pushes; the consumer can only grow it).
+  std::size_t free_space() const { return capacity() - size(); }
+
+  /// Producer only. Copy in as much of `bytes` as fits; returns the number
+  /// of bytes accepted (0 when full).
+  std::size_t try_push(std::span<const std::uint8_t> bytes) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t free = capacity() - static_cast<std::size_t>(tail - head);
+    const std::size_t n = bytes.size() < free ? bytes.size() : free;
+    if (n == 0) return 0;
+    copy_in(tail, bytes.first(n));
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer only. Copy out up to `out.size()` bytes; returns the number
+  /// popped (0 when empty).
+  std::size_t try_pop(std::span<std::uint8_t> out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(tail - head);
+    const std::size_t n = out.size() < avail ? out.size() : avail;
+    if (n == 0) return 0;
+    copy_out(head, out.first(n));
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+ private:
+  void copy_in(std::uint64_t pos, std::span<const std::uint8_t> bytes) {
+    const std::size_t at = static_cast<std::size_t>(pos) & mask_;
+    const std::size_t run = std::min(bytes.size(), data_.size() - at);
+    std::memcpy(data_.data() + at, bytes.data(), run);
+    if (run < bytes.size()) {
+      std::memcpy(data_.data(), bytes.data() + run, bytes.size() - run);
+    }
+  }
+
+  void copy_out(std::uint64_t pos, std::span<std::uint8_t> out) {
+    const std::size_t at = static_cast<std::size_t>(pos) & mask_;
+    const std::size_t run = std::min(out.size(), data_.size() - at);
+    std::memcpy(out.data(), data_.data() + at, run);
+    if (run < out.size()) {
+      std::memcpy(out.data() + run, data_.data(), out.size() - run);
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<std::uint8_t> data_;
+  // Producer and consumer cursors on separate cache lines so the two
+  // threads' stores never false-share.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer position
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer position
+};
+
+}  // namespace ringent::service

@@ -1,0 +1,132 @@
+#include "service/sha256.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ringent::service {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  for (std::size_t i = 0; i < 8; ++i) state_[i] = kInit[i];
+  total_bytes_ = 0;
+  pending_size_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (std::size_t t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
+  for (std::size_t t = 16; t < 64; ++t) {
+    const std::uint32_t s0 = std::rotr(w[t - 15], 7) ^
+                             std::rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 = std::rotr(w[t - 2], 17) ^
+                             std::rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (std::size_t t = 0; t < 64; ++t) {
+    const std::uint32_t big_s1 =
+        std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + big_s1 + ch + kRound[t] + w[t];
+    const std::uint32_t big_s0 =
+        std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = big_s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> bytes) {
+  total_bytes_ += bytes.size();
+  std::size_t offset = 0;
+  if (pending_size_ > 0) {
+    const std::size_t take =
+        std::min(bytes.size(), pending_.size() - pending_size_);
+    std::memcpy(pending_.data() + pending_size_, bytes.data(), take);
+    pending_size_ += take;
+    offset = take;
+    if (pending_size_ < pending_.size()) return;
+    compress(pending_.data());
+    pending_size_ = 0;
+  }
+  while (offset + 64 <= bytes.size()) {
+    compress(bytes.data() + offset);
+    offset += 64;
+  }
+  if (offset < bytes.size()) {
+    pending_size_ = bytes.size() - offset;
+    std::memcpy(pending_.data(), bytes.data() + offset, pending_size_);
+  }
+}
+
+std::array<std::uint8_t, Sha256::digest_size> Sha256::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad_one = 0x80;
+  update(std::span<const std::uint8_t>(&pad_one, 1));
+  const std::uint8_t zero = 0;
+  while (pending_size_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t length_be[8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    length_be[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(length_be, 8));
+  std::array<std::uint8_t, digest_size> out{};
+  for (std::size_t i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+}  // namespace ringent::service

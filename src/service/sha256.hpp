@@ -1,0 +1,51 @@
+// Minimal SHA-256 (FIPS 180-4) for the hash-based conditioner.
+//
+// The service layer needs a vetted cryptographic compressor the way
+// jitterentropy uses SHA-3 in jent_hash_time; the container has no crypto
+// library to link, so this is a plain, dependency-free transcription of the
+// FIPS 180-4 algorithm. It is used as a conditioning component only — the
+// test suite pins the standard vectors ("abc", the empty string, the
+// two-block 448-bit message) so the implementation cannot drift.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ringent::service {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t digest_size = 32;
+
+  Sha256() { reset(); }
+
+  /// Restart as a fresh hash.
+  void reset();
+
+  /// Absorb `bytes` (streaming: any call-boundary chunking gives the same
+  /// digest).
+  void update(std::span<const std::uint8_t> bytes);
+
+  /// Pad, finalize and return the digest. The object must be reset()
+  /// before further use.
+  std::array<std::uint8_t, digest_size> finish();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, digest_size> digest(
+      std::span<const std::uint8_t> bytes) {
+    Sha256 h;
+    h.update(bytes);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> pending_{};
+  std::size_t pending_size_ = 0;
+};
+
+}  // namespace ringent::service

@@ -57,6 +57,7 @@ std::string_view histogram_name(Histogram histogram) {
       "charlie_delay_fs",    "pool_task_ns",
       "rct_run_length",      "apt_window_ones",
       "bits_between_alarms", "relock_duration_bits",
+      "service_buffer_depth", "service_acquire_ns",
   };
   const auto index = static_cast<std::size_t>(histogram);
   RINGENT_REQUIRE(index < histogram_count, "unknown histogram");

@@ -48,9 +48,11 @@ enum class Histogram : std::size_t {
   apt_window_ones,       ///< reference-bit count per completed APT window
   bits_between_alarms,   ///< raw bits between consecutive health alarms
   relock_duration_bits,  ///< raw bits from alarm to probation-clean recovery
+  service_buffer_depth,  ///< per-slot ring occupancy at each front-end pop
+  service_acquire_ns,    ///< wall-clock per acquire() call (nondeterministic)
 };
 inline constexpr std::size_t histogram_count =
-    static_cast<std::size_t>(Histogram::relock_duration_bits) + 1;
+    static_cast<std::size_t>(Histogram::service_acquire_ns) + 1;
 
 /// Stable slug for snapshots and expositions (e.g. "event_gap_fs").
 std::string_view histogram_name(Histogram histogram);

@@ -30,6 +30,12 @@ class RepetitionCountTest {
   explicit RepetitionCountTest(std::uint32_t cutoff);
 
   /// Feed one bit; returns false when the alarm fires (and stays latched).
+  ///
+  /// Boundary convention (pinned by tests/test_health.cpp hand-counted
+  /// vectors): a run of exactly `cutoff` identical samples alarms on its
+  /// last sample; a run of `cutoff - 1` never alarms. This matches SP
+  /// 800-90B §4.4.1, where the counter B starts at 1 on the first sample
+  /// and the test fails as soon as B >= C.
   bool feed(std::uint8_t bit);
 
   bool alarmed() const { return alarmed_; }
@@ -55,6 +61,21 @@ class AdaptiveProportionTest {
   AdaptiveProportionTest(std::uint32_t cutoff, std::size_t window = 1024);
 
   /// Feed one bit; returns false once alarmed (latched).
+  ///
+  /// Boundary conventions (pinned by tests/test_health.cpp):
+  ///  * A window is exactly `window` samples: the sample at index 0 becomes
+  ///    the reference (count = 1) and samples 1..window-1 are compared
+  ///    against it; the sample after that opens a fresh window with a new
+  ///    reference.
+  ///  * The alarm fires when the reference count EXCEEDS `cutoff`, i.e. at
+  ///    `cutoff + 1` occurrences. SP 800-90B §4.4.2 stores C = 1 +
+  ///    critbinom(W, p, 1 - alpha) and fails at count >= C; here the "+1"
+  ///    lives in the strict comparison instead of the stored cutoff — the
+  ///    two formulations alarm on exactly the same sample.
+  ///  * After an alarm the test is latched; callers restart via reset(),
+  ///    which discards the triggering bit's window entirely, so that bit is
+  ///    never double-counted in the next window (the resilience layer
+  ///    relies on this when it re-arms after a relock).
   bool feed(std::uint8_t bit);
 
   bool alarmed() const { return alarmed_; }

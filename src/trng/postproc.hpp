@@ -1,4 +1,21 @@
 // Arithmetic post-processing of raw TRNG bits.
+//
+// Tail-bit contract (shared by every function here): input that does not
+// fill the last consumption unit — the final bit of an odd-length span for
+// von_neumann/peres, the trailing `bits.size() % factor` bits for
+// xor_decimate — is DROPPED, deterministically and silently. No partial
+// output unit is ever emitted, because a partial unit would leak raw
+// (uncorrected) bits into the output stream. Consequences worth knowing:
+//
+//  * empty input -> empty output (never an error);
+//  * length-1 input -> empty output for every corrector;
+//  * xor_decimate with factor > bits.size() -> empty output;
+//  * xor_decimate demands factor >= 1 and throws PreconditionError for 0
+//    (a zero-width parity group has no meaning).
+//
+// Streaming callers that cannot afford to lose tail bits must carry the
+// remainder themselves (ResilientGenerator::fill_bytes shows the pattern).
+// tests/test_postproc.cpp pins every case above.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +31,9 @@ namespace ringent::trng {
 std::vector<std::uint8_t> von_neumann(std::span<const std::uint8_t> bits);
 
 /// XOR decimation: each output bit is the parity of `factor` consecutive
-/// input bits. Reduces bias b to ~ (2b)^factor / 2.
+/// input bits. Reduces bias b to ~ (2b)^factor / 2. Requires factor >= 1
+/// (PreconditionError otherwise); a trailing group of fewer than `factor`
+/// bits is dropped, never emitted as a short parity.
 std::vector<std::uint8_t> xor_decimate(std::span<const std::uint8_t> bits,
                                        std::size_t factor);
 

@@ -13,6 +13,16 @@ namespace ringent::trng {
 namespace metrics = sim::metrics;
 namespace histo = sim::telemetry;
 
+std::uint64_t backoff_for_strike(std::uint64_t base, std::uint32_t strike) {
+  const std::uint32_t shift = strike > 0 ? strike - 1 : 0;
+  // `base << shift` is UB for shift >= 64 and wraps (to as little as zero)
+  // whenever base has a set bit in the top `shift` positions; either way a
+  // muted generator would come back almost immediately. Saturate instead.
+  if (shift >= 64) return UINT64_MAX;
+  if (base > (UINT64_MAX >> shift)) return UINT64_MAX;
+  return base << shift;
+}
+
 const char* to_string(DegradationState state) {
   switch (state) {
     case DegradationState::healthy: return "healthy";
@@ -54,6 +64,43 @@ std::vector<std::uint8_t> ResilientGenerator::generate(std::size_t raw_bits) {
   metrics::bump(metrics::Counter::health_bits_muted,
                 stats_.bits_muted - muted_before);
   return out;
+}
+
+std::size_t ResilientGenerator::fill_bytes(std::span<std::uint8_t> out,
+                                           std::size_t max_raw_bits) {
+  sim::trace::Span span("resilient-fill-bytes", "axis");
+  std::vector<std::uint8_t> bits;
+  bits.reserve(64);
+  const std::uint64_t muted_before = stats_.bits_muted;
+  std::size_t written = 0;
+  std::size_t raw_used = 0;
+  while (written < out.size() && raw_used < max_raw_bits &&
+         state_ != DegradationState::failed) {
+    bits.clear();
+    // Pull a small batch, never more raw bits than the output has room for
+    // as emitted bits (step() emits at most one bit per raw bit), so no
+    // emitted bit is ever dropped. The carry accumulator makes the packing
+    // independent of the batch size.
+    const std::size_t room_bits = (out.size() - written) * 8 - carry_count_;
+    const std::size_t batch = std::min(
+        std::min<std::size_t>(64, max_raw_bits - raw_used), room_bits);
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (state_ == DegradationState::failed) break;
+      step(active_->next_bit(), bits);
+      ++raw_used;
+    }
+    for (const std::uint8_t bit : bits) {
+      carry_byte_ |= static_cast<std::uint8_t>((bit & 1u) << carry_count_);
+      if (++carry_count_ == 8) {
+        out[written++] = carry_byte_;
+        carry_byte_ = 0;
+        carry_count_ = 0;
+      }
+    }
+  }
+  metrics::bump(metrics::Counter::health_bits_muted,
+                stats_.bits_muted - muted_before);
+  return written;
 }
 
 void ResilientGenerator::step(std::uint8_t bit,
@@ -165,8 +212,8 @@ void ResilientGenerator::on_alarm(const char* reason) {
     metrics::bump(metrics::Counter::health_failures);
     return;
   }
-  backoff_remaining_ = policy_.backoff_bits
-                       << (stats_.strikes > 0 ? stats_.strikes - 1 : 0);
+  backoff_remaining_ = backoff_for_strike(policy_.backoff_bits,
+                                          stats_.strikes);
   transition(DegradationState::muted, reason);
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -89,6 +90,13 @@ struct DegradationPolicy {
   std::uint32_t failover_after_strikes = 2;
 };
 
+/// Backoff for the given strike count: `base` doubled per strike beyond the
+/// first, saturating at UINT64_MAX instead of wrapping. A wrap here would
+/// silently un-mute an alarmed generator after a near-zero backoff — the
+/// exact failure the muted state exists to prevent — so saturation is the
+/// only safe behavior for large `base` or strike counts >= 65.
+std::uint64_t backoff_for_strike(std::uint64_t base, std::uint32_t strike);
+
 /// One recorded state-machine edge.
 struct StateTransition {
   DegradationState from = DegradationState::healthy;
@@ -127,6 +135,19 @@ class ResilientGenerator {
   /// Pull `raw_bits` bits through the monitors; returns the emitted
   /// (non-muted) bits, possibly fewer — and stops early once `failed`.
   std::vector<std::uint8_t> generate(std::size_t raw_bits);
+
+  /// Byte-emission hook for the service layer: pull up to `max_raw_bits`
+  /// raw bits through the monitors and pack the emitted bits LSB-first into
+  /// `out`. Returns the number of complete bytes written (<= out.size());
+  /// stops early when `out` is full, the raw budget is spent, or the
+  /// generator latches `failed`. Leftover bits (fewer than 8) are carried in
+  /// the generator and prepended to the next call, so the byte stream is
+  /// identical regardless of call-boundary chunking.
+  std::size_t fill_bytes(std::span<std::uint8_t> out,
+                         std::size_t max_raw_bits);
+
+  /// Bits currently carried toward the next byte (0..7); test hook.
+  std::size_t pending_bits() const { return carry_count_; }
 
   DegradationState state() const { return state_; }
   const ResilientStats& stats() const { return stats_; }
@@ -168,6 +189,9 @@ class ResilientGenerator {
   std::vector<StateTransition> transitions_;
   std::uint64_t backoff_remaining_ = 0;
   std::uint64_t probation_remaining_ = 0;
+  // fill_bytes() partial-byte accumulator (LSB-first).
+  std::uint8_t carry_byte_ = 0;
+  std::size_t carry_count_ = 0;
   telemetry::StreamingEntropy* telemetry_ = nullptr;
   // Histogram-telemetry trackers (maintained only while collection is on).
   std::uint8_t tele_prev_bit_ = 2;

@@ -1,0 +1,134 @@
+// Hand-counted boundary vectors for the SP 800-90B online health tests —
+// the window/off-by-one audit the resilience layer depends on. Each test
+// spells out the exact sample-by-sample count so the cutoff conventions
+// documented in trng/health.hpp cannot drift silently:
+//
+//  * RCT (§4.4.1): a run of exactly `cutoff` identical bits alarms on its
+//    last bit; `cutoff - 1` never alarms.
+//  * APT (§4.4.2): the alarm fires at `cutoff + 1` occurrences of the
+//    window's reference bit (the stored cutoff is 90B's C - 1; the strict
+//    comparison supplies the +1); a window is exactly `window` samples; and
+//    reset() after an alarm discards the triggering bit so it is never
+//    double-counted in the next window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "trng/health.hpp"
+
+using namespace ringent::trng;
+
+namespace {
+
+TEST(HealthBoundary, RctRunOfCutoffMinusOneNeverAlarms) {
+  // cutoff = 4: runs of 3 equal bits, then a flip, forever.
+  RepetitionCountTest rct(4);
+  for (int block = 0; block < 32; ++block) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(block & 1);
+    EXPECT_TRUE(rct.feed(bit));
+    EXPECT_TRUE(rct.feed(bit));
+    EXPECT_TRUE(rct.feed(bit));  // run_ == 3 == cutoff - 1
+    EXPECT_EQ(rct.current_run(), 3u);
+  }
+  EXPECT_FALSE(rct.alarmed());
+}
+
+TEST(HealthBoundary, RctRunOfExactlyCutoffAlarmsOnLastBit) {
+  // Hand count, cutoff = 4: feed 0 (run 1), 0 (2), 0 (3) — all pass —
+  // then the 4th 0 reaches the cutoff and must alarm.
+  RepetitionCountTest rct(4);
+  EXPECT_TRUE(rct.feed(0));
+  EXPECT_TRUE(rct.feed(0));
+  EXPECT_TRUE(rct.feed(0));
+  EXPECT_FALSE(rct.alarmed());
+  EXPECT_FALSE(rct.feed(0));  // bit #4 of the run: alarm, not one later
+  EXPECT_TRUE(rct.alarmed());
+  // Latched: even a flip keeps reporting failure until reset().
+  EXPECT_FALSE(rct.feed(1));
+  rct.reset();
+  EXPECT_TRUE(rct.feed(0));
+  EXPECT_EQ(rct.current_run(), 1u);
+}
+
+TEST(HealthBoundary, RctRunInterruptedJustBeforeCutoffRestartsCount) {
+  RepetitionCountTest rct(3);
+  EXPECT_TRUE(rct.feed(1));
+  EXPECT_TRUE(rct.feed(1));        // run 2 == cutoff - 1
+  EXPECT_TRUE(rct.feed(0));        // flip: run restarts at 1
+  EXPECT_TRUE(rct.feed(1));        // run 1 again
+  EXPECT_TRUE(rct.feed(1));        // run 2
+  EXPECT_FALSE(rct.feed(1));       // run 3 == cutoff: alarm
+}
+
+TEST(HealthBoundary, AptAlarmsAtCutoffPlusOneOccurrences) {
+  // window = 64, cutoff = 40. Reference bit = first sample (1, count 1).
+  // Feed 39 more ones -> count 40 == cutoff: still passing. The 41st
+  // occurrence must be the alarm.
+  AdaptiveProportionTest apt(40, 64);
+  EXPECT_TRUE(apt.feed(1));  // opens window, count = 1
+  for (int i = 0; i < 39; ++i) {
+    EXPECT_TRUE(apt.feed(1)) << "occurrence " << (i + 2);
+  }
+  EXPECT_EQ(apt.current_count(), 40u);
+  EXPECT_FALSE(apt.alarmed());
+  EXPECT_FALSE(apt.feed(1));  // occurrence 41 = cutoff + 1: alarm
+  EXPECT_TRUE(apt.alarmed());
+}
+
+TEST(HealthBoundary, AptExactlyCutoffInFullWindowPasses) {
+  // window = 64, cutoff = 40: 40 ones (reference) interleaved with 24
+  // zeros — a full window carrying exactly `cutoff` occurrences — then a
+  // fresh window. No alarm at any point.
+  AdaptiveProportionTest apt(40, 64);
+  EXPECT_TRUE(apt.feed(1));  // reference = 1, count 1, index 1
+  for (int i = 0; i < 39; ++i) EXPECT_TRUE(apt.feed(1));
+  for (int i = 0; i < 24; ++i) EXPECT_TRUE(apt.feed(0));
+  EXPECT_EQ(apt.window_index(), 0u);  // 64 samples consumed: window closed
+  EXPECT_FALSE(apt.alarmed());
+  // Next sample opens a new window with a new reference.
+  EXPECT_TRUE(apt.feed(0));
+  EXPECT_EQ(apt.current_count(), 1u);
+  EXPECT_EQ(apt.window_index(), 1u);
+}
+
+TEST(HealthBoundary, AptWindowIsExactlyWindowSamples) {
+  // Count window positions across two windows: indices run 1..63 then wrap
+  // to 0, and the 65th sample is position 1 of window two.
+  AdaptiveProportionTest apt(64, 64);  // cutoff = window: alarm unreachable
+  apt.feed(1);
+  for (int i = 1; i < 64; ++i) apt.feed(0);
+  EXPECT_EQ(apt.window_index(), 0u);
+  apt.feed(0);  // window 2, sample 1 (new reference 0)
+  EXPECT_EQ(apt.window_index(), 1u);
+  EXPECT_EQ(apt.current_count(), 1u);
+}
+
+TEST(HealthBoundary, AptResetDoesNotDoubleCountTriggeringBit) {
+  // Drive to an alarm, reset (what ResilientGenerator::begin_relock does),
+  // and verify the next window starts from scratch: the triggering bit is
+  // gone, the new window's count is 1 after its first sample.
+  AdaptiveProportionTest apt(40, 64);
+  apt.feed(1);
+  for (int i = 0; i < 39; ++i) apt.feed(1);
+  EXPECT_FALSE(apt.feed(1));  // alarm at occurrence 41
+  apt.reset();
+  EXPECT_FALSE(apt.alarmed());
+  EXPECT_EQ(apt.current_count(), 0u);
+  EXPECT_EQ(apt.window_index(), 0u);
+  EXPECT_TRUE(apt.feed(1));
+  EXPECT_EQ(apt.current_count(), 1u);  // not 2: no carry-over
+}
+
+TEST(HealthBoundary, CutoffFormulasMatchHandComputation) {
+  // rct_cutoff: C = 1 + ceil(alpha / H). H = 0.5, alpha = 20 -> 1 + 40.
+  EXPECT_EQ(rct_cutoff(0.5, 20.0), 41u);
+  // H = 1 (ideal source): 1 + 20.
+  EXPECT_EQ(rct_cutoff(1.0, 20.0), 21u);
+  // apt cutoff is clamped into [window/2, window].
+  const std::uint32_t cutoff = apt_cutoff(1.0, 1024, 20.0);
+  EXPECT_GE(cutoff, 512u);
+  EXPECT_LE(cutoff, 1024u);
+}
+
+}  // namespace

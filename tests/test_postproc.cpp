@@ -1,0 +1,96 @@
+// Pinned contract tests for trng/postproc.hpp — the tail-bit truncation
+// rules its header documents. These are regression tests for the silent
+// edge cases: odd-length input to the pair-based correctors, xor_decimate
+// group remainders, and the degenerate factor/empty/single-bit inputs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "trng/postproc.hpp"
+
+using namespace ringent;
+using namespace ringent::trng;
+
+namespace {
+
+using Bits = std::vector<std::uint8_t>;
+
+TEST(PostprocContract, VonNeumannEmptyAndSingleBit) {
+  EXPECT_TRUE(von_neumann(Bits{}).empty());
+  // A single bit cannot form a pair: dropped, not emitted raw.
+  EXPECT_TRUE(von_neumann(Bits{0}).empty());
+  EXPECT_TRUE(von_neumann(Bits{1}).empty());
+}
+
+TEST(PostprocContract, VonNeumannOddTailIsDropped) {
+  // (1,0) -> 1, (0,1) -> 0, then a dangling 1 that must not appear.
+  const Bits odd{1, 0, 0, 1, 1};
+  EXPECT_EQ(von_neumann(odd), (Bits{1, 0}));
+  // The dropped tail carries no information into the output: flipping it
+  // changes nothing.
+  const Bits odd_flipped{1, 0, 0, 1, 0};
+  EXPECT_EQ(von_neumann(odd), von_neumann(odd_flipped));
+}
+
+TEST(PostprocContract, VonNeumannEqualPairsDiscarded) {
+  EXPECT_TRUE(von_neumann(Bits{0, 0, 1, 1}).empty());
+}
+
+TEST(PostprocContract, XorDecimateRejectsFactorZero) {
+  EXPECT_THROW(xor_decimate(Bits{1, 0, 1}, 0), PreconditionError);
+  // The guard fires before any input inspection: empty span too.
+  EXPECT_THROW(xor_decimate(Bits{}, 0), PreconditionError);
+}
+
+TEST(PostprocContract, XorDecimateEdgeLengths) {
+  EXPECT_TRUE(xor_decimate(Bits{}, 3).empty());
+  // factor > length: the whole input is one partial group -> dropped.
+  EXPECT_TRUE(xor_decimate(Bits{1}, 2).empty());
+  EXPECT_TRUE(xor_decimate(Bits{1, 1, 0}, 4).empty());
+  // factor == 1 is the identity.
+  EXPECT_EQ(xor_decimate(Bits{1, 0, 1}, 1), (Bits{1, 0, 1}));
+}
+
+TEST(PostprocContract, XorDecimatePartialGroupIsDropped) {
+  // Two full groups of 3 (parities 0 and 1) plus a partial group {1, 1}
+  // that must not emit a short parity.
+  const Bits bits{1, 0, 1, 1, 1, 1, 1, 1};
+  EXPECT_EQ(xor_decimate(bits, 3), (Bits{0, 1}));
+  // The partial group's content is unobservable.
+  const Bits bits_flipped{1, 0, 1, 1, 1, 1, 0, 0};
+  EXPECT_EQ(xor_decimate(bits, 3), xor_decimate(bits_flipped, 3));
+}
+
+TEST(PostprocContract, PeresEmptySingleAndOddTail) {
+  EXPECT_TRUE(peres(Bits{}, 6).empty());
+  EXPECT_TRUE(peres(Bits{1}, 6).empty());
+  // Depth 1 must equal plain von Neumann, including the tail drop.
+  const Bits odd{1, 0, 0, 1, 1};
+  EXPECT_EQ(peres(odd, 1), von_neumann(odd));
+}
+
+TEST(PostprocContract, PeresOddTailCarriesNoInformation) {
+  // The dangling last bit of an odd-length span is dropped at the top
+  // level of the recursion, so it cannot influence any depth.
+  Bits bits{1, 0, 0, 0, 1, 1, 0, 1, 1, 0, 1};
+  Bits flipped = bits;
+  flipped.back() ^= 1;
+  for (unsigned depth = 1; depth <= 6; ++depth) {
+    EXPECT_EQ(peres(bits, depth), peres(flipped, depth)) << depth;
+  }
+}
+
+TEST(PostprocContract, PeresDepthBounds) {
+  EXPECT_THROW(peres(Bits{1, 0}, 0), PreconditionError);
+  EXPECT_THROW(peres(Bits{1, 0}, 17), PreconditionError);
+}
+
+TEST(PostprocContract, RejectsNonBitValues) {
+  EXPECT_THROW(von_neumann(Bits{2, 0}), PreconditionError);
+  EXPECT_THROW(xor_decimate(Bits{0, 2}, 2), PreconditionError);
+  EXPECT_THROW(peres(Bits{2, 0}, 3), PreconditionError);
+}
+
+}  // namespace

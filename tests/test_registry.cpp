@@ -20,7 +20,7 @@ using namespace ringent::core;
 
 TEST(Registry, CoversEveryDriverExactlyOnce) {
   const auto& registry = experiment_registry();
-  EXPECT_EQ(registry.size(), 10u);
+  EXPECT_EQ(registry.size(), 11u);
 
   std::set<std::string> names;
   for (const auto& entry : registry) {
@@ -31,12 +31,13 @@ TEST(Registry, CoversEveryDriverExactlyOnce) {
     EXPECT_TRUE(names.insert(entry.name).second)
         << "duplicate name: " << entry.name;
   }
-  // The full roster, including the attack-resilience pipeline and the
-  // 90B entropy map.
+  // The full roster, including the attack-resilience pipeline, the 90B
+  // entropy map and the conditioned-streaming entropy service.
   for (const char* name :
        {"voltage_sweep", "temperature_sweep", "process_variability",
         "jitter_vs_stages", "mode_map", "restart", "coherent_boards",
-        "deterministic_jitter", "attack_resilience", "entropy_map"}) {
+        "deterministic_jitter", "attack_resilience", "entropy_map",
+        "entropy_service"}) {
     EXPECT_TRUE(names.count(name)) << name;
   }
 }
@@ -70,7 +71,7 @@ TEST(Registry, RunSmallReturnsTheDriversManifestAndRestoresMetricsState) {
 }
 
 TEST(Registry, EveryDriverStreamsATelemetrySnapshot) {
-  // With a sink configured, each of the 10 drivers must append exactly one
+  // With a sink configured, each of the 11 drivers must append exactly one
   // "ringent.telemetry/1" line under its own experiment slug and embed the
   // histogram summaries in its manifest.
   const std::string path = "registry_telemetry_sink.jsonl";

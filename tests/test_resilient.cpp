@@ -242,6 +242,132 @@ TEST(Resilient, ConstructorRejectsAliasedSources) {
   EXPECT_THROW(ResilientGenerator(source, &source), PreconditionError);
 }
 
+TEST(Resilient, BackoffForStrikeDoublesThenSaturates) {
+  // Normal doubling: base << (strike - 1).
+  EXPECT_EQ(backoff_for_strike(256, 1), 256u);
+  EXPECT_EQ(backoff_for_strike(256, 2), 512u);
+  EXPECT_EQ(backoff_for_strike(256, 9), 256u << 8);
+  // Strike 0 (defensive): the base itself.
+  EXPECT_EQ(backoff_for_strike(256, 0), 256u);
+
+  // Regression: the pre-fix expression `base << (strike - 1)` wraps. The
+  // exact overflow boundary for base = 2^62: strike 2 (shift 1) still fits
+  // in 63 bits, strike 3 (shift 2) would be 2^64 -> wrapped to 0 and
+  // silently un-muted the generator. It must saturate instead.
+  const std::uint64_t base = std::uint64_t{1} << 62;
+  EXPECT_EQ(backoff_for_strike(base, 2), std::uint64_t{1} << 63);
+  EXPECT_EQ(backoff_for_strike(base, 3), UINT64_MAX);
+
+  // A base with high bits set wraps to a small nonzero value pre-fix
+  // (e.g. (2^63 + 2) << 1 = 4); saturation is required, not just "nonzero".
+  EXPECT_EQ(backoff_for_strike((std::uint64_t{1} << 63) + 2, 2), UINT64_MAX);
+
+  // shift >= 64 is outright UB pre-fix (max_strikes admits strike counts
+  // past 64); the saturated value must come back even for huge strikes.
+  EXPECT_EQ(backoff_for_strike(1, 65), UINT64_MAX);
+  EXPECT_EQ(backoff_for_strike(256, 1000), UINT64_MAX);
+
+  // Monotonicity across the boundary: more strikes never shorten the wait.
+  std::uint64_t previous = 0;
+  for (std::uint32_t strike = 1; strike <= 70; ++strike) {
+    const std::uint64_t backoff = backoff_for_strike(1u << 20, strike);
+    EXPECT_GE(backoff, previous) << "strike " << strike;
+    previous = backoff;
+  }
+}
+
+TEST(Resilient, SaturatedBackoffKeepsAlarmedGeneratorMuted) {
+  // End-to-end regression at the integration boundary: a policy whose
+  // backoff_bits sits at the top of the range used to wrap to zero on the
+  // second strike (backoff << 1 == 0), un-muting instantly. With the
+  // saturation fix the generator must still be muted after the second
+  // alarm, with the full (saturated) backoff outstanding.
+  StuckSource source;
+  DegradationPolicy policy = test_policy();
+  policy.backoff_bits = std::uint64_t{1} << 63;
+  policy.max_strikes = 10;
+  ResilientGenerator gen(source, nullptr, policy);
+
+  // First alarm -> muted with backoff = 2^63. Burn a few muted bits: the
+  // generator must not come anywhere near a relock.
+  (void)gen.generate(rct_cutoff(0.3) + 1000);
+  EXPECT_EQ(gen.state(), DegradationState::muted);
+  EXPECT_EQ(gen.stats().strikes, 1u);
+  EXPECT_EQ(gen.stats().relock_attempts, 0u);
+
+  // Pre-fix, strike 2's backoff (2^63 << 1) wrapped to 0 and the next
+  // muted bit triggered begin_relock immediately. We cannot reach strike 2
+  // by serving 2^63 bits, so pin the arithmetic the state machine now
+  // uses for that exact case instead.
+  EXPECT_EQ(backoff_for_strike(policy.backoff_bits, 2), UINT64_MAX);
+}
+
+TEST(Resilient, FillBytesPacksLsbFirstAndMatchesGenerate) {
+  // fill_bytes must be a pure re-chunking of generate()'s bit stream:
+  // identical source + policy, LSB-first packing, no bits lost at any call
+  // boundary.
+  RandomSource bit_source(777);
+  ResilientGenerator bit_gen(bit_source, nullptr, test_policy());
+  const auto bits = bit_gen.generate(4096);
+  ASSERT_EQ(bits.size(), 4096u);
+
+  RandomSource byte_source(777);
+  ResilientGenerator byte_gen(byte_source, nullptr, test_policy());
+  // Deliberately awkward chunking: 7, then 13, then 64, ... byte buffers.
+  std::vector<std::uint8_t> bytes;
+  const std::size_t chunks[] = {7, 13, 64, 1, 256, 171};
+  std::size_t chunk_index = 0;
+  while (bytes.size() < 512) {
+    std::uint8_t buffer[256];
+    const std::size_t ask = chunks[chunk_index++ % 6];
+    const std::size_t got = byte_gen.fill_bytes(
+        std::span<std::uint8_t>(buffer, ask), 4096);
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  ASSERT_GE(bytes.size(), 512u);
+  for (std::size_t i = 0; i < 512; ++i) {
+    std::uint8_t expected = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      expected |= static_cast<std::uint8_t>(bits[i * 8 + b] << b);
+    }
+    ASSERT_EQ(bytes[i], expected) << "byte " << i;
+  }
+}
+
+TEST(Resilient, FillBytesRespectsRawBudgetAndCarriesRemainder) {
+  RandomSource source(42);
+  ResilientGenerator gen(source, nullptr, test_policy());
+  std::uint8_t buffer[64];
+  // A 12-bit raw budget on a healthy source emits 12 bits = 1 byte + 4
+  // carried bits.
+  const std::size_t got =
+      gen.fill_bytes(std::span<std::uint8_t>(buffer, sizeof buffer), 12);
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(gen.stats().bits_in, 12u);
+  EXPECT_EQ(gen.pending_bits(), 4u);
+  // The carry completes on the next call: 4 more raw bits -> one byte out.
+  const std::size_t more =
+      gen.fill_bytes(std::span<std::uint8_t>(buffer + 1, 1), 4);
+  EXPECT_EQ(more, 1u);
+  EXPECT_EQ(gen.stats().bits_in, 16u);
+  EXPECT_EQ(gen.pending_bits(), 0u);
+}
+
+TEST(Resilient, FillBytesStopsEarlyOnFailedGenerator) {
+  StuckSource source;
+  ResilientGenerator gen(source, nullptr, test_policy());
+  std::uint8_t buffer[4096];
+  const std::size_t got = gen.fill_bytes(
+      std::span<std::uint8_t>(buffer, sizeof buffer), 1u << 30);
+  // The stuck source alarms long before a byte completes and eventually
+  // latches failed; whatever escaped pre-detection is less than the cutoff.
+  EXPECT_LT(got * 8 + gen.pending_bits(), rct_cutoff(0.3));
+  EXPECT_EQ(gen.state(), DegradationState::failed);
+  EXPECT_LT(gen.stats().bits_in, std::uint64_t{1} << 30);
+  // Once failed, further calls produce nothing.
+  EXPECT_EQ(gen.fill_bytes(std::span<std::uint8_t>(buffer, 16), 1024), 0u);
+}
+
 TEST(FaultScenario, ValidateRejectsMalformedWindows) {
   FaultScenario scenario;
   scenario.events.push_back(

@@ -1,0 +1,134 @@
+// Tier-2 stress for the entropy service: multi-worker producer/consumer
+// pressure with small rings (maximum wraparound and contention), repeated
+// whole-pool lifecycles, and a real-ring (simulated oscillator) drain.
+//
+// Built for ThreadSanitizer sweeps: every assertion here is also a TSan
+// probe — run with -DCMAKE_CXX_FLAGS=-fsanitize=thread to audit the
+// SPSC-ring and exhausted-flag orderings under real scheduling noise.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/experiments.hpp"
+#include "service/frontend.hpp"
+#include "service/pool.hpp"
+
+using namespace ringent;
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(ServiceStress, SmallRingsManyWorkersStayBitIdentical) {
+  // Tiny rings force constant producer stalls and consumer waits; the
+  // conditioned stream must still be byte-identical at every worker count.
+  std::uint64_t reference_fnv = 0;
+  std::uint64_t reference_bytes = 0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    service::PoolConfig config;
+    config.slots = 8;
+    config.workers = workers;
+    config.raw_bits_per_slot = 1u << 16;
+    config.ring_capacity = 64;  // pathological: a block barely fits
+    config.policy.claimed_min_entropy = 0.3;
+    service::GeneratorPool pool(config, [](std::size_t, std::uint64_t seed) {
+      service::SlotSources s;
+      s.primary = std::make_unique<service::PrngBitSource>(seed);
+      s.backup = std::make_unique<service::PrngBitSource>(seed ^ 0x9E3779B9ull);
+      return s;
+    });
+    pool.start();
+
+    service::FrontendConfig fc;
+    fc.block_bytes = 32;  // half a ring: rotation under pressure
+    service::EntropyService frontend(pool, fc);
+    std::uint64_t fnv = 1469598103934665603ull;
+    std::uint64_t total = 0;
+    Bytes buf(193);  // deliberately unaligned request size
+    for (;;) {
+      try {
+        const std::size_t got = frontend.acquire(buf);
+        fnv = fnv1a(fnv, std::span<const std::uint8_t>(buf).subspan(0, got));
+        total += got;
+      } catch (const service::StarvationError&) {
+        break;
+      }
+    }
+    pool.stop();
+
+    // 8 slots * 2^16 raw bits / 8 / ratio 2 = 32768 bytes.
+    EXPECT_EQ(total, 32768u) << "workers=" << workers;
+    if (workers == 1) {
+      reference_fnv = fnv;
+      reference_bytes = total;
+    } else {
+      EXPECT_EQ(fnv, reference_fnv) << "workers=" << workers;
+      EXPECT_EQ(total, reference_bytes) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ServiceStress, RepeatedLifecyclesAreClean) {
+  // Start/stop churn: no deadlock, no double-join, stats stay consistent.
+  for (int round = 0; round < 6; ++round) {
+    service::PoolConfig config;
+    config.slots = 4;
+    config.workers = 4;
+    config.raw_bits_per_slot = 1u << 13;
+    config.ring_capacity = 128;
+    config.policy.claimed_min_entropy = 0.3;
+    config.seed = static_cast<std::uint64_t>(round + 1);
+    service::GeneratorPool pool(config, [](std::size_t, std::uint64_t seed) {
+      service::SlotSources s;
+      s.primary = std::make_unique<service::PrngBitSource>(seed);
+      return s;
+    });
+    pool.start();
+    service::EntropyService frontend(pool);
+    std::uint64_t total = 0;
+    Bytes buf(64);
+    try {
+      for (;;) total += frontend.acquire(buf);
+    } catch (const service::StarvationError&) {
+    }
+    pool.stop();
+    pool.stop();  // idempotent
+    EXPECT_EQ(total, 2048u) << "round " << round;
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.conditioned_bytes, total) << "round " << round;
+    EXPECT_EQ(stats.slots_exhausted, 4u) << "round " << round;
+    EXPECT_EQ(stats.raw_bits_in, 4u * (1u << 13)) << "round " << round;
+  }
+}
+
+TEST(ServiceStress, RealRingSourcesDeliverConditionedBytes) {
+  // End-to-end with simulated oscillators instead of synthetic PRNG slots:
+  // slow, so tier2 — and the budget is kept small. The exact stream depends
+  // on the oscillator model, so this checks delivery and health accounting,
+  // not a pinned fingerprint.
+  core::EntropyServiceSpec spec;
+  spec.slots = 2;
+  spec.raw_bits_per_slot = 1u << 12;
+  spec.synthetic = false;
+  core::ExperimentOptions options;
+  options.jobs = 2;
+  const auto r = core::run_entropy_service(spec, core::cyclone_iii(), options);
+  EXPECT_GT(r.bytes_delivered, 0u);
+  EXPECT_LE(r.bytes_delivered, 2u * (1u << 12) / 8 / 2);
+  EXPECT_EQ(r.workers, 2u);
+  // The drain loop ends on the explicit starvation signal; the final
+  // end-of-stream throw is expected and not counted as delivery failure.
+  EXPECT_GT(r.raw_bits_in, 0u);
+}
+
+}  // namespace
