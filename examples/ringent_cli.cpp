@@ -9,16 +9,31 @@
 //   ringent_cli vcd str 16 --out ring.vcd [--tokens 4] [--clustered]
 //   ringent_cli serve-bench [--slots 4] [--max-workers 4] [--conditioner lfsr]
 //   ringent_cli --list                   (enumerate registered experiments)
-//   ringent_cli run <experiment> [--seed S] [--jobs N] [--metrics]
-//               [--telemetry FILE]
+//   ringent_cli run <experiment> [--spec FILE] [--seed S] [--jobs N]
+//               [--metrics] [--telemetry FILE]
+//   ringent_cli campaign run <plan.json> [--dir DIR] [--shard i/N]
+//               [--jobs N] [--max-cells N]
+//   ringent_cli campaign status <plan.json> [--dir DIR]
+//   ringent_cli campaign verify <plan.json> [--dir DIR]
 //
 // `run` dispatches through core::experiment_registry(): it executes the
-// named driver's small default spec with metrics on and prints the run
-// manifest the driver emitted (also written to RINGENT_OUT_DIR or cwd).
+// named driver's small default spec — or, with --spec FILE, the JSON spec
+// document in FILE (unknown/missing keys are rejected with the experiment's
+// schema name) — with metrics on and prints the run manifest the driver
+// emitted (also written to RINGENT_OUT_DIR or cwd).
 // --telemetry streams a "ringent.telemetry/1" snapshot of the run to FILE;
 // --metrics additionally prints the full counter/phase/histogram breakdown
 // as a human-readable table on stderr (stdout keeps the stable manifest
 // summary, so scripts scraping it are unaffected).
+//
+// `campaign run` expands the plan into content-addressed cells and executes
+// only the ones the store (DIR, default <plan-stem>.campaign) has no valid
+// record for — re-running after an interruption (even SIGKILL) resumes
+// where it died; re-running a complete campaign is a pure cache scan.
+// `--shard i/N` makes this process responsible for every N-th cell, for
+// multi-process fan-out over a shared store. `status` reports cache
+// coverage without running anything; `verify` recomputes every planned key
+// and checks record integrity, orphans and the index.
 //
 // Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
 #include <algorithm>
@@ -26,11 +41,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/autocorr.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/store.hpp"
 #include "analysis/entropy.hpp"
 #include "analysis/jitter.hpp"
 #include "analysis/normality.hpp"
@@ -450,7 +470,23 @@ int cmd_run(const Args& args) {
   const std::string telemetry = args.text("telemetry", "");
   if (!telemetry.empty()) core::set_telemetry_path(telemetry);
 
-  const RunManifest manifest = exp->run_small(cyclone_iii(), options);
+  const std::string spec_path = args.text("spec", "");
+  RunManifest manifest;
+  if (spec_path.empty()) {
+    manifest = exp->run_small(cyclone_iii(), options);
+  } else {
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open spec file '%s'\n",
+                   spec_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    // A bad spec throws ringent::Error naming the schema and the offending
+    // key (core/spec_json.cpp); main() prints it and exits 1.
+    manifest = exp->run_spec(Json::parse(text.str()), cyclone_iii(), options);
+  }
   std::printf("%s — %s (%s)\n", exp->name.c_str(), exp->summary.c_str(),
               exp->source.c_str());
   std::printf("  spec    : %s\n", manifest.spec.c_str());
@@ -478,6 +514,93 @@ int cmd_run(const Args& args) {
   }
   if (args.flag("metrics")) print_metrics_table(manifest, stderr);
   return 0;
+}
+
+/// Store directory for a plan: --dir when given, else the plan path with
+/// its .json extension swapped for .campaign (grand_sweep.json ->
+/// grand_sweep.campaign, next to the plan).
+std::string campaign_dir(const Args& args, const std::string& plan_path) {
+  const std::string dir = args.text("dir", "");
+  if (!dir.empty()) return dir;
+  std::string stem = plan_path;
+  const std::string ext = ".json";
+  if (stem.size() > ext.size() &&
+      stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+    stem.resize(stem.size() - ext.size());
+  }
+  return stem + ".campaign";
+}
+
+int cmd_campaign(const Args& args) {
+  const std::string& action = args.positional().at(0);
+  const std::string& plan_path = args.positional().at(1);
+  const campaign::CampaignPlan plan = campaign::load_plan(plan_path);
+  const campaign::ResultStore store(campaign_dir(args, plan_path));
+
+  if (action == "run") {
+    campaign::CampaignRunOptions options;
+    options.jobs = static_cast<std::size_t>(args.integer("jobs", 0));
+    options.max_cells =
+        static_cast<std::size_t>(args.integer("max-cells", 0));
+    const std::string shard = args.text("shard", "");
+    if (!shard.empty()) {
+      std::size_t index = 0, count = 0;
+      const auto slash = shard.find('/');
+      char* end = nullptr;
+      if (slash != std::string::npos) {
+        index = std::strtoul(shard.c_str(), &end, 10);
+        count = std::strtoul(shard.c_str() + slash + 1, nullptr, 10);
+      }
+      if (slash == std::string::npos || count == 0 || index >= count) {
+        std::fprintf(stderr,
+                     "error: --shard wants i/N with 0 <= i < N, got '%s'\n",
+                     shard.c_str());
+        return 2;
+      }
+      options.shard_index = index;
+      options.shard_count = count;
+    }
+    options.progress = [](const std::string& line) {
+      std::printf("  %s\n", line.c_str());
+    };
+    std::printf("campaign '%s' -> %s\n", plan.name.c_str(),
+                store.dir().c_str());
+    const campaign::CampaignReport report =
+        campaign::run_campaign(plan, store, options);
+    std::printf("planned %zu cells (%zu in shard): %zu cached, %zu executed, "
+                "%zu remaining\n",
+                report.planned, report.in_shard, report.cached,
+                report.executed, report.remaining);
+    return report.complete() ? 0 : 1;
+  }
+
+  if (action == "status") {
+    const campaign::CampaignReport report =
+        campaign::campaign_status(plan, store);
+    std::printf("campaign '%s' at %s: %zu/%zu cells cached, %zu to run\n",
+                plan.name.c_str(), store.dir().c_str(), report.cached,
+                report.planned, report.remaining);
+    return report.complete() ? 0 : 1;
+  }
+
+  if (action == "verify") {
+    const campaign::VerifyReport report =
+        campaign::verify_campaign(plan, store);
+    std::printf("campaign '%s' at %s:\n", plan.name.c_str(),
+                store.dir().c_str());
+    std::printf("  planned %zu: %zu valid, %zu missing, %zu torn; "
+                "%zu orphan cells; index %s\n",
+                report.planned, report.valid, report.missing, report.torn,
+                report.orphans,
+                report.index_consistent ? "consistent" : "INCONSISTENT");
+    std::printf("verify: %s\n", report.ok() ? "PASS" : "FAIL");
+    return report.ok() ? 0 : 1;
+  }
+
+  std::fprintf(stderr,
+               "error: campaign action must be run|status|verify, got '%s'\n",
+               action.c_str());
+  return 2;
 }
 
 int cmd_serve_bench(const Args& args) {
@@ -555,8 +678,12 @@ int usage() {
       "lfsr|hash]\n"
       "              [--ratio N] [--max-workers N] [--real-rings] [--seed S]\n"
       "  --list | list                (registered experiments)\n"
-      "  run <experiment> [--seed S] [--jobs N] [--metrics] "
-      "[--telemetry FILE]\n");
+      "  run <experiment> [--spec FILE] [--seed S] [--jobs N] [--metrics]\n"
+      "      [--telemetry FILE]\n"
+      "  campaign run <plan.json> [--dir DIR] [--shard i/N] [--jobs N]\n"
+      "               [--max-cells N]\n"
+      "  campaign status <plan.json> [--dir DIR]\n"
+      "  campaign verify <plan.json> [--dir DIR]\n");
   return 2;
 }
 
@@ -589,6 +716,8 @@ int main(int argc, char** argv) {
     if (command == "--list" || command == "list") return cmd_list();
     if (command == "run" && args.positional().size() >= 1)
       return cmd_run(args);
+    if (command == "campaign" && args.positional().size() >= 2)
+      return cmd_campaign(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

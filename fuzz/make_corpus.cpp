@@ -13,10 +13,14 @@
 #include <string>
 
 #include "analysis/entropy90b.hpp"
+#include "campaign/key.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/store.hpp"
 #include "common/json.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "core/export.hpp"
+#include "core/registry.hpp"
 #include "sim/probe.hpp"
 #include "sim/vcd.hpp"
 
@@ -234,6 +238,61 @@ int main(int argc, char** argv) {
     seed3 += static_cast<char>(1);
     for (int i = 0; i < 40; ++i) seed3 += static_cast<char>(i & 1);
     write_file(root + "/corpus/postproc/identity_depth1", seed3);
+  }
+
+  // --- campaign: plan, index and cell-record documents ---------------------
+  {
+    namespace campaign = ringent::campaign;
+    // A plan with every feature: overlay spec, two-axis grid, per-entry
+    // seeds, plus a default-spec entry.
+    campaign::CampaignPlan plan;
+    plan.name = "corpus-plan";
+    plan.seeds = {20120312, 7};
+    campaign::PlanEntry gridded;
+    gridded.experiment = "voltage_sweep";
+    gridded.spec = Json::object();
+    gridded.spec.set("periods", 30);
+    gridded.grid.emplace_back(
+        "voltages", std::vector<Json>{Json::parse("[1.1, 1.2]"),
+                                      Json::parse("[1.15, 1.2, 1.25]")});
+    gridded.seeds = {11};
+    plan.entries.push_back(gridded);
+    campaign::PlanEntry plain;
+    plain.experiment = "restart";
+    plan.entries.push_back(plain);
+    write_file(root + "/corpus/campaign/plan_grid", plan.to_json().dump(2));
+
+    // A valid cell record: the restart experiment's default spec with a
+    // synthetic (but schema-valid) manifest, self-keyed.
+    const ringent::core::ExperimentDescriptor* restart =
+        ringent::core::find_experiment("restart");
+    RINGENT_REQUIRE(restart != nullptr, "registry lost restart");
+    campaign::CellRecord record;
+    record.experiment = "restart";
+    record.spec_schema = restart->spec_schema;
+    record.spec = restart->default_spec();
+    record.seed = 20120312;
+    record.device = "cyclone-iii";
+    record.manifest = sample_manifest();
+    record.manifest.experiment = "restart";
+    record.key = campaign::content_key(campaign::CellIdentity{
+        record.experiment, record.spec_schema, record.spec, record.seed,
+        record.device});
+    write_file(root + "/corpus/campaign/cell_record",
+               record.to_json().dump(2));
+
+    // The index the store would derive from that one cell.
+    campaign::CampaignIndex index;
+    index.cells.push_back({record.key, record.experiment, record.seed});
+    write_file(root + "/corpus/campaign/index_one_cell",
+               index.to_json().dump(2));
+
+    // A record whose stored key does not hash its content (must be
+    // rejected as torn — the self-check the resume path leans on).
+    campaign::CellRecord tampered = record;
+    tampered.seed = 999;  // content changed, key left stale
+    write_file(root + "/corpus/campaign/cell_record_stale_key",
+               tampered.to_json().dump(2));
   }
   return 0;
 }

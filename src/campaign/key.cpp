@@ -1,0 +1,43 @@
+#include "campaign/key.hpp"
+
+#include <span>
+
+#include "service/sha256.hpp"
+
+namespace ringent::campaign {
+
+std::string key_document(const CellIdentity& identity) {
+  Json doc = Json::object();
+  doc.set("device", identity.device);
+  doc.set("experiment", identity.experiment);
+  doc.set("schema", identity.schema);
+  doc.set("seed", identity.seed);
+  doc.set("spec", identity.spec);
+  return canonical_dump(doc);
+}
+
+std::string content_key(const CellIdentity& identity) {
+  const std::string doc = key_document(identity);
+  const auto digest = service::Sha256::digest(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(doc.data()), doc.size()));
+  static constexpr char hex[] = "0123456789abcdef";
+  std::string key;
+  key.reserve(digest.size() * 2);
+  for (const std::uint8_t byte : digest) {
+    key.push_back(hex[byte >> 4]);
+    key.push_back(hex[byte & 0x0f]);
+  }
+  return key;
+}
+
+bool is_content_key(std::string_view key) {
+  if (key.size() != service::Sha256::digest_size * 2) return false;
+  for (const char c : key) {
+    const bool hex_digit =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex_digit) return false;
+  }
+  return true;
+}
+
+}  // namespace ringent::campaign

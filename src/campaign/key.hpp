@@ -1,0 +1,49 @@
+// Content addressing for campaign cells.
+//
+// A *cell* is one (experiment, spec, seed, device) execution — the atomic
+// unit of a campaign sweep. Its content key is the SHA-256 of a canonical
+// key document, so the key names the computation itself, not where or when
+// it ran:
+//
+//   {"device":"cyclone-iii","experiment":"restart","schema":
+//    "ringent.spec.restart/1","seed":20120312,"spec":{...canonical...}}
+//
+// serialized with ringent::canonical_dump (sorted keys, exact integers,
+// %.17g doubles). Two planners that expand to the same cell — whatever the
+// plan file's key order, float spelling or grid layout — derive the same
+// key and share one cached result; any change to the spec schema version,
+// a spec value, the seed or the device profile id changes the key and
+// forces a re-run. Tests pin keys byte-exact for every registry
+// experiment's default spec, so accidental canonicalization drift breaks
+// loudly instead of silently orphaning every cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace ringent::campaign {
+
+/// Everything that identifies a cell's computation. `spec` must already be
+/// canonical (descriptor->canonicalize output) — the key hashes it as-is.
+struct CellIdentity {
+  std::string experiment;  ///< registry name
+  std::string schema;      ///< spec schema id ("ringent.spec.<name>/1")
+  Json spec;               ///< canonicalized spec document
+  std::uint64_t seed = 0;  ///< ExperimentOptions master seed
+  std::string device;      ///< device profile id (core::find_device_profile)
+};
+
+/// The canonical document whose hash is the content key.
+std::string key_document(const CellIdentity& identity);
+
+/// SHA-256 of key_document(), lower-case hex (64 chars) — the cell's file
+/// name in the result store.
+std::string content_key(const CellIdentity& identity);
+
+/// True iff `key` is shaped like a content key (64 lower-case hex chars);
+/// the store uses this to ignore foreign files in its cells directory.
+bool is_content_key(std::string_view key);
+
+}  // namespace ringent::campaign

@@ -1,0 +1,260 @@
+#include "campaign/plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "campaign/key.hpp"
+#include "common/require.hpp"
+#include "core/registry.hpp"
+
+namespace ringent::campaign {
+
+namespace {
+
+std::vector<std::uint64_t> read_seed_list(const Json& value,
+                                          const char* where) {
+  if (!value.is_array() || value.size() == 0) {
+    throw Error(std::string(where) +
+                ": \"seeds\" must be a non-empty array of integers");
+  }
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const std::int64_t seed = value.at(i).as_integer();
+    if (seed < 0) {
+      throw Error(std::string(where) + ": seeds must be non-negative");
+    }
+    seeds.push_back(static_cast<std::uint64_t>(seed));
+  }
+  return seeds;
+}
+
+Json seed_list_json(const std::vector<std::uint64_t>& seeds) {
+  Json out = Json::array();
+  for (const std::uint64_t seed : seeds) out.push_back(seed);
+  return out;
+}
+
+PlanEntry entry_from_json(const Json& json, std::size_t index) {
+  const std::string where =
+      std::string(CampaignPlan::schema) + " entry #" + std::to_string(index);
+  if (!json.is_object()) {
+    throw Error(where + ": entry must be a JSON object");
+  }
+  PlanEntry entry;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "experiment") {
+      entry.experiment = value.as_string();
+    } else if (key == "spec") {
+      if (!value.is_object()) {
+        throw Error(where + ": \"spec\" must be a JSON object");
+      }
+      entry.spec = value;
+    } else if (key == "grid") {
+      if (!value.is_object()) {
+        throw Error(where + ": \"grid\" must be a JSON object");
+      }
+      for (const auto& [axis, values] : value.items()) {
+        if (!values.is_array() || values.size() == 0) {
+          throw Error(where + ": grid axis \"" + axis +
+                      "\" must be a non-empty array");
+        }
+        std::vector<Json> variants;
+        variants.reserve(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          variants.push_back(values.at(i));
+        }
+        entry.grid.emplace_back(axis, std::move(variants));
+      }
+      std::sort(entry.grid.begin(), entry.grid.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::size_t i = 1; i < entry.grid.size(); ++i) {
+        if (entry.grid[i].first == entry.grid[i - 1].first) {
+          throw Error(where + ": duplicate grid axis \"" +
+                      entry.grid[i].first + "\"");
+        }
+      }
+    } else if (key == "seeds") {
+      entry.seeds = read_seed_list(value, where.c_str());
+    } else {
+      throw Error(where + ": unknown key \"" + key + "\"");
+    }
+  }
+  if (entry.experiment.empty()) {
+    throw Error(where + ": missing required key \"experiment\"");
+  }
+  return entry;
+}
+
+Json entry_to_json(const PlanEntry& entry) {
+  Json json = Json::object();
+  json.set("experiment", entry.experiment);
+  if (entry.spec.is_object()) json.set("spec", entry.spec);
+  if (!entry.grid.empty()) {
+    Json grid = Json::object();
+    for (const auto& [axis, variants] : entry.grid) {
+      Json values = Json::array();
+      for (const Json& v : variants) values.push_back(v);
+      grid.set(axis, std::move(values));
+    }
+    json.set("grid", std::move(grid));
+  }
+  if (!entry.seeds.empty()) json.set("seeds", seed_list_json(entry.seeds));
+  return json;
+}
+
+}  // namespace
+
+Json CampaignPlan::to_json() const {
+  Json json = Json::object();
+  json.set("schema", std::string(schema));
+  json.set("name", name);
+  json.set("device", device);
+  json.set("seeds", seed_list_json(seeds));
+  Json entry_list = Json::array();
+  for (const PlanEntry& entry : entries) {
+    entry_list.push_back(entry_to_json(entry));
+  }
+  json.set("entries", std::move(entry_list));
+  return json;
+}
+
+CampaignPlan CampaignPlan::from_json(const Json& json) {
+  const std::string where(schema);
+  if (!json.is_object()) {
+    throw Error(where + ": plan must be a JSON object");
+  }
+  CampaignPlan plan;
+  bool saw_schema = false;
+  bool saw_entries = false;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "schema") {
+      if (!value.is_string() || value.as_string() != schema) {
+        throw Error(where + ": unknown schema id");
+      }
+      saw_schema = true;
+    } else if (key == "name") {
+      plan.name = value.as_string();
+    } else if (key == "device") {
+      plan.device = value.as_string();
+      if (plan.device.empty()) {
+        throw Error(where + ": \"device\" must be non-empty");
+      }
+    } else if (key == "seeds") {
+      plan.seeds = read_seed_list(value, where.c_str());
+    } else if (key == "entries") {
+      if (!value.is_array() || value.size() == 0) {
+        throw Error(where + ": \"entries\" must be a non-empty array");
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        plan.entries.push_back(entry_from_json(value.at(i), i));
+      }
+      saw_entries = true;
+    } else {
+      throw Error(where + ": unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_schema) {
+    throw Error(where + ": missing required key \"schema\"");
+  }
+  if (!saw_entries) {
+    throw Error(where + ": missing required key \"entries\"");
+  }
+  return plan;
+}
+
+CampaignPlan load_plan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open campaign plan: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return CampaignPlan::from_json(Json::parse(text.str()));
+  } catch (const Error& error) {
+    throw Error(path + ": " + error.what());
+  }
+}
+
+std::vector<CampaignCell> expand_plan(const CampaignPlan& plan) {
+  std::vector<CampaignCell> cells;
+  std::unordered_set<std::string> seen_keys;
+  for (std::size_t entry_index = 0; entry_index < plan.entries.size();
+       ++entry_index) {
+    const PlanEntry& entry = plan.entries[entry_index];
+    const core::ExperimentDescriptor* descriptor =
+        core::find_experiment(entry.experiment);
+    if (descriptor == nullptr) {
+      throw Error("campaign plan entry #" + std::to_string(entry_index) +
+                  ": unknown experiment \"" + entry.experiment + "\"");
+    }
+
+    // Base spec: the committed default with the entry overlay applied.
+    Json base = descriptor->default_spec();
+    if (entry.spec.is_object()) {
+      for (const auto& [key, value] : entry.spec.items()) {
+        base.set(key, value);
+      }
+    }
+    for (const auto& [axis, values] : entry.grid) {
+      (void)values;
+      if (!base.contains(axis)) {
+        throw Error("campaign plan entry #" + std::to_string(entry_index) +
+                    " (" + entry.experiment + "): grid axis \"" + axis +
+                    "\" is not a spec key of " + descriptor->spec_schema);
+      }
+    }
+
+    // Lexicographic cross product over the sorted grid axes: axis 0 is the
+    // outermost loop. `cursor` is a mixed-radix counter.
+    std::vector<std::size_t> cursor(entry.grid.size(), 0);
+    const std::vector<std::uint64_t>& seeds =
+        entry.seeds.empty() ? plan.seeds : entry.seeds;
+    while (true) {
+      Json variant = base;
+      for (std::size_t axis = 0; axis < entry.grid.size(); ++axis) {
+        variant.set(entry.grid[axis].first,
+                    entry.grid[axis].second[cursor[axis]]);
+      }
+      Json canonical;
+      try {
+        canonical = descriptor->canonicalize(variant);
+      } catch (const Error& error) {
+        throw Error("campaign plan entry #" + std::to_string(entry_index) +
+                    " (" + entry.experiment + "): " + error.what());
+      }
+      for (const std::uint64_t seed : seeds) {
+        CampaignCell cell;
+        cell.experiment = entry.experiment;
+        cell.schema = descriptor->spec_schema;
+        cell.spec = canonical;
+        cell.seed = seed;
+        cell.device = plan.device;
+        cell.key = content_key(CellIdentity{cell.experiment, cell.schema,
+                                            cell.spec, cell.seed,
+                                            cell.device});
+        if (seen_keys.insert(cell.key).second) {
+          cells.push_back(std::move(cell));
+        }
+      }
+
+      // Increment the mixed-radix cursor (last axis fastest); a full wrap —
+      // including the no-grid case, where there is nothing to increment —
+      // means every variant has been visited.
+      bool wrapped = true;
+      for (std::size_t axis = entry.grid.size(); axis-- > 0;) {
+        if (++cursor[axis] < entry.grid[axis].second.size()) {
+          wrapped = false;
+          break;
+        }
+        cursor[axis] = 0;
+      }
+      if (wrapped) break;
+    }
+  }
+  return cells;
+}
+
+}  // namespace ringent::campaign

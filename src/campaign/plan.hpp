@@ -1,0 +1,84 @@
+// Campaign plans: a JSON description of an experiment grid, expanded into
+// content-addressed cells.
+//
+// A plan file ("ringent.campaign-plan/1") names a device profile, a seed
+// list, and entries of the form
+//
+//   {"experiment": "voltage_sweep",
+//    "spec": {"periods": 60},                    // overlay on the default
+//    "grid": {"voltages": [[1.1,1.2],[1.15,1.2,1.25]]},  // axis of variants
+//    "seeds": [1, 2]}                            // optional per-entry seeds
+//
+// Expansion is deterministic: entries in file order; within an entry the
+// grid axes are visited in sorted key order and their value lists
+// cross-multiplied lexicographically (earlier axis = outer loop); each
+// variant's values overwrite the overlaid default spec's top-level keys;
+// seeds innermost. Every expanded spec is pushed through the registry's
+// canonicalize (validating it against the experiment schema), so a plan
+// that expands is a plan whose every cell will parse at run time — and the
+// canonical spec is what the content key hashes, so two plans that expand
+// to the same science share cache cells no matter how they spelled it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace ringent::campaign {
+
+/// One plan entry: an experiment, an optional spec overlay, an optional
+/// grid of alternative values per top-level spec key, optional seeds.
+struct PlanEntry {
+  std::string experiment;
+  /// Partial spec object merged over the experiment's default_spec()
+  /// (top-level keys replace). Null = run the default spec as-is.
+  Json spec;
+  /// Grid axes: spec key -> list of alternative values (each value replaces
+  /// that top-level key per variant). Stored sorted by key — expansion
+  /// order must not depend on the file's key order.
+  std::vector<std::pair<std::string, std::vector<Json>>> grid;
+  /// Per-entry seed override; empty = use the plan-level seeds.
+  std::vector<std::uint64_t> seeds;
+};
+
+struct CampaignPlan {
+  static constexpr std::string_view schema = "ringent.campaign-plan/1";
+
+  std::string name;
+  std::string device = "cyclone-iii";
+  std::vector<std::uint64_t> seeds = {20120312};
+  std::vector<PlanEntry> entries;
+
+  Json to_json() const;
+  /// Strict parse: requires the schema id and a non-empty "entries" list,
+  /// rejects unknown keys at every level. Structural validation only — the
+  /// experiment names and spec contents are checked during expand_plan(),
+  /// which needs the registry.
+  static CampaignPlan from_json(const Json& json);
+};
+
+/// Read + parse a plan file; throws ringent::Error naming the path on I/O
+/// or parse failure.
+CampaignPlan load_plan(const std::string& path);
+
+/// One expanded cell: the fully canonical spec plus its content key.
+struct CampaignCell {
+  std::string experiment;
+  std::string schema;
+  Json spec;  ///< canonical (descriptor->canonicalize output)
+  std::uint64_t seed = 0;
+  std::string device;
+  std::string key;  ///< content_key over the fields above
+};
+
+/// Expand a plan into its cell list (deterministic order, see file
+/// comment). Throws ringent::Error on unknown experiment names, grid keys
+/// that are not top-level spec keys, or specs the experiment schema
+/// rejects. Duplicate cells (identical content key) are collapsed to the
+/// first occurrence.
+std::vector<CampaignCell> expand_plan(const CampaignPlan& plan);
+
+}  // namespace ringent::campaign

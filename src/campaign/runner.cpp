@@ -1,0 +1,170 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/require.hpp"
+#include "core/calibration.hpp"
+#include "core/registry.hpp"
+#include "sim/parallel.hpp"
+
+namespace ringent::campaign {
+
+namespace {
+
+/// Parallel cache scan: cached[i] = cell i has a valid record. Pure file
+/// reads, so thread fan-out is safe (unlike execution, which is
+/// process-global — see runner.hpp).
+std::vector<char> scan_cached(const std::vector<CampaignCell>& cells,
+                              const ResultStore& store, std::size_t jobs) {
+  std::vector<char> cached(cells.size(), 0);
+  sim::ThreadPool pool(jobs);
+  pool.for_each_index(cells.size(), [&](std::size_t i) {
+    cached[i] = store.has_valid(cells[i].key) ? 1 : 0;
+  });
+  return cached;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignPlan& plan, const ResultStore& store,
+                            const CampaignRunOptions& options) {
+  RINGENT_REQUIRE(options.shard_count >= 1, "shard_count must be >= 1");
+  RINGENT_REQUIRE(options.shard_index < options.shard_count,
+                  "shard_index must be < shard_count");
+  // Resolve the device up front: a plan naming an unknown profile must fail
+  // before any cell runs, not at the first uncached one.
+  const core::Calibration& calibration =
+      core::find_device_profile(plan.device);
+
+  const std::vector<CampaignCell> cells = expand_plan(plan);
+  const std::vector<char> cached = scan_cached(cells, store, options.jobs);
+
+  CampaignReport report;
+  report.planned = cells.size();
+  bool wrote_any = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i % options.shard_count != options.shard_index) continue;
+    ++report.in_shard;
+    const CampaignCell& cell = cells[i];
+    if (cached[i]) {
+      ++report.cached;
+      if (options.progress) {
+        options.progress("cached   " + cell.key.substr(0, 12) + "  " +
+                         cell.experiment + " seed=" +
+                         std::to_string(cell.seed));
+      }
+      continue;
+    }
+    if (options.max_cells != 0 && report.executed >= options.max_cells) {
+      ++report.remaining;
+      continue;
+    }
+
+    const core::ExperimentDescriptor* descriptor =
+        core::find_experiment(cell.experiment);
+    RINGENT_REQUIRE(descriptor != nullptr,
+                    "expand_plan returned an unknown experiment");
+    core::ExperimentOptions experiment_options;
+    experiment_options.seed = cell.seed;
+    experiment_options.jobs = options.jobs;
+    const core::RunManifest manifest =
+        descriptor->run_spec(cell.spec, calibration, experiment_options);
+
+    CellRecord record;
+    record.key = cell.key;
+    record.experiment = cell.experiment;
+    record.spec_schema = cell.schema;
+    record.spec = cell.spec;
+    record.seed = cell.seed;
+    record.device = cell.device;
+    record.manifest = normalize_manifest(manifest);
+    store.put(record);
+    // Heal/extend the index after every cell: an interruption anywhere
+    // leaves an index that describes exactly the valid cells on disk.
+    store.rebuild_index();
+    wrote_any = true;
+    ++report.executed;
+    if (options.progress) {
+      options.progress("executed " + cell.key.substr(0, 12) + "  " +
+                       cell.experiment + " seed=" + std::to_string(cell.seed));
+    }
+  }
+  if (!wrote_any) {
+    // Nothing executed (fully cached run, or max_cells == 0 shard slice):
+    // still make sure the index exists and reflects the store.
+    store.rebuild_index();
+  }
+  return report;
+}
+
+CampaignReport campaign_status(const CampaignPlan& plan,
+                               const ResultStore& store) {
+  const std::vector<CampaignCell> cells = expand_plan(plan);
+  const std::vector<char> cached = scan_cached(cells, store, 0);
+  CampaignReport report;
+  report.planned = cells.size();
+  report.in_shard = cells.size();
+  for (const char c : cached) {
+    if (c) {
+      ++report.cached;
+    } else {
+      ++report.remaining;
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_campaign(const CampaignPlan& plan,
+                             const ResultStore& store) {
+  const std::vector<CampaignCell> cells = expand_plan(plan);
+  VerifyReport report;
+  report.planned = cells.size();
+
+  std::unordered_set<std::string> planned_keys;
+  std::atomic<std::size_t> valid{0}, missing{0}, torn{0};
+  for (const CampaignCell& cell : cells) planned_keys.insert(cell.key);
+
+  sim::ThreadPool pool(0);
+  pool.for_each_index(cells.size(), [&](std::size_t i) {
+    const std::optional<CellRecord> record = store.load(cells[i].key);
+    if (record) {
+      ++valid;
+      return;
+    }
+    // Distinguish "no file" from "file exists but does not load" — the
+    // latter is a torn write (or foreign bytes) worth reporting separately.
+    std::ifstream probe(store.cell_path(cells[i].key));
+    if (probe.good()) {
+      ++torn;
+    } else {
+      ++missing;
+    }
+  });
+  report.valid = valid.load();
+  report.missing = missing.load();
+  report.torn = torn.load();
+
+  std::vector<std::string> valid_keys;
+  for (const std::string& key : store.list_keys()) {
+    if (!store.load(key)) continue;  // torn files are not index material
+    if (planned_keys.find(key) == planned_keys.end()) ++report.orphans;
+    valid_keys.push_back(key);
+  }
+
+  const std::optional<CampaignIndex> index = store.read_index();
+  if (index && index->cells.size() == valid_keys.size()) {
+    bool match = true;
+    for (std::size_t i = 0; i < valid_keys.size(); ++i) {
+      if (index->cells[i].key != valid_keys[i]) {
+        match = false;
+        break;
+      }
+    }
+    report.index_consistent = match;
+  }
+  return report;
+}
+
+}  // namespace ringent::campaign

@@ -1,0 +1,119 @@
+// On-disk result store for campaign cells: one JSON record per content key,
+// written atomically, plus a derived index file.
+//
+// Layout under the store directory:
+//
+//   cells/<sha256-hex>.json   one "ringent.campaign-cell/1" record per cell
+//   index.json                "ringent.campaign/1": sorted cell directory
+//
+// Durability contract: records are written to a temp file in the same
+// directory and renamed into place, so a cell file either holds a complete
+// record or does not exist — except after power loss mid-rename, which can
+// leave a torn file. load() therefore treats ANY failure (unparseable
+// bytes, schema mismatch, a record whose stored key disagrees with the
+// recomputed content key of its own identity fields) as "missing": the
+// runner re-executes the cell and the rewrite heals the store. That is what
+// makes resume after SIGKILL safe without a journal.
+//
+// The index is pure convenience (status/verify without opening every
+// cell); the cells directory is ground truth. rebuild_index() derives it by
+// scanning the cells, and the runner rewrites it after every recorded cell,
+// so the final index content does not depend on where a previous run died.
+//
+// Determinism: stored manifests are normalized (normalize_manifest) — the
+// wall/CPU timings, per-phase timers, telemetry summaries and the resolved
+// jobs count are zeroed, because they vary run-to-run and machine-to-
+// machine while the simulation counters do not (the cross-jobs determinism
+// contract of sim/parallel.hpp). Result: re-running any subset of cells on
+// any machine with any --jobs reproduces byte-identical cell files, which
+// is the store's resumability invariant and what the interrupted-resume
+// test asserts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/export.hpp"
+
+namespace ringent::campaign {
+
+/// One completed cell: its identity plus the normalized run manifest.
+struct CellRecord {
+  static constexpr std::string_view schema = "ringent.campaign-cell/1";
+
+  std::string key;         ///< content key (must match the identity fields)
+  std::string experiment;
+  std::string spec_schema;
+  Json spec;               ///< canonical spec
+  std::uint64_t seed = 0;
+  std::string device;
+  core::RunManifest manifest;  ///< normalized (see normalize_manifest)
+
+  Json to_json() const;
+  /// Strict parse: schema required, unknown keys rejected, and the stored
+  /// key must equal the content key recomputed from the identity fields —
+  /// a record that fails any of this is torn/corrupt by definition.
+  static CellRecord from_json(const Json& json);
+};
+
+/// Strip the run-to-run varying fields from a manifest: wall/CPU times,
+/// per-phase timers, telemetry summaries, resolved jobs. What remains
+/// (experiment, spec text, seed, tasks, counters, version) is deterministic
+/// across machines and worker counts.
+core::RunManifest normalize_manifest(core::RunManifest manifest);
+
+/// The index document: a sorted directory of the cells present.
+struct CampaignIndex {
+  static constexpr std::string_view schema = "ringent.campaign/1";
+
+  struct Entry {
+    std::string key;
+    std::string experiment;
+    std::uint64_t seed = 0;
+  };
+  /// Sorted by key (unique — keys are file names).
+  std::vector<Entry> cells;
+
+  Json to_json() const;
+  static CampaignIndex from_json(const Json& json);
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating directories as needed) the store rooted at `dir`.
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string cell_path(const std::string& key) const;
+  std::string index_path() const;
+
+  /// Load the record for `key`; nullopt when absent or torn (see file
+  /// comment — a torn record is indistinguishable from a missing one).
+  std::optional<CellRecord> load(const std::string& key) const;
+
+  /// True when load(key) would return a record.
+  bool has_valid(const std::string& key) const { return load(key).has_value(); }
+
+  /// Atomically write `record` under its key (temp file + rename).
+  void put(const CellRecord& record) const;
+
+  /// Content keys of every well-formed-named file in cells/ (sorted);
+  /// includes torn records — pair with load() to validate.
+  std::vector<std::string> list_keys() const;
+
+  /// Scan cells/ and derive the index from the valid records, then write
+  /// index.json atomically. Returns the index written.
+  CampaignIndex rebuild_index() const;
+
+  /// Parse index.json; nullopt when absent or invalid.
+  std::optional<CampaignIndex> read_index() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ringent::campaign

@@ -1,5 +1,6 @@
 #include "common/json.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -393,5 +394,35 @@ class Parser {
 }  // namespace
 
 Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+Json canonicalized(const Json& value) {
+  switch (value.kind()) {
+    case Json::Kind::array: {
+      Json out = Json::array();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        out.push_back(canonicalized(value.at(i)));
+      }
+      return out;
+    }
+    case Json::Kind::object: {
+      std::vector<const std::pair<std::string, Json>*> members;
+      members.reserve(value.items().size());
+      for (const auto& member : value.items()) members.push_back(&member);
+      std::sort(members.begin(), members.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      Json out = Json::object();
+      for (const auto* member : members) {
+        out.set(member->first, canonicalized(member->second));
+      }
+      return out;
+    }
+    default:
+      return value;
+  }
+}
+
+std::string canonical_dump(const Json& value) {
+  return canonicalized(value).dump();
+}
 
 }  // namespace ringent

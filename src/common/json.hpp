@@ -111,4 +111,15 @@ class Json {
   std::vector<std::pair<std::string, Json>> members_;
 };
 
+/// Structurally identical document with every object's keys sorted
+/// (recursively, bytewise ascending). Arrays keep their order — element
+/// order is semantic. Duplicate keys cannot occur (set() replaces).
+Json canonicalized(const Json& value);
+
+/// The canonical serialization used for content addressing: sorted keys,
+/// compact separators, exact int64 integers, %.17g round-trip doubles.
+/// Two documents that parse equal modulo object-key order dump to the same
+/// bytes, so canonical_dump(parse(canonical_dump(x))) == canonical_dump(x).
+std::string canonical_dump(const Json& value);
+
 }  // namespace ringent

@@ -1,5 +1,9 @@
 #include "core/calibration.hpp"
 
+#include <string>
+
+#include "common/require.hpp"
+
 namespace ringent::core {
 
 namespace {
@@ -35,6 +39,12 @@ Calibration::Calibration()
 const Calibration& cyclone_iii() {
   static const Calibration calibration;
   return calibration;
+}
+
+const Calibration& find_device_profile(std::string_view name) {
+  if (name == cyclone_iii_profile) return cyclone_iii();
+  throw Error("unknown device profile \"" + std::string(name) +
+              "\" (known: " + std::string(cyclone_iii_profile) + ")");
 }
 
 }  // namespace ringent::core

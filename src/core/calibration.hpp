@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "fpga/delay_model.hpp"
 #include "fpga/device.hpp"
@@ -60,5 +61,16 @@ struct Calibration {
 
 /// The calibrated Cyclone III model used by all paper reproductions.
 const Calibration& cyclone_iii();
+
+/// Stable device-profile id of the calibration above. Campaign content keys
+/// hash this id (not the calibration constants), so a key names "the
+/// calibrated Cyclone III model as of this schema" — recalibrating the
+/// constants without bumping the id silently reuses stale cached cells, so
+/// bump it ("/2") whenever the numbers move.
+inline constexpr std::string_view cyclone_iii_profile = "cyclone-iii";
+
+/// Resolve a device-profile id (as stored in campaign plans) to its
+/// calibration; throws ringent::Error naming the id when unknown.
+const Calibration& find_device_profile(std::string_view name);
 
 }  // namespace ringent::core

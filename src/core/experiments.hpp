@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/entropy90b.hpp"
@@ -75,6 +76,15 @@ struct VoltageSweepSpec {
   /// (Fn's reference).
   std::vector<double> voltages;
   std::size_t periods = 400;
+
+  /// Serialized spec ("voltage_sweep" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.voltage_sweep/1";
+  Json to_json() const;
+  static VoltageSweepSpec from_json(const Json& json);
 };
 
 /// Measure ring frequency at each supply level (Fn normalized at
@@ -103,6 +113,15 @@ struct TemperatureSweepSpec {
   /// Die temperatures to visit; must include 25 C (the normalization point).
   std::vector<double> temperatures;
   std::size_t periods = 400;
+
+  /// Serialized spec ("temperature_sweep" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.temperature_sweep/1";
+  Json to_json() const;
+  static TemperatureSweepSpec from_json(const Json& json);
 };
 
 /// Frequency vs die temperature at nominal voltage (extension: the paper's
@@ -129,6 +148,15 @@ struct ProcessVariabilitySpec {
   RingSpec ring;
   unsigned board_count = 5;
   std::size_t periods = 400;
+
+  /// Serialized spec ("process_variability" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.process_variability/1";
+  Json to_json() const;
+  static ProcessVariabilitySpec from_json(const Json& json);
 };
 
 /// Load "the same bitstream" into `board_count` simulated boards and compare
@@ -158,6 +186,15 @@ struct JitterSweepSpec {
   std::vector<std::size_t> stage_counts;
   unsigned divider_n = 8;         ///< divide by 2^n in the measurement method
   std::size_t mes_periods = 150;  ///< osc_mes periods per point
+
+  /// Serialized spec ("jitter_vs_stages" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.jitter_vs_stages/1";
+  Json to_json() const;
+  static JitterSweepSpec from_json(const Json& json);
 };
 
 /// Period jitter as a function of the number of stages, measured through the
@@ -183,6 +220,15 @@ struct ModeMapSpec {
   /// Charlie magnitude scale (ablation knob); 1.0 = calibrated value.
   double charlie_scale = 1.0;
   std::size_t periods = 600;
+
+  /// Serialized spec ("mode_map" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.mode_map/1";
+  Json to_json() const;
+  static ModeMapSpec from_json(const Json& json);
 };
 
 /// Classify the steady-state mode for each token count of an L-stage STR
@@ -212,6 +258,15 @@ struct RestartSpec {
   RingSpec ring;
   unsigned restarts = 64;
   std::size_t edges = 256;
+
+  /// Serialized spec ("restart" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.restart/1";
+  Json to_json() const;
+  static RestartSpec from_json(const Json& json);
 };
 
 /// The restart technique (standard TRNG entropy validation): run the ring
@@ -250,6 +305,15 @@ struct CoherentSweepSpec {
   double design_detune = 0.01;
   unsigned board_count = 5;
   std::size_t periods = 60000;
+
+  /// Serialized spec ("coherent_boards" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.coherent_boards/1";
+  Json to_json() const;
+  static CoherentSweepSpec from_json(const Json& json);
 };
 
 /// Build a coherent-sampling pair (ring + delay_scale-detuned sampling ring
@@ -276,6 +340,15 @@ struct DeterministicJitterSpec {
   double modulation_amplitude_v = 0.05;
   double modulation_frequency_hz = 2.0e6;
   std::size_t periods = 8192;
+
+  /// Serialized spec ("deterministic_jitter" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.deterministic_jitter/1";
+  Json to_json() const;
+  static DeterministicJitterSpec from_json(const Json& json);
 };
 
 /// Apply a sinusoidal supply modulation and measure the deterministic tone
@@ -302,6 +375,15 @@ struct EntropyMapSpec {
   std::size_t restart_rows = 0;
   std::size_t restart_cols = 0;
   analysis::Entropy90bConfig battery;
+
+  /// Serialized spec ("entropy_map" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.entropy_map/1";
+  Json to_json() const;
+  static EntropyMapSpec from_json(const Json& json);
 };
 
 struct EntropyMapCell {
@@ -364,6 +446,15 @@ struct AttackResilienceSpec {
   /// attacker's sweet spot); the matched STR's beat stays ~0.3 away from
   /// the nearest integer at both tone extremes and rides the attack out.
   static AttackResilienceSpec paper_default();
+
+  /// Serialized spec ("attack_resilience" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.attack_resilience/1";
+  Json to_json() const;
+  static AttackResilienceSpec from_json(const Json& json);
 };
 
 /// One (ring, scenario) outcome.
@@ -450,6 +541,15 @@ struct EntropyServiceSpec {
   std::uint64_t wait_budget_ms = 0;
 
   trng::DegradationPolicy policy;
+
+  /// Serialized spec ("entropy_service" schema). to_json is total and
+  /// emits every field; from_json rejects unknown keys, reports
+  /// missing required keys by name, and validates ranges
+  /// (core/spec_json.cpp).
+  static constexpr std::string_view spec_schema =
+      "ringent.spec.entropy_service/1";
+  Json to_json() const;
+  static EntropyServiceSpec from_json(const Json& json);
 };
 
 struct EntropyServiceResult {

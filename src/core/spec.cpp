@@ -8,6 +8,25 @@ const char* to_string(RingKind kind) {
   return kind == RingKind::iro ? "IRO" : "STR";
 }
 
+RingKind parse_ring_kind(std::string_view name) {
+  if (name == "iro") return RingKind::iro;
+  if (name == "str") return RingKind::str;
+  throw Error("ring kind must be \"iro\" or \"str\", got \"" +
+              std::string(name) + "\"");
+}
+
+const char* to_string(ring::TokenPlacement placement) {
+  return placement == ring::TokenPlacement::clustered ? "clustered"
+                                                      : "evenly_spread";
+}
+
+ring::TokenPlacement parse_token_placement(std::string_view name) {
+  if (name == "evenly_spread") return ring::TokenPlacement::evenly_spread;
+  if (name == "clustered") return ring::TokenPlacement::clustered;
+  throw Error("token placement must be \"evenly_spread\" or \"clustered\", "
+              "got \"" + std::string(name) + "\"");
+}
+
 RingSpec RingSpec::iro(std::size_t stages) {
   RingSpec spec;
   spec.kind = RingKind::iro;

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
+#include "common/json.hpp"
 #include "ring/str_logic.hpp"
 
 namespace ringent::core {
@@ -11,6 +13,12 @@ namespace ringent::core {
 enum class RingKind { iro, str };
 
 const char* to_string(RingKind kind);
+/// Inverse of to_string over the serialized names "iro" / "str"; throws
+/// ringent::Error on anything else.
+RingKind parse_ring_kind(std::string_view name);
+
+const char* to_string(ring::TokenPlacement placement);
+ring::TokenPlacement parse_token_placement(std::string_view name);
 
 /// Declarative description of one oscillator, in the paper's nomenclature:
 /// "IRO 5C" is a 5-stage inverter ring, "STR 96C" a 96-stage self-timed ring.
@@ -38,6 +46,13 @@ struct RingSpec {
 
   /// Validate the spec (throws PreconditionError when unusable).
   void validate() const;
+
+  /// Serialized form: {"kind", "stages", "tokens", "placement"} — every
+  /// field always present so the canonical dump is total. from_json rejects
+  /// unknown keys and validates the result (implemented with the experiment
+  /// spec loaders in core/spec_json.cpp).
+  Json to_json() const;
+  static RingSpec from_json(const Json& json);
 };
 
 }  // namespace ringent::core

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/json.hpp"
 #include "common/time.hpp"
 #include "fpga/delay_model.hpp"
 
@@ -46,6 +47,11 @@ struct Regulator {
   /// Residual regulator ripple amplitude (volts) at ripple_frequency_hz.
   double ripple_v = 0.0;
   double ripple_frequency_hz = 0.0;
+
+  /// Serialized form: all three fields, flat; from_json fills absent keys
+  /// with the pass-through defaults and rejects unknown keys.
+  Json to_json() const;
+  static Regulator from_json(const Json& json);
 };
 
 class Supply {

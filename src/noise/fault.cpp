@@ -20,9 +20,89 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+FaultKind parse_fault_kind(std::string_view name) {
+  for (const FaultKind kind :
+       {FaultKind::supply_tone, FaultKind::supply_step, FaultKind::supply_ramp,
+        FaultKind::stuck_stage, FaultKind::delay_step, FaultKind::delay_drift,
+        FaultKind::mode_kick}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw Error("unknown fault kind \"" + std::string(name) + "\"");
+}
+
 bool is_supply_fault(FaultKind kind) {
   return kind == FaultKind::supply_tone || kind == FaultKind::supply_step ||
          kind == FaultKind::supply_ramp;
+}
+
+Json FaultEvent::to_json() const {
+  Json json = Json::object();
+  json.set("kind", to_string(kind));
+  json.set("start_fs", start.fs());
+  json.set("stop_fs", stop.fs());
+  json.set("magnitude", magnitude);
+  json.set("frequency_hz", frequency_hz);
+  json.set("stage", static_cast<std::uint64_t>(stage));
+  return json;
+}
+
+FaultEvent FaultEvent::from_json(const Json& json) {
+  if (!json.is_object()) throw Error("fault event must be a JSON object");
+  FaultEvent event;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "kind") {
+      event.kind = parse_fault_kind(value.as_string());
+    } else if (key == "start_fs") {
+      event.start = Time::from_fs(value.as_integer());
+    } else if (key == "stop_fs") {
+      event.stop = Time::from_fs(value.as_integer());
+    } else if (key == "magnitude") {
+      event.magnitude = value.as_number();
+    } else if (key == "frequency_hz") {
+      event.frequency_hz = value.as_number();
+    } else if (key == "stage") {
+      const std::int64_t stage = value.as_integer();
+      if (stage < 0) throw Error("fault event stage must be non-negative");
+      event.stage = static_cast<std::size_t>(stage);
+    } else {
+      throw Error("unknown fault event key \"" + key + "\"");
+    }
+  }
+  return event;
+}
+
+Json FaultScenario::to_json() const {
+  Json json = Json::object();
+  json.set("name", name);
+  Json list = Json::array();
+  for (const FaultEvent& event : events) list.push_back(event.to_json());
+  json.set("events", std::move(list));
+  return json;
+}
+
+FaultScenario FaultScenario::from_json(const Json& json) {
+  if (!json.is_object()) throw Error("fault scenario must be a JSON object");
+  FaultScenario scenario;
+  scenario.name.clear();
+  bool saw_name = false;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "name") {
+      scenario.name = value.as_string();
+      saw_name = true;
+    } else if (key == "events") {
+      if (!value.is_array()) throw Error("scenario events must be an array");
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        scenario.events.push_back(FaultEvent::from_json(value.at(i)));
+      }
+    } else {
+      throw Error("unknown fault scenario key \"" + key + "\"");
+    }
+  }
+  if (!saw_name || scenario.name.empty()) {
+    throw Error("fault scenario needs a non-empty \"name\"");
+  }
+  scenario.validate();
+  return scenario;
 }
 
 namespace {

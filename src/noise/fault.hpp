@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/time.hpp"
 #include "fpga/supply.hpp"
 #include "noise/modulation.hpp"
@@ -42,6 +43,8 @@ enum class FaultKind {
 };
 
 const char* to_string(FaultKind kind);
+/// Inverse of to_string; throws ringent::Error on an unknown name.
+FaultKind parse_fault_kind(std::string_view name);
 
 /// True for kinds that act through the shared supply rail (and therefore hit
 /// every ring on the die, including a backup ring).
@@ -72,6 +75,12 @@ struct FaultEvent {
                          std::size_t affected_stages);
 
   bool active_at(Time t) const { return t >= start && t < stop; }
+
+  /// Serialized form: {"kind", "start_fs", "stop_fs", "magnitude",
+  /// "frequency_hz", "stage"} — every field always present, times as exact
+  /// femtosecond integers. from_json rejects unknown keys.
+  Json to_json() const;
+  static FaultEvent from_json(const Json& json);
 };
 
 /// A named, validated schedule of fault windows.
@@ -94,6 +103,11 @@ struct FaultScenario {
   /// faults are common-mode (kept), stage-local delay faults are not
   /// (dropped). This is what a failover backup ring sees.
   FaultScenario supply_only() const;
+
+  /// Serialized form: {"name", "events"}. from_json validates the schedule
+  /// (same checks as validate()) and rejects unknown keys.
+  Json to_json() const;
+  static FaultScenario from_json(const Json& json);
 };
 
 /// Realizes a FaultScenario against a Supply (between kernel steps) and as a

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
 #include "trng/health.hpp"
 #include "trng/telemetry.hpp"
 
@@ -88,6 +89,12 @@ struct DegradationPolicy {
   /// Fail over to the backup source (when one is wired) starting with this
   /// strike's re-lock; 0 disables failover.
   std::uint32_t failover_after_strikes = 2;
+
+  /// Serialized form: every field, flat. from_json fills absent keys with
+  /// the defaults above, rejects unknown keys, and range-checks
+  /// (claimed_min_entropy in (0, 1], apt_window >= 2, alpha_log2 > 0).
+  Json to_json() const;
+  static DegradationPolicy from_json(const Json& json);
 };
 
 /// Backoff for the given strike count: `base` doubled per strike beyond the

@@ -1,0 +1,83 @@
+// Tier-2 end-to-end check of the committed grand-sweep plan
+// (examples/plans/grand_sweep.json): the plan must load, expand, execute
+// every cell, and a second run must be a 100% cache hit without touching a
+// byte of the store. This is the full `ringent_cli campaign run` path minus
+// argv parsing — the committed plan is a product artifact, so it gets the
+// same regression protection as code.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "campaign/plan.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/store.hpp"
+
+using namespace ringent;
+using namespace ringent::campaign;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string grand_sweep_path() {
+  return std::string(RINGENT_PLANS_DIR) + "/grand_sweep.json";
+}
+
+std::map<std::string, std::string> dir_contents(const fs::path& dir) {
+  std::map<std::string, std::string> contents;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    contents[fs::relative(entry.path(), dir).string()] = bytes.str();
+  }
+  return contents;
+}
+
+}  // namespace
+
+TEST(GrandSweep, CommittedPlanRunsAndSecondRunIsAllCacheHits) {
+  const CampaignPlan plan = load_plan(grand_sweep_path());
+  EXPECT_EQ(plan.name, "grand-sweep");
+
+  // The plan must exercise a meaningful slice of the registry (>= 4
+  // experiments) or it is not a grand sweep.
+  std::set<std::string> experiments;
+  for (const auto& entry : plan.entries) experiments.insert(entry.experiment);
+  EXPECT_GE(experiments.size(), 4u) << "grand sweep shrank";
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ringent-grand-sweep-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  ResultStore store(dir.string());
+
+  const CampaignReport cold = run_campaign(plan, store, {});
+  EXPECT_GT(cold.planned, 0u);
+  EXPECT_EQ(cold.executed, cold.planned);
+  EXPECT_EQ(cold.cached, 0u);
+  EXPECT_TRUE(cold.complete());
+
+  const auto after_first = dir_contents(dir);
+
+  const CampaignReport warm = run_campaign(plan, store, {});
+  EXPECT_EQ(warm.cached, warm.planned) << "second run must be 100% cache hits";
+  EXPECT_EQ(warm.executed, 0u);
+
+  EXPECT_EQ(dir_contents(dir), after_first)
+      << "a fully-cached run must not change the store";
+
+  const VerifyReport verified = verify_campaign(plan, store);
+  EXPECT_TRUE(verified.ok());
+  EXPECT_EQ(verified.valid, cold.planned);
+  EXPECT_EQ(verified.orphans, 0u);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}

@@ -28,6 +28,13 @@ TEST(Registry, CoversEveryDriverExactlyOnce) {
     EXPECT_FALSE(entry.summary.empty());
     EXPECT_FALSE(entry.source.empty());
     EXPECT_TRUE(static_cast<bool>(entry.run_small)) << entry.name;
+    // The JSON-spec surface (campaign orchestration) is total: every
+    // experiment declares a schema, committed defaults, a validating
+    // canonicalizer and a run_spec entry point.
+    EXPECT_EQ(entry.spec_schema.rfind("ringent.spec.", 0), 0u) << entry.name;
+    EXPECT_TRUE(static_cast<bool>(entry.default_spec)) << entry.name;
+    EXPECT_TRUE(static_cast<bool>(entry.canonicalize)) << entry.name;
+    EXPECT_TRUE(static_cast<bool>(entry.run_spec)) << entry.name;
     EXPECT_TRUE(names.insert(entry.name).second)
         << "duplicate name: " << entry.name;
   }
